@@ -1,0 +1,20 @@
+"""Profile helpers shared by the benchmark files (import-safe, unlike
+conftest)."""
+
+from __future__ import annotations
+
+import os
+
+_TIMING_SIZES = {
+    "tiny": (10, 30),
+    "small": (10, 30, 60),
+    "full": (10, 30, 60, 100),
+}
+
+
+def profile() -> str:
+    return os.environ.get("REPRO_SUITE", "tiny")
+
+
+def timing_sizes() -> tuple[int, ...]:
+    return _TIMING_SIZES[profile()]

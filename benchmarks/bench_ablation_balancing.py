@@ -1,0 +1,56 @@
+"""Ablation — software task balancing (Section V-D) on/off, and the
+window-mode interpretation ("slot" vs the literal "cpm").
+"""
+
+import statistics
+
+from _suite import profile
+
+from repro.benchgen import paper_instance
+from repro.core import PAOptions, do_schedule
+
+_SIZES = {"tiny": (50,), "small": (50, 70), "full": (50, 70, 100)}
+
+
+def _instances():
+    return [
+        paper_instance(size, seed=seed)
+        for size in _SIZES[profile()]
+        for seed in (1, 2, 3)
+    ]
+
+
+def test_balancing_ablation(benchmark):
+    instances = _instances()
+    benchmark(lambda: do_schedule(instances[0], PAOptions()))
+
+    on = statistics.mean(
+        do_schedule(i, PAOptions(enable_sw_balancing=True)).makespan
+        for i in instances
+    )
+    off = statistics.mean(
+        do_schedule(i, PAOptions(enable_sw_balancing=False)).makespan
+        for i in instances
+    )
+    benchmark.extra_info["balancing_on"] = round(on, 1)
+    benchmark.extra_info["balancing_off"] = round(off, 1)
+    # Balancing only ever moves tasks to hardware slots that fit their
+    # windows; it must not hurt on average.
+    assert on <= off * 1.02
+
+
+def test_window_mode_ablation(benchmark):
+    instances = _instances()
+    benchmark(lambda: do_schedule(instances[0], PAOptions(window_mode="slot")))
+
+    slot = statistics.mean(
+        do_schedule(i, PAOptions(window_mode="slot")).makespan for i in instances
+    )
+    cpm = statistics.mean(
+        do_schedule(i, PAOptions(window_mode="cpm")).makespan for i in instances
+    )
+    benchmark.extra_info["slot_mean"] = round(slot, 1)
+    benchmark.extra_info["cpm_mean"] = round(cpm, 1)
+    # The slot interpretation enables more region reuse under
+    # contention; it must not be systematically worse.
+    assert slot <= cpm * 1.05

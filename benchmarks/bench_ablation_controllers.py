@@ -1,0 +1,55 @@
+"""Ablation — number of reconfiguration controllers.
+
+The paper's architecture has one ICAP ("no two separate reconfigurations
+can occur at the same time due to contention"); reference [8]
+generalizes to several.  This bench measures how much of the schedule
+length is actually attributable to controller contention by sweeping
+the controller count on contended instances.
+"""
+
+import statistics
+
+from repro.benchgen import paper_instance
+from repro.core import do_schedule
+from repro.model import Architecture, Instance
+
+
+def _with_controllers(instance: Instance, n: int) -> Instance:
+    arch = instance.architecture
+    return Instance(
+        architecture=Architecture(
+            name=arch.name,
+            processors=arch.processors,
+            max_res=arch.max_res,
+            bit_per_resource=arch.bit_per_resource,
+            rec_freq=arch.rec_freq,
+            region_quantum=arch.region_quantum,
+            reconfigurators=n,
+        ),
+        taskgraph=instance.taskgraph,
+        name=instance.name,
+    )
+
+
+def test_controller_count_ablation(benchmark):
+    instances = [paper_instance(60, seed=s) for s in (1, 2, 3)]
+    benchmark(lambda: do_schedule(instances[0]))
+
+    means = {}
+    for n in (1, 2, 4):
+        makespans = [
+            do_schedule(_with_controllers(i, n)).makespan for i in instances
+        ]
+        means[n] = statistics.mean(makespans)
+    benchmark.extra_info["mean_makespans_by_controllers"] = {
+        str(n): round(v, 1) for n, v in means.items()
+    }
+
+    # More controllers can only relax constraints (per instance, not
+    # just on average — but average suffices as the bench check).
+    assert means[2] <= means[1] + 1e-6
+    assert means[4] <= means[2] + 1e-6
+    contention_share = (means[1] - means[4]) / means[1]
+    benchmark.extra_info["contention_share_pct"] = round(
+        contention_share * 100, 2
+    )

@@ -1,0 +1,61 @@
+"""Ablation — module reuse (the Section VIII future-work extension).
+
+The paper's evaluation generates suites where "different tasks can
+share a common implementation so that module reuse can be exploited by
+IS-k, a feature currently not supported by [PA]".  This bench measures
+what PA gains when the extension is switched on, at two sharing levels.
+"""
+
+import statistics
+
+from repro.benchgen import paper_instance
+from repro.benchgen.implementations import ModuleLibraryConfig
+from repro.core import PAOptions, do_schedule
+
+
+def _mean_makespan(instances, reuse: bool) -> float:
+    return statistics.mean(
+        do_schedule(i, PAOptions(enable_module_reuse=reuse)).makespan
+        for i in instances
+    )
+
+
+def _mean_reconfs(instances, reuse: bool) -> float:
+    return statistics.mean(
+        len(do_schedule(i, PAOptions(enable_module_reuse=reuse)).reconfigurations)
+        for i in instances
+    )
+
+
+def test_module_reuse_ablation(benchmark):
+    high_sharing = [
+        paper_instance(
+            50, seed=s, config=ModuleLibraryConfig(share_probability=0.7)
+        )
+        for s in (1, 2, 3)
+    ]
+    benchmark(lambda: do_schedule(high_sharing[0], PAOptions(enable_module_reuse=True)))
+
+    on = _mean_makespan(high_sharing, True)
+    off = _mean_makespan(high_sharing, False)
+    benchmark.extra_info["reuse_on_makespan"] = round(on, 1)
+    benchmark.extra_info["reuse_off_makespan"] = round(off, 1)
+    benchmark.extra_info["reuse_on_reconfs"] = round(_mean_reconfs(high_sharing, True), 2)
+    benchmark.extra_info["reuse_off_reconfs"] = round(_mean_reconfs(high_sharing, False), 2)
+    # Dropping reconfigurations can only relax constraints.
+    assert on <= off * 1.02
+    assert _mean_reconfs(high_sharing, True) <= _mean_reconfs(high_sharing, False)
+
+
+def test_module_reuse_neutral_without_sharing(benchmark):
+    no_sharing = [
+        paper_instance(
+            30, seed=s, config=ModuleLibraryConfig(share_probability=0.0)
+        )
+        for s in (4, 5)
+    ]
+    benchmark(lambda: do_schedule(no_sharing[0], PAOptions(enable_module_reuse=True)))
+    on = _mean_makespan(no_sharing, True)
+    off = _mean_makespan(no_sharing, False)
+    benchmark.extra_info["delta_pct"] = round((on - off) / off * 100, 3)
+    assert on == off  # no shared modules -> the knob is a no-op

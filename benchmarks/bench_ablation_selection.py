@@ -1,0 +1,50 @@
+"""Ablation — implementation selection policy (step V-A).
+
+Probes the Figure 1 argument quantitatively: the Eq. 3 cost metric
+("cost") against always-fastest ("fastest", the IS-1-style greed) and
+always-smallest ("smallest").  Under contention the cost metric should
+beat "fastest"; on tiny graphs they coincide.
+"""
+
+import statistics
+
+from _suite import profile
+
+from repro.benchgen import paper_instance
+from repro.core import PAOptions, do_schedule
+
+_SIZES = {"tiny": (40,), "small": (40, 60), "full": (40, 60, 100)}
+
+
+def test_selection_policy_ablation(benchmark):
+    sizes = _SIZES[profile()]
+    instances = [
+        paper_instance(size, seed=seed) for size in sizes for seed in (1, 2, 3)
+    ]
+
+    benchmark(lambda: do_schedule(instances[0], PAOptions(selection_policy="cost")))
+
+    means = {}
+    for policy in ("cost", "fastest", "smallest", "adaptive"):
+        makespans = [
+            do_schedule(i, PAOptions(selection_policy=policy)).makespan
+            for i in instances
+        ]
+        means[policy] = statistics.mean(makespans)
+    benchmark.extra_info["mean_makespans"] = {
+        k: round(v, 1) for k, v in means.items()
+    }
+
+    # Under contention (>= 40 tasks) Eq. 3 must beat pure greed.
+    assert means["cost"] <= means["fastest"] * 1.05
+
+
+def test_no_contention_policies_tie():
+    """On a 10-task graph everything fits: the policies agree within a
+    small factor (the Figure 1 effect needs contention)."""
+    instance = paper_instance(10, seed=1)
+    makespans = {
+        policy: do_schedule(instance, PAOptions(selection_policy=policy)).makespan
+        for policy in ("cost", "fastest", "smallest")
+    }
+    assert max(makespans.values()) <= min(makespans.values()) * 2.2

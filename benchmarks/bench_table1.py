@@ -1,0 +1,82 @@
+"""Table I — algorithm execution times.
+
+The paper's Table I reports, per task-graph size: PA's scheduling and
+floorplanning time, IS-1's runtime, and the shared PA-R / IS-5 budget.
+Here each (algorithm, size) pair is a pytest-benchmark case, so the
+benchmark table *is* Table I; the key claims to check are
+
+* PA total time grows ~linearly and stays orders of magnitude below
+  IS-k,
+* IS-1 growth is super-linear in the number of tasks.
+"""
+
+import pytest
+
+from repro.baselines import ISKOptions, ISKScheduler
+from repro.core import PAOptions, do_schedule, pa_schedule
+from repro.floorplan import Floorplanner
+
+from _suite import timing_sizes
+
+
+@pytest.mark.parametrize("size", timing_sizes())
+def test_pa_scheduling_time(benchmark, instances_by_size, size):
+    instance = instances_by_size[size]
+    result = benchmark(lambda: do_schedule(instance))
+    benchmark.extra_info["makespan"] = result.makespan
+    benchmark.extra_info["tasks"] = size
+
+
+@pytest.mark.parametrize("size", timing_sizes())
+def test_pa_total_time_with_floorplanning(benchmark, instances_by_size, size):
+    instance = instances_by_size[size]
+
+    def run():
+        # Fresh (uncached) floorplanner per round: Table I charges the
+        # floorplanning work to PA.
+        planner = Floorplanner.for_architecture(instance.architecture, cache=False)
+        return pa_schedule(instance, PAOptions(), floorplanner=planner)
+
+    result = benchmark(run)
+    benchmark.extra_info["feasible"] = result.feasible
+    benchmark.extra_info["shrinks"] = result.shrink_iterations
+    benchmark.extra_info["floorplanning_time"] = result.floorplanning_time
+
+
+@pytest.mark.parametrize("size", timing_sizes())
+def test_is1_time(benchmark, instances_by_size, size):
+    instance = instances_by_size[size]
+    scheduler = ISKScheduler(ISKOptions(k=1))
+    result = benchmark(lambda: scheduler.schedule(instance))
+    benchmark.extra_info["makespan"] = result.makespan
+
+
+@pytest.mark.parametrize("size", timing_sizes())
+def test_is5_time(benchmark, instances_by_size, size):
+    instance = instances_by_size[size]
+    scheduler = ISKScheduler(ISKOptions(k=5, node_limit=2000))
+    result = benchmark.pedantic(
+        lambda: scheduler.schedule(instance), rounds=1, iterations=1
+    )
+    benchmark.extra_info["makespan"] = result.makespan
+    benchmark.extra_info["nodes"] = result.nodes
+
+
+def test_pa_scales_linearly(instances_by_size):
+    """Shape assertion behind Table I: doubling the task count must not
+    blow up PA's runtime (paper: 'grows almost linearly')."""
+    import time
+
+    sizes = sorted(instances_by_size)
+    times = {}
+    for size in sizes:
+        t0 = time.perf_counter()
+        for _ in range(3):
+            do_schedule(instances_by_size[size])
+        times[size] = (time.perf_counter() - t0) / 3
+    small, big = sizes[0], sizes[-1]
+    ratio = times[big] / times[small]
+    size_ratio = big / small
+    # Allow generous quadratic-ish slack (small absolute times are noisy),
+    # but catch exponential behaviour.
+    assert ratio < size_ratio**2 * 8

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper exhibit (Table I, Figures 2-6) has a ``bench_*.py`` file.
+pytest-benchmark measures the *algorithm runtimes* (the subject of
+Table I); the quality numbers behind Figures 2-5 are attached to each
+benchmark's ``extra_info`` and printed at the end of the run, so
+``pytest benchmarks/ --benchmark-only`` regenerates both the timing and
+the quality side of the evaluation.
+
+Scale is governed by ``REPRO_SUITE`` (tiny | small | full); the default
+``tiny`` keeps the whole suite in the order of a minute.  See
+EXPERIMENTS.md for committed small-profile results.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _suite import profile, timing_sizes  # noqa: E402
+
+from repro.analysis.runner import ExperimentConfig, run_quality  # noqa: E402
+from repro.benchgen import paper_instance  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def quality_results():
+    """One shared quality run (PA / PA-R / IS-1 / IS-5) for Figures 2-5.
+
+    Session-scoped: the expensive comparison runs once and every
+    figure bench reads from it.
+    """
+    config = ExperimentConfig(profile=profile())
+    if profile() == "tiny":
+        config.pa_r_min_budget = 0.1
+        config.pa_r_max_budget = 1.0
+    return run_quality(config)
+
+
+@pytest.fixture(scope="session")
+def instances_by_size():
+    return {size: paper_instance(size, seed=1) for size in timing_sizes()}

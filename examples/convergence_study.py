@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""PA-R anytime behaviour (the Figure 6 experiment, scaled down).
+
+Runs the randomized scheduler on one graph per size with a wall-clock
+budget, records every incumbent improvement, and renders the
+convergence as a text chart — best-so-far makespan against time.
+
+Run:  python examples/convergence_study.py [budget_seconds]
+"""
+
+import sys
+
+from repro.benchgen import paper_instance
+from repro.core import pa_r_schedule
+from repro.floorplan import Floorplanner
+from repro.validate import check_schedule
+
+
+def sparkline(series, width: int = 60) -> str:
+    """Best-so-far staircase as a one-line text chart."""
+    if not series:
+        return "(no incumbents)"
+    t_max = max(t for t, _ in series) or 1.0
+    lo = min(m for _, m in series)
+    hi = max(m for _, m in series)
+    span = (hi - lo) or 1.0
+    levels = "█▇▆▅▄▃▂▁"
+    chars = []
+    for col in range(width):
+        t = col / (width - 1) * t_max
+        best = next((m for ts, m in reversed(series) if ts <= t), series[0][1])
+        index = int((best - lo) / span * (len(levels) - 1))
+        chars.append(levels[len(levels) - 1 - index])
+    return "".join(chars)
+
+
+def main() -> None:
+    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    sizes = (20, 40, 60)
+    print(f"PA-R convergence study: {budget:.1f} s budget per graph\n")
+
+    for size in sizes:
+        instance = paper_instance(size, seed=2016)
+        planner = Floorplanner.for_architecture(instance.architecture)
+        result = pa_r_schedule(
+            instance, time_budget=budget, seed=size, floorplanner=planner
+        )
+        check_schedule(instance, result.schedule).raise_if_invalid()
+        series = result.history
+        first = series[0][1]
+        best = result.makespan
+        gain = (first - best) / first * 100 if first else 0.0
+        print(f"{size:3d} tasks | {result.iterations:5d} restarts | "
+              f"first {first:9.1f} -> best {best:9.1f} us ({gain:+.1f}%)")
+        print(f"          | {sparkline(series)}")
+        for t, m in series[:8]:
+            print(f"          |   incumbent at {t:6.2f} s: {m:9.1f} us")
+        if len(series) > 8:
+            print(f"          |   ... {len(series) - 8} more improvements")
+        print()
+
+    print("Paper observation (Fig. 6): convergence is quick; larger graphs "
+          "converge later. The staircase above shows the same shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Design-space exploration with PA as the fast evaluator.
+
+The paper positions the deterministic PA as the tool that "allows the
+designer to obtain a fast evaluation of the design performance on the
+target architecture".  This script uses it exactly that way: sweep the
+number of processor cores and the fabric budget available to the
+application, evaluating each configuration in milliseconds, then print
+the resulting makespan matrix and the cheapest configuration meeting a
+deadline.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.analysis import render_table
+from repro.benchgen import paper_instance, zedboard_architecture
+from repro.core import PAOptions, do_schedule
+from repro.validate import check_schedule
+
+
+def main() -> None:
+    base_instance = paper_instance(tasks=40, seed=11)
+    deadline_us = 3500.0
+    print(f"application: {base_instance.taskgraph}")
+    print(f"deadline: {deadline_us:.0f} us\n")
+
+    core_counts = (1, 2, 4)
+    fabric_shares = (0.25, 0.5, 0.75, 1.0)
+
+    rows = []
+    feasible_points = []
+    for cores in core_counts:
+        row: list[object] = [f"{cores} core(s)"]
+        for share in fabric_shares:
+            arch = zedboard_architecture(processors=cores)
+            arch = arch.with_max_res(arch.max_res.scaled(share))
+            instance = type(base_instance)(
+                architecture=arch, taskgraph=base_instance.taskgraph
+            )
+            schedule = do_schedule(instance, PAOptions())
+            check_schedule(instance, schedule).raise_if_invalid()
+            makespan = schedule.makespan
+            row.append(makespan)
+            if makespan <= deadline_us:
+                # Cost proxy: fabric share dominates, cores second.
+                feasible_points.append((share, cores, makespan))
+        rows.append(row)
+
+    print(
+        render_table(
+            ["config"] + [f"{int(s * 100)}% fabric" for s in fabric_shares],
+            rows,
+            title="PA-evaluated makespan (us) across the design space",
+        )
+    )
+
+    if feasible_points:
+        share, cores, makespan = min(feasible_points)
+        print(
+            f"\ncheapest deadline-meeting configuration: "
+            f"{cores} core(s) + {int(share * 100)}% fabric "
+            f"(makespan {makespan:.0f} us)"
+        )
+    else:
+        print("\nno swept configuration meets the deadline")
+
+    # Bonus: how sensitive is the best configuration to the scheduler?
+    print("\nsensitivity at 2 cores / 100% fabric:")
+    arch = zedboard_architecture(processors=2)
+    instance = type(base_instance)(
+        architecture=arch, taskgraph=base_instance.taskgraph
+    )
+    for policy in ("cost", "fastest", "smallest"):
+        schedule = do_schedule(instance, PAOptions(selection_policy=policy))
+        print(f"  selection={policy:8s}: {schedule.makespan:8.1f} us")
+
+
+if __name__ == "__main__":
+    main()

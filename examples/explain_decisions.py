@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Why did the scheduler do that? — decision tracing.
+
+Attaches a :class:`repro.core.SchedulerTrace` to a PA run and uses it
+to answer the questions a designer actually asks: which tasks got
+demoted to software (and what fabric was left when it happened), which
+region-reuse decisions were made, and the full journey of one task
+through the eight steps.
+
+Run:  python examples/explain_decisions.py
+"""
+
+from repro.benchgen import paper_instance
+from repro.core import PAOptions, SchedulerTrace, do_schedule
+from repro.validate import check_schedule
+
+
+def main() -> None:
+    # A deliberately contended instance so interesting decisions occur.
+    instance = paper_instance(tasks=55, seed=3)
+    trace = SchedulerTrace()
+    schedule = do_schedule(instance, PAOptions(), trace=trace)
+    check_schedule(instance, schedule).raise_if_invalid()
+
+    print(f"makespan: {schedule.makespan:.1f} us over "
+          f"{len(schedule.regions)} regions, "
+          f"{len(schedule.reconfigurations)} reconfigurations")
+    print(f"decision profile: {trace.summary()}\n")
+
+    demotions = [e for e in trace.by_phase("regions") if e.event == "demoted"]
+    if demotions:
+        print(f"tasks demoted to software ({len(demotions)}):")
+        for event in demotions:
+            print(f"  {event.task}: fabric left {event.data['available']} "
+                  f"(critical={event.data['critical']})")
+    else:
+        print("no demotions — the fabric hosted every selected implementation")
+
+    promotions = [e for e in trace.by_phase("balancing") if e.event == "promoted"]
+    print(f"\nbalancing promoted {len(promotions)} task(s) back to hardware:")
+    for event in promotions:
+        print(f"  {event.task} -> {event.data['region']} "
+              f"using {event.data['implementation']}")
+
+    reuses = [e for e in trace.by_phase("regions") if e.event == "reused"]
+    print(f"\nregion reuse decisions ({len(reuses)}):")
+    for event in reuses[:6]:
+        print(f"  {event.task} joined {event.data['region']} "
+              f"at position {event.data['position']}")
+    if len(reuses) > 6:
+        print(f"  ... and {len(reuses) - 6} more")
+
+    # Full story of the task with the most recorded decisions.
+    richest = max(
+        instance.taskgraph.task_ids, key=lambda t: len(trace.by_task(t))
+    )
+    print(f"\nfull journey of {richest}:")
+    print(trace.explain(richest))
+
+
+if __name__ == "__main__":
+    main()

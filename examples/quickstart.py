@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a synthetic application on the ZedBoard model.
+
+Covers the library's core loop in ~40 lines:
+
+1. generate a task graph (Section VII-A style),
+2. run the deterministic PA scheduler with the floorplan check,
+3. validate the schedule against the Section III contract,
+4. inspect the result (regions, reconfigurations, Gantt).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import render_gantt
+from repro.benchgen import paper_instance
+from repro.core import PAOptions, pa_schedule
+from repro.floorplan import Floorplanner
+from repro.validate import check_schedule
+
+
+def main() -> None:
+    # 1. A 20-task application for a dual-core ARM + XC7Z020 target.
+    instance = paper_instance(tasks=20, seed=7)
+    print(f"instance: {instance}")
+    print(f"  fabric: {instance.architecture.max_res.to_dict()}")
+    print(f"  depth={instance.taskgraph.depth()} width={instance.taskgraph.width()}")
+
+    # 2. PA with the Section V-H floorplan feasibility loop.
+    planner = Floorplanner.for_architecture(instance.architecture)
+    result = pa_schedule(instance, PAOptions(), floorplanner=planner)
+    schedule = result.schedule
+    print(f"\nPA finished in {result.total_time * 1e3:.1f} ms "
+          f"(scheduling {result.scheduling_time * 1e3:.1f} ms, "
+          f"floorplanning {result.floorplanning_time * 1e3:.1f} ms)")
+    print(f"  makespan: {schedule.makespan:.1f} us")
+    print(f"  floorplan feasible: {result.feasible} "
+          f"(fabric shrunk {result.shrink_iterations}x)")
+
+    # 3. Independent validation: precedence, region exclusivity,
+    #    reconfiguration windows, controller contention, capacity.
+    check_schedule(instance, schedule).raise_if_invalid()
+    print("  validator: OK")
+
+    # 4. Inspect the solution.
+    print(f"\nregions ({len(schedule.regions)}):")
+    for region_id, region in sorted(schedule.regions.items()):
+        hosted = [t.task_id for t in schedule.region_sequence(region_id)]
+        placement = result.floorplan.placements[region_id]
+        print(f"  {region_id}: {region.resources.to_dict()} "
+              f"@ cols[{placement.col}:{placement.col + placement.width}] "
+              f"rows[{placement.row}:{placement.row + placement.height}] "
+              f"hosts {hosted}")
+    print(f"\nreconfigurations ({len(schedule.reconfigurations)}):")
+    for rc in schedule.reconfigurations:
+        print(f"  [{rc.start:8.1f}, {rc.end:8.1f}) {rc.region_id}: "
+              f"{rc.ingoing_task} -> {rc.outgoing_task}")
+
+    print("\n" + render_gantt(schedule, width=100))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Runtime robustness: what happens to a plan when tasks overrun?
+
+Static schedules are computed from profiled execution times; on silicon
+the numbers wobble.  This study executes PA and IS-1 plans in the
+discrete-event simulator under increasing multiplicative jitter and
+compares the *slippage* (actual vs planned makespan) of the two
+schedulers' plans — a question the paper leaves open and the kind of
+analysis this library enables beyond the original evaluation.
+
+Run:  python examples/runtime_robustness.py
+"""
+
+import statistics
+
+from repro.analysis import render_table
+from repro.baselines import isk_schedule
+from repro.benchgen import paper_instance
+from repro.core import do_schedule
+from repro.sim import jitter_model, simulate
+
+
+def main() -> None:
+    instances = [paper_instance(40, seed=s) for s in (1, 2, 3)]
+    plans = {
+        "PA": [(i, do_schedule(i)) for i in instances],
+        "IS-1": [(i, isk_schedule(i, k=1).schedule) for i in instances],
+    }
+    factors = (0.0, 0.1, 0.2, 0.3)
+    trials = 10
+
+    rows = []
+    for name, pairs in plans.items():
+        row: list[object] = [name]
+        for factor in factors:
+            slippages = []
+            for trial in range(trials):
+                for instance, schedule in pairs:
+                    if factor == 0.0:
+                        result = simulate(instance, schedule)
+                    else:
+                        result = simulate(
+                            instance, schedule,
+                            jitter=jitter_model(factor, seed=trial),
+                        )
+                    slippages.append(result.slippage * 100)
+            row.append(statistics.mean(slippages))
+        rows.append(row)
+
+    print(
+        render_table(
+            ["plan"] + [f"±{int(f * 100)}% jitter" for f in factors],
+            rows,
+            title="mean makespan slippage over the plan [%] "
+            f"({len(instances)} instances x {trials} trials)",
+        )
+    )
+
+    print(
+        "\nAt 0% jitter both plans replay exactly (slippage 0) — the\n"
+        "executor cross-validates the schedulers' timing. Under jitter,\n"
+        "plans with more reconfiguration chaining and tighter resource\n"
+        "sharing slip more; compare the two schedulers' sensitivity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the sandboxed environment lacks the `wheel`
+package (and network access), so `pip install -e .` cannot do a PEP 660
+editable build; `python setup.py develop` (or `pip install -e .` on a
+machine with wheel) both work."""
+from setuptools import setup
+
+setup()

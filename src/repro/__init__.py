@@ -1,0 +1,70 @@
+"""repro — reproduction of "Resource-Efficient Scheduling for
+Partially-Reconfigurable FPGA-based Systems" (Purgato et al., 2016).
+
+Public API tour
+---------------
+* :mod:`repro.model` — problem description (Section III): architecture,
+  tasks with HW/SW implementations, task graphs, schedules.
+* :mod:`repro.core` — the paper's contribution: the deterministic PA
+  scheduler (Section V) and the randomized PA-R variant (Section VI).
+* :mod:`repro.floorplan` — the floorplanning substrate of reference [3]
+  used by the Section V-H feasibility check.
+* :mod:`repro.baselines` — the IS-k iterative scheduler of reference [6]
+  and a list-based greedy scheduler.
+* :mod:`repro.benchgen` — synthetic task-graph suites (Section VII-A).
+* :mod:`repro.validate` — independent schedule invariant checker.
+* :mod:`repro.sim` — discrete-event executor: exact plan replay and
+  runtime-jitter robustness studies.
+* :mod:`repro.analysis` — experiment harness regenerating the paper's
+  Table I and Figures 2-6, plus statistics, CSV export and Gantt
+  rendering.
+
+Quickstart::
+
+    from repro import benchgen, core, floorplan, validate
+
+    instance = benchgen.paper_instance(tasks=30, seed=7)
+    planner = floorplan.Floorplanner.for_architecture(instance.architecture)
+    result = core.pa_schedule(instance, floorplanner=planner)
+    validate.check_schedule(instance, result.schedule).raise_if_invalid()
+    print(result.schedule.makespan)
+"""
+
+from . import analysis, baselines, benchgen, core, floorplan, model, sim, validate
+from .core import PAOptions, PAResult, pa_r_schedule, pa_schedule
+from .model import (
+    Architecture,
+    Implementation,
+    Instance,
+    ResourceVector,
+    Schedule,
+    Task,
+    TaskGraph,
+    zedboard,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "benchgen",
+    "core",
+    "floorplan",
+    "sim",
+    "model",
+    "validate",
+    "PAOptions",
+    "PAResult",
+    "pa_r_schedule",
+    "pa_schedule",
+    "Architecture",
+    "Implementation",
+    "Instance",
+    "ResourceVector",
+    "Schedule",
+    "Task",
+    "TaskGraph",
+    "zedboard",
+    "__version__",
+]

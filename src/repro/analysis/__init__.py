@@ -1,0 +1,42 @@
+"""Experiment harness, metrics, tables and Gantt rendering (Section VII)."""
+
+from .export import (
+    convergence_csv,
+    export_all,
+    improvement_csv,
+    quality_records_csv,
+)
+from .gantt import render_gantt
+from .metrics import Improvement, group_improvement, improvement_percent
+from .report import render_html_report, write_html_report
+from .stats import ScheduleStats, schedule_stats
+from .runner import (
+    ConvergenceResults,
+    ExperimentConfig,
+    QualityResults,
+    run_convergence,
+    run_quality,
+)
+from .tables import render_series, render_table
+
+__all__ = [
+    "render_gantt",
+    "convergence_csv",
+    "export_all",
+    "improvement_csv",
+    "quality_records_csv",
+    "Improvement",
+    "group_improvement",
+    "improvement_percent",
+    "ConvergenceResults",
+    "ExperimentConfig",
+    "QualityResults",
+    "run_convergence",
+    "run_quality",
+    "ScheduleStats",
+    "schedule_stats",
+    "render_html_report",
+    "write_html_report",
+    "render_series",
+    "render_table",
+]

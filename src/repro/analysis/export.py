@@ -1,0 +1,122 @@
+"""CSV / JSON export of experiment results.
+
+The harness is plot-free (offline sandbox), so every figure's data can
+be exported to CSV for external plotting.  Column layouts are stable
+and documented per function.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from .runner import ConvergenceResults, QualityResults
+
+__all__ = [
+    "quality_records_csv",
+    "improvement_csv",
+    "convergence_csv",
+    "export_all",
+]
+
+
+def quality_records_csv(results: QualityResults, path: str | Path | None = None) -> str:
+    """One row per instance: every makespan and runtime measured.
+
+    Columns: group, name, pa_makespan, pa_r_makespan, is1_makespan,
+    is5_makespan, pa_scheduling_time, pa_floorplanning_time, is1_time,
+    is5_time, pa_r_budget, pa_r_iterations, pa_feasible.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "group", "name", "pa_makespan", "pa_r_makespan",
+            "is1_makespan", "is5_makespan", "pa_scheduling_time",
+            "pa_floorplanning_time", "is1_time", "is5_time",
+            "pa_r_budget", "pa_r_iterations", "pa_feasible",
+        ]
+    )
+    for r in sorted(results.records, key=lambda r: (r.group, r.name)):
+        writer.writerow(
+            [
+                r.group, r.name, r.pa_makespan, r.pa_r_makespan,
+                r.is1_makespan, r.is5_makespan, r.pa_scheduling_time,
+                r.pa_floorplanning_time, r.is1_time, r.is5_time,
+                r.pa_r_budget, r.pa_r_iterations, int(r.pa_feasible),
+            ]
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def improvement_csv(
+    results: QualityResults,
+    baseline_attr: str,
+    candidate_attr: str,
+    path: str | Path | None = None,
+) -> str:
+    """Per-group improvement stats (the bars of Figures 3-5).
+
+    Columns: group, mean_improvement_pct, std_pct, min_pct, max_pct, n.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["group", "mean_improvement_pct", "std_pct", "min_pct", "max_pct", "n"])
+    for group, imp in results.improvement(baseline_attr, candidate_attr):
+        writer.writerow(
+            [group, imp.mean, imp.std, imp.minimum, imp.maximum, imp.count]
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def convergence_csv(
+    results: ConvergenceResults, path: str | Path | None = None
+) -> str:
+    """Figure 6 series. Columns: tasks, time_s, best_makespan."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["tasks", "time_s", "best_makespan"])
+    for size in sorted(results.series):
+        for time_s, makespan in results.series[size]:
+            writer.writerow([size, time_s, makespan])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def export_all(
+    results: QualityResults,
+    directory: str | Path,
+    convergence: ConvergenceResults | None = None,
+) -> list[Path]:
+    """Write every figure's CSV into ``directory``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    path = directory / "quality_records.csv"
+    quality_records_csv(results, path)
+    written.append(path)
+
+    for name, base, cand in (
+        ("fig3_pa_vs_is1.csv", "is1_makespan", "pa_makespan"),
+        ("fig4_pa_vs_is5.csv", "is5_makespan", "pa_makespan"),
+        ("fig5_par_vs_is5.csv", "is5_makespan", "pa_r_makespan"),
+    ):
+        path = directory / name
+        improvement_csv(results, base, cand, path)
+        written.append(path)
+
+    if convergence is not None:
+        path = directory / "fig6_convergence.csv"
+        convergence_csv(convergence, path)
+        written.append(path)
+    return written

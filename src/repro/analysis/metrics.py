@@ -1,0 +1,58 @@
+"""Improvement metrics used in the paper's Figures 3-5.
+
+The paper reports, per group of task graphs, the *average improvement*
+of an algorithm's schedule execution time against a baseline:
+``(baseline - ours) / baseline`` in percent, with its standard
+deviation across the group's instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Improvement", "improvement_percent", "group_improvement"]
+
+
+def improvement_percent(baseline: float, candidate: float) -> float:
+    """``(baseline - candidate) / baseline * 100`` — positive is better."""
+    if baseline <= 0:
+        raise ValueError("baseline makespan must be > 0")
+    return (baseline - candidate) / baseline * 100.0
+
+
+@dataclass(frozen=True)
+class Improvement:
+    """Group-level improvement statistics (one bar of Figures 3-5)."""
+
+    mean: float
+    std: float
+    count: int
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:+.1f}% (±{self.std:.1f}, n={self.count})"
+
+
+def group_improvement(
+    baselines: Sequence[float], candidates: Sequence[float]
+) -> Improvement:
+    """Per-instance improvements aggregated over a group."""
+    if len(baselines) != len(candidates):
+        raise ValueError("baseline/candidate lengths differ")
+    if not baselines:
+        raise ValueError("empty group")
+    values = [
+        improvement_percent(b, c) for b, c in zip(baselines, candidates)
+    ]
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return Improvement(
+        mean=mean,
+        std=math.sqrt(variance),
+        count=len(values),
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,296 @@
+"""Self-contained HTML report of the reproduction results.
+
+No plotting library is available offline, so the report embeds
+hand-built SVG charts: grouped bars for the per-group makespans
+(Figure 2), bar charts with error whiskers for the improvement figures
+(3-5) and staircase lines for the convergence series (Figure 6) —
+everything in one HTML file with zero external assets.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from .runner import ConvergenceResults, QualityResults
+
+__all__ = ["write_html_report", "render_html_report"]
+
+_PALETTE = ("#4C78A8", "#F58518", "#54A24B", "#E45756")
+
+
+def _svg_grouped_bars(
+    title: str,
+    groups: list[int],
+    series: dict[str, list[float]],
+    y_label: str,
+    width: int = 640,
+    height: int = 300,
+) -> str:
+    """Grouped vertical bars, one cluster per task-graph size."""
+    margin_l, margin_b, margin_t = 60, 40, 30
+    plot_w = width - margin_l - 20
+    plot_h = height - margin_b - margin_t
+    y_max = max((max(v) for v in series.values() if v), default=1.0) * 1.1 or 1.0
+    n_groups = max(len(groups), 1)
+    n_series = max(len(series), 1)
+    cluster_w = plot_w / n_groups
+    bar_w = cluster_w * 0.8 / n_series
+
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg" font-family="sans-serif">',
+        f'<text x="{width / 2}" y="18" text-anchor="middle" '
+        f'font-size="14">{html.escape(title)}</text>',
+    ]
+    # Axes.
+    x0, y0 = margin_l, margin_t + plot_h
+    parts.append(
+        f'<line x1="{x0}" y1="{margin_t}" x2="{x0}" y2="{y0}" stroke="#333"/>'
+    )
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x0 + plot_w}" y2="{y0}" stroke="#333"/>'
+    )
+    for tick in range(5):
+        value = y_max * tick / 4
+        y = y0 - plot_h * tick / 4
+        parts.append(
+            f'<text x="{x0 - 6}" y="{y + 4}" text-anchor="end" '
+            f'font-size="10">{value:,.0f}</text>'
+        )
+        parts.append(
+            f'<line x1="{x0}" y1="{y}" x2="{x0 + plot_w}" y2="{y}" '
+            f'stroke="#ddd" stroke-dasharray="3,3"/>'
+        )
+    parts.append(
+        f'<text x="12" y="{margin_t + plot_h / 2}" font-size="11" '
+        f'transform="rotate(-90 12 {margin_t + plot_h / 2})" '
+        f'text-anchor="middle">{html.escape(y_label)}</text>'
+    )
+    for g_index, group in enumerate(groups):
+        cx = x0 + cluster_w * (g_index + 0.5)
+        parts.append(
+            f'<text x="{cx}" y="{y0 + 16}" text-anchor="middle" '
+            f'font-size="11">{group}</text>'
+        )
+        for s_index, (name, values) in enumerate(series.items()):
+            value = values[g_index]
+            bar_h = max(0.0, value / y_max * plot_h)
+            bx = cx - (n_series * bar_w) / 2 + s_index * bar_w
+            parts.append(
+                f'<rect x="{bx:.1f}" y="{y0 - bar_h:.1f}" width="{bar_w:.1f}" '
+                f'height="{bar_h:.1f}" fill="{_PALETTE[s_index % len(_PALETTE)]}">'
+                f"<title>{html.escape(name)} @ {group}: {value:,.1f}</title></rect>"
+            )
+    # Legend.
+    lx = x0 + 8
+    for s_index, name in enumerate(series):
+        parts.append(
+            f'<rect x="{lx}" y="{margin_t + 2 + 14 * s_index}" width="10" '
+            f'height="10" fill="{_PALETTE[s_index % len(_PALETTE)]}"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 14}" y="{margin_t + 11 + 14 * s_index}" '
+            f'font-size="10">{html.escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_improvement_bars(
+    title: str,
+    groups: list[int],
+    means: list[float],
+    stds: list[float],
+    width: int = 640,
+    height: int = 300,
+) -> str:
+    """Signed bars with ±std whiskers (the Figures 3-5 style)."""
+    margin_l, margin_b, margin_t = 60, 40, 30
+    plot_w = width - margin_l - 20
+    plot_h = height - margin_b - margin_t
+    extent = max(
+        (abs(m) + s for m, s in zip(means, stds)), default=1.0
+    ) * 1.15 or 1.0
+    zero_y = margin_t + plot_h / 2
+
+    def y_of(value: float) -> float:
+        return zero_y - value / extent * (plot_h / 2)
+
+    n = max(len(groups), 1)
+    cluster_w = plot_w / n
+    bar_w = cluster_w * 0.55
+
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg" font-family="sans-serif">',
+        f'<text x="{width / 2}" y="18" text-anchor="middle" '
+        f'font-size="14">{html.escape(title)}</text>',
+        f'<line x1="{margin_l}" y1="{zero_y}" x2="{margin_l + plot_w}" '
+        f'y2="{zero_y}" stroke="#333"/>',
+    ]
+    for tick in (-extent, -extent / 2, extent / 2, extent):
+        y = y_of(tick)
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4}" text-anchor="end" '
+            f'font-size="10">{tick:+.0f}%</text>'
+        )
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y}" x2="{margin_l + plot_w}" y2="{y}" '
+            f'stroke="#eee"/>'
+        )
+    for index, group in enumerate(groups):
+        cx = margin_l + cluster_w * (index + 0.5)
+        mean, std = means[index], stds[index]
+        top, bottom = y_of(max(mean, 0.0)), y_of(min(mean, 0.0))
+        color = _PALETTE[0] if mean >= 0 else _PALETTE[3]
+        parts.append(
+            f'<rect x="{cx - bar_w / 2:.1f}" y="{top:.1f}" width="{bar_w:.1f}" '
+            f'height="{max(bottom - top, 0.5):.1f}" fill="{color}">'
+            f"<title>{group} tasks: {mean:+.1f}% (±{std:.1f})</title></rect>"
+        )
+        # Whiskers.
+        parts.append(
+            f'<line x1="{cx}" y1="{y_of(mean + std)}" x2="{cx}" '
+            f'y2="{y_of(mean - std)}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{cx}" y="{margin_t + plot_h + 16}" text-anchor="middle" '
+            f'font-size="11">{group}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_staircase(
+    title: str,
+    series: dict[int, list[tuple[float, float]]],
+    width: int = 640,
+    height: int = 300,
+) -> str:
+    """Best-so-far staircases (Figure 6 style), one line per size."""
+    margin_l, margin_b, margin_t = 70, 40, 30
+    plot_w = width - margin_l - 20
+    plot_h = height - margin_b - margin_t
+    t_max = max(
+        (t for points in series.values() for t, _ in points), default=1.0
+    ) or 1.0
+    values = [m for points in series.values() for _, m in points]
+    if not values:
+        values = [1.0]
+    v_min, v_max = min(values) * 0.95, max(values) * 1.05
+
+    def x_of(t: float) -> float:
+        return margin_l + t / t_max * plot_w
+
+    def y_of(v: float) -> float:
+        span = (v_max - v_min) or 1.0
+        return margin_t + (v_max - v) / span * plot_h
+
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg" font-family="sans-serif">',
+        f'<text x="{width / 2}" y="18" text-anchor="middle" '
+        f'font-size="14">{html.escape(title)}</text>',
+        f'<line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" '
+        f'y2="{margin_t + plot_h}" stroke="#333"/>',
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" '
+        f'x2="{margin_l + plot_w}" y2="{margin_t + plot_h}" stroke="#333"/>',
+    ]
+    for index, (size, points) in enumerate(sorted(series.items())):
+        if not points:
+            continue
+        color = _PALETTE[index % len(_PALETTE)]
+        path = [f"M {x_of(points[0][0]):.1f} {y_of(points[0][1]):.1f}"]
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            path.append(f"H {x_of(t1):.1f}")
+            path.append(f"V {y_of(v1):.1f}")
+        path.append(f"H {x_of(t_max):.1f}")
+        parts.append(
+            f'<path d="{" ".join(path)}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l + plot_w - 4}" '
+            f'y="{y_of(points[-1][1]) - 4}" text-anchor="end" font-size="10" '
+            f'fill="{color}">{size} tasks</text>'
+        )
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2}" y="{height - 6}" '
+        f'text-anchor="middle" font-size="11">time [s]</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_html_report(
+    quality: QualityResults,
+    convergence: ConvergenceResults | None = None,
+    title: str = "Resource-Efficient PDR Scheduling — reproduction report",
+) -> str:
+    """The full report as an HTML string."""
+    groups = quality.groups()
+    makespans = {
+        label: [dict(quality.group_means(attr))[g] for g in groups]
+        for label, attr in (
+            ("PA", "pa_makespan"),
+            ("PA-R", "pa_r_makespan"),
+            ("IS-1", "is1_makespan"),
+            ("IS-5", "is5_makespan"),
+        )
+    }
+    sections = [
+        _svg_grouped_bars(
+            "Figure 2 — average schedule execution time", groups, makespans,
+            "makespan [us]",
+        )
+    ]
+    for figure, base, cand, note in (
+        ("Figure 3 — PA vs IS-1", "is1_makespan", "pa_makespan", "paper: +14.8% avg"),
+        ("Figure 4 — PA vs IS-5", "is5_makespan", "pa_makespan", ""),
+        ("Figure 5 — PA-R vs IS-5", "is5_makespan", "pa_r_makespan",
+         "paper: +22.3% for >20 tasks"),
+    ):
+        improvements = quality.improvement(base, cand)
+        sections.append(
+            _svg_improvement_bars(
+                f"{figure} ({note})" if note else figure,
+                [g for g, _ in improvements],
+                [imp.mean for _, imp in improvements],
+                [imp.std for _, imp in improvements],
+            )
+        )
+    if convergence is not None and convergence.series:
+        sections.append(
+            _svg_staircase(
+                "Figure 6 — PA-R best-so-far makespan", convergence.series
+            )
+        )
+    body = "\n".join(f"<div class='chart'>{svg}</div>" for svg in sections)
+    table = html.escape(quality.render_table1())
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>
+ body {{ font-family: sans-serif; max-width: 720px; margin: 2em auto; }}
+ .chart {{ margin: 1.5em 0; }}
+ pre {{ background: #f6f6f6; padding: 1em; overflow-x: auto; }}
+</style></head><body>
+<h1>{html.escape(title)}</h1>
+<p>Profile: <code>{html.escape(quality.config_profile)}</code>,
+{len(quality.records)} instances.</p>
+<h2>Table I — runtimes</h2>
+<pre>{table}</pre>
+{body}
+</body></html>
+"""
+
+
+def write_html_report(
+    quality: QualityResults,
+    path: str | Path,
+    convergence: ConvergenceResults | None = None,
+) -> Path:
+    """Write the report; returns the path."""
+    path = Path(path)
+    path.write_text(render_html_report(quality, convergence))
+    return path

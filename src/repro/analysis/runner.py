@@ -1,0 +1,384 @@
+"""Experiment harness regenerating the paper's Table I and Figures 2-6.
+
+Scaling: the paper's full evaluation (10 groups x 10 graphs, IS-5 run
+to completion) takes hours; the harness therefore supports three
+profiles selected by the ``REPRO_SUITE`` environment variable or the
+``profile`` argument:
+
+* ``tiny``  — smoke profile used by CI and pytest-benchmark,
+* ``small`` — the committed default: groups 10..60, 3 graphs each,
+* ``full``  — the paper's 10x10 sweep (long).
+
+Each ``run_*`` function returns plain dataclasses with a ``render()``
+producing the text table, so the CLI, the benchmarks and EXPERIMENTS.md
+all share one code path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time as _time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..baselines import ISKOptions, ISKScheduler
+from ..benchgen import paper_suite
+from ..core import PAOptions, pa_r_schedule, pa_schedule
+from ..floorplan import Floorplanner
+from ..model import Instance
+from ..validate import check_schedule
+from .metrics import Improvement, group_improvement
+from .tables import render_table
+
+__all__ = [
+    "ExperimentConfig",
+    "QualityResults",
+    "ConvergenceResults",
+    "run_quality",
+    "run_convergence",
+]
+
+_PROFILES = {
+    "tiny": dict(group_sizes=(10, 20, 30), per_group=2, is5_node_limit=2_000),
+    "small": dict(
+        group_sizes=(10, 20, 30, 40, 50, 60), per_group=4, is5_node_limit=8_000
+    ),
+    "full": dict(
+        group_sizes=tuple(range(10, 101, 10)), per_group=10, is5_node_limit=20_000
+    ),
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs for one harness run."""
+
+    profile: str = ""
+    seed: int = 2016
+    group_sizes: tuple[int, ...] = ()
+    per_group: int = 0
+    is1_node_limit: int = 50_000
+    is5_node_limit: int = 0
+    pa_r_min_budget: float = 0.25  # seconds; floor for tiny IS-5 runtimes
+    pa_r_max_budget: float = 60.0
+    validate: bool = True
+    use_floorplanner: bool = True
+
+    def __post_init__(self) -> None:
+        profile = self.profile or os.environ.get("REPRO_SUITE", "small")
+        if profile not in _PROFILES:
+            raise ValueError(
+                f"unknown profile {profile!r}; choose from {sorted(_PROFILES)}"
+            )
+        self.profile = profile
+        defaults = _PROFILES[profile]
+        if not self.group_sizes:
+            self.group_sizes = defaults["group_sizes"]
+        if not self.per_group:
+            self.per_group = defaults["per_group"]
+        if not self.is5_node_limit:
+            self.is5_node_limit = defaults["is5_node_limit"]
+
+    def suite(self) -> dict[int, list[Instance]]:
+        return paper_suite(
+            seed=self.seed,
+            group_sizes=self.group_sizes,
+            per_group=self.per_group,
+        )
+
+
+@dataclass
+class InstanceRecord:
+    """All per-instance measurements the figures need."""
+
+    group: int
+    name: str
+    pa_makespan: float
+    pa_scheduling_time: float
+    pa_floorplanning_time: float
+    pa_feasible: bool
+    is1_makespan: float
+    is1_time: float
+    is5_makespan: float
+    is5_time: float
+    pa_r_makespan: float
+    pa_r_budget: float
+    pa_r_iterations: int
+
+
+@dataclass
+class QualityResults:
+    """Everything behind Table I and Figures 2-5."""
+
+    config_profile: str
+    records: list[InstanceRecord] = field(default_factory=list)
+
+    # -- aggregation ------------------------------------------------------
+
+    def groups(self) -> list[int]:
+        return sorted({r.group for r in self.records})
+
+    def _group(self, size: int) -> list[InstanceRecord]:
+        return [r for r in self.records if r.group == size]
+
+    def group_means(self, attr: str) -> list[tuple[int, float]]:
+        out = []
+        for size in self.groups():
+            rows = self._group(size)
+            out.append((size, sum(getattr(r, attr) for r in rows) / len(rows)))
+        return out
+
+    def improvement(
+        self, baseline_attr: str, candidate_attr: str
+    ) -> list[tuple[int, Improvement]]:
+        out = []
+        for size in self.groups():
+            rows = self._group(size)
+            out.append(
+                (
+                    size,
+                    group_improvement(
+                        [getattr(r, baseline_attr) for r in rows],
+                        [getattr(r, candidate_attr) for r in rows],
+                    ),
+                )
+            )
+        return out
+
+    # -- renders (one per paper exhibit) -------------------------------------
+
+    def render_table1(self) -> str:
+        rows = []
+        for size in self.groups():
+            group = self._group(size)
+            n = len(group)
+            rows.append(
+                (
+                    size,
+                    sum(r.pa_scheduling_time for r in group) / n,
+                    sum(r.pa_floorplanning_time for r in group) / n,
+                    sum(r.pa_scheduling_time + r.pa_floorplanning_time for r in group)
+                    / n,
+                    sum(r.is1_time for r in group) / n,
+                    sum(r.is5_time for r in group) / n,
+                )
+            )
+        return render_table(
+            ["# Tasks", "PA sched [s]", "PA floorp [s]", "PA total [s]",
+             "IS-1 [s]", "PA-R / IS-5 [s]"],
+            rows,
+            title="Table I — algorithm execution times (averaged per group)",
+        )
+
+    def render_fig2(self) -> str:
+        rows = []
+        for size in self.groups():
+            group = self._group(size)
+            n = len(group)
+            rows.append(
+                (
+                    size,
+                    sum(r.pa_makespan for r in group) / n,
+                    sum(r.pa_r_makespan for r in group) / n,
+                    sum(r.is1_makespan for r in group) / n,
+                    sum(r.is5_makespan for r in group) / n,
+                )
+            )
+        return render_table(
+            ["# Tasks", "PA", "PA-R", "IS-1", "IS-5"],
+            rows,
+            title="Figure 2 — average schedule execution time (us) per group",
+        )
+
+    def _render_improvement(
+        self, title: str, baseline_attr: str, candidate_attr: str
+    ) -> str:
+        rows = []
+        total_mean = []
+        for size, imp in self.improvement(baseline_attr, candidate_attr):
+            rows.append((size, imp.mean, imp.std, imp.minimum, imp.maximum))
+            total_mean.append(imp.mean)
+        overall = sum(total_mean) / len(total_mean)
+        table = render_table(
+            ["# Tasks", "mean impr [%]", "std [%]", "min [%]", "max [%]"],
+            rows,
+            title=title,
+        )
+        return f"{table}\noverall average improvement: {overall:+.1f}%"
+
+    def render_fig3(self) -> str:
+        return self._render_improvement(
+            "Figure 3 — improvement of PA vs IS-1 (paper: +14.8% avg)",
+            "is1_makespan",
+            "pa_makespan",
+        )
+
+    def render_fig4(self) -> str:
+        return self._render_improvement(
+            "Figure 4 — improvement of PA vs IS-5",
+            "is5_makespan",
+            "pa_makespan",
+        )
+
+    def render_fig5(self) -> str:
+        return self._render_improvement(
+            "Figure 5 — improvement of PA-R vs IS-5 (paper: +22.3% for >20 tasks)",
+            "is5_makespan",
+            "pa_r_makespan",
+        )
+
+    def render_all(self) -> str:
+        return "\n\n".join(
+            [
+                self.render_table1(),
+                self.render_fig2(),
+                self.render_fig3(),
+                self.render_fig4(),
+                self.render_fig5(),
+            ]
+        )
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_json(self, path: str | Path) -> None:
+        payload = {
+            "profile": self.config_profile,
+            "records": [asdict(r) for r in self.records],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "QualityResults":
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            config_profile=payload["profile"],
+            records=[InstanceRecord(**r) for r in payload["records"]],
+        )
+
+
+def run_quality(
+    config: ExperimentConfig | None = None,
+    progress=None,
+) -> QualityResults:
+    """Run PA, PA-R, IS-1 and IS-5 over the suite (Table I, Figs 2-5).
+
+    PA-R's time budget equals IS-5's measured runtime on the same
+    instance (clamped to ``[pa_r_min_budget, pa_r_max_budget]``), the
+    paper's fairness rule.
+    """
+    config = config or ExperimentConfig()
+    results = QualityResults(config_profile=config.profile)
+    is1 = ISKScheduler(ISKOptions(k=1, node_limit=config.is1_node_limit))
+    is5 = ISKScheduler(ISKOptions(k=5, node_limit=config.is5_node_limit))
+
+    for size, instances in sorted(config.suite().items()):
+        for instance in instances:
+            floorplanner = (
+                Floorplanner.for_architecture(instance.architecture)
+                if config.use_floorplanner
+                else None
+            )
+            pa = pa_schedule(instance, PAOptions(), floorplanner=floorplanner)
+            r1 = is1.schedule(instance)
+            r5 = is5.schedule(instance)
+            budget = min(
+                max(r5.elapsed, config.pa_r_min_budget), config.pa_r_max_budget
+            )
+            par = pa_r_schedule(
+                instance,
+                time_budget=budget,
+                seed=config.seed,
+                floorplanner=floorplanner,
+            )
+            if config.validate:
+                check_schedule(instance, pa.schedule).raise_if_invalid()
+                check_schedule(
+                    instance, r1.schedule, allow_module_reuse=True
+                ).raise_if_invalid()
+                check_schedule(
+                    instance, r5.schedule, allow_module_reuse=True
+                ).raise_if_invalid()
+                check_schedule(instance, par.schedule).raise_if_invalid()
+            record = InstanceRecord(
+                group=size,
+                name=instance.name,
+                pa_makespan=pa.makespan,
+                pa_scheduling_time=pa.scheduling_time,
+                pa_floorplanning_time=pa.floorplanning_time,
+                pa_feasible=pa.feasible,
+                is1_makespan=r1.makespan,
+                is1_time=r1.elapsed,
+                is5_makespan=r5.makespan,
+                is5_time=r5.elapsed,
+                pa_r_makespan=par.makespan,
+                pa_r_budget=budget,
+                pa_r_iterations=par.iterations,
+            )
+            results.records.append(record)
+            if progress:
+                progress(
+                    f"[{size:3d}] {instance.name}: PA {pa.makespan:.0f} | "
+                    f"IS-1 {r1.makespan:.0f} | IS-5 {r5.makespan:.0f} | "
+                    f"PA-R {par.makespan:.0f} ({par.iterations} iters)"
+                )
+    return results
+
+
+@dataclass
+class ConvergenceResults:
+    """Figure 6 — PA-R best-so-far makespan over running time."""
+
+    series: dict[int, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        blocks = []
+        for size in sorted(self.series):
+            rows = [(f"{t:.2f}", m) for t, m in self.series[size]]
+            blocks.append(
+                render_table(
+                    ["time [s]", "best makespan"],
+                    rows,
+                    title=f"Figure 6 — PA-R convergence, {size} tasks",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def to_json(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps({str(k): v for k, v in self.series.items()}, indent=2)
+        )
+
+
+def run_convergence(
+    sizes: tuple[int, ...] = (20, 40, 60, 80, 100),
+    budget: float = 10.0,
+    seed: int = 2016,
+    use_floorplanner: bool = True,
+    progress=None,
+) -> ConvergenceResults:
+    """Run PA-R with an extended budget on one graph per size (Fig. 6).
+
+    The paper uses 1200 s; the committed default keeps the run short —
+    pass ``budget=1200`` to replicate the original protocol.
+    """
+    from ..benchgen import paper_instance
+
+    results = ConvergenceResults()
+    for size in sizes:
+        instance = paper_instance(size, seed=seed * 1000 + size * 10)
+        floorplanner = (
+            Floorplanner.for_architecture(instance.architecture)
+            if use_floorplanner
+            else None
+        )
+        par = pa_r_schedule(
+            instance, time_budget=budget, seed=seed, floorplanner=floorplanner
+        )
+        results.series[size] = par.history
+        if progress:
+            progress(
+                f"[{size:3d}] best {par.makespan:.0f} after "
+                f"{par.iterations} iterations"
+            )
+    return results

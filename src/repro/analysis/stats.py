@@ -1,0 +1,103 @@
+"""Schedule statistics: utilization, overheads, parallelism.
+
+Aggregate descriptors of a schedule beyond its makespan — the numbers a
+designer looks at to understand *why* one schedule beats another:
+how busy the fabric and the cores are, how much time the single
+reconfiguration controller is occupied (the paper's central
+bottleneck), and how much hardware parallelism was actually realised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model import Architecture, Instance, Schedule
+
+__all__ = ["ScheduleStats", "schedule_stats"]
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Aggregate descriptors of one schedule."""
+
+    makespan: float
+    hw_tasks: int
+    sw_tasks: int
+    regions: int
+    reconfigurations: int
+    reconfiguration_time: float
+    controller_busy_fraction: float  # ICAP busy / makespan
+    fabric_allocation: dict[str, float]  # sum region res / maxRes, per type
+    region_busy_fraction: float  # mean over regions of busy / makespan
+    processor_busy_fraction: float  # mean over used cores
+    mean_hw_parallelism: float  # time-averaged # of concurrently running HW tasks
+
+    def render(self) -> str:
+        alloc = ", ".join(
+            f"{k}={v * 100:.0f}%" for k, v in sorted(self.fabric_allocation.items())
+        )
+        return "\n".join(
+            [
+                f"makespan:            {self.makespan:.1f}",
+                f"tasks:               {self.hw_tasks} HW / {self.sw_tasks} SW",
+                f"regions:             {self.regions}",
+                f"reconfigurations:    {self.reconfigurations} "
+                f"({self.reconfiguration_time:.1f} total, "
+                f"controller busy {self.controller_busy_fraction * 100:.1f}%)",
+                f"fabric allocation:   {alloc}",
+                f"region busy:         {self.region_busy_fraction * 100:.1f}%",
+                f"cores busy:          {self.processor_busy_fraction * 100:.1f}%",
+                f"mean HW parallelism: {self.mean_hw_parallelism:.2f}",
+            ]
+        )
+
+
+def schedule_stats(instance: Instance, schedule: Schedule) -> ScheduleStats:
+    """Compute :class:`ScheduleStats` for a schedule."""
+    arch: Architecture = instance.architecture
+    makespan = schedule.makespan or 1.0
+
+    hw = schedule.hw_tasks()
+    sw = schedule.sw_tasks()
+
+    total_alloc = schedule.total_region_resources()
+    fabric_allocation = {
+        rtype: total_alloc[rtype] / arch.max_res[rtype]
+        for rtype in arch.max_res
+    }
+
+    reconf_time = schedule.total_reconfiguration_time()
+
+    region_fractions = []
+    for region_id in schedule.regions:
+        busy = sum(t.duration for t in schedule.region_sequence(region_id))
+        region_fractions.append(busy / makespan)
+    region_busy = (
+        sum(region_fractions) / len(region_fractions) if region_fractions else 0.0
+    )
+
+    used_cores = {
+        t.placement.index for t in sw  # type: ignore[union-attr]
+    }
+    proc_fractions = []
+    for core in used_cores:
+        busy = sum(t.duration for t in schedule.processor_sequence(core))
+        proc_fractions.append(busy / makespan)
+    proc_busy = (
+        sum(proc_fractions) / len(proc_fractions) if proc_fractions else 0.0
+    )
+
+    hw_area = sum(t.duration for t in hw)
+    return ScheduleStats(
+        makespan=schedule.makespan,
+        hw_tasks=len(hw),
+        sw_tasks=len(sw),
+        regions=len(schedule.regions),
+        reconfigurations=len(schedule.reconfigurations),
+        reconfiguration_time=reconf_time,
+        controller_busy_fraction=reconf_time / makespan,
+        fabric_allocation=fabric_allocation,
+        region_busy_fraction=region_busy,
+        processor_busy_fraction=proc_busy,
+        mean_hw_parallelism=hw_area / makespan,
+    )

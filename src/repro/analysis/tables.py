@@ -1,0 +1,58 @@
+"""Plain-text table rendering for the experiment reports.
+
+The harness is terminal-first (no plotting dependency is available
+offline), so every paper figure is emitted as an aligned text table
+plus machine-readable rows (see :mod:`repro.analysis.runner`), which a
+notebook can plot later.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(parts: Sequence[str]) -> str:
+        return " | ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_series(
+    name: str, points: Sequence[tuple[float, float]], x_label: str, y_label: str
+) -> str:
+    """A (x, y) series as a two-column table (figure data export)."""
+    return render_table(
+        [x_label, y_label],
+        [(x, y) for x, y in points],
+        title=name,
+    )
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.3f}" if abs(value) < 10 else f"{value:.2f}"
+    return str(value)

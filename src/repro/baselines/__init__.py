@@ -1,0 +1,19 @@
+"""Baseline schedulers: IS-k (reference [6]) and a greedy list scheduler."""
+
+from .exhaustive import exhaustive_schedule
+from .isk import ISKOptions, ISKResult, ISKScheduler, isk_schedule
+from .list_scheduler import ListResult, list_schedule, upward_ranks
+from .partial import PartialSchedule, RegionState
+
+__all__ = [
+    "exhaustive_schedule",
+    "ISKOptions",
+    "ISKResult",
+    "ISKScheduler",
+    "isk_schedule",
+    "ListResult",
+    "list_schedule",
+    "upward_ranks",
+    "PartialSchedule",
+    "RegionState",
+]

@@ -1,0 +1,38 @@
+"""Synthetic benchmark generation (Section VII-A)."""
+
+from .implementations import ModuleLibrary, ModuleLibraryConfig
+from .kernels import KERNEL_CATALOG, KernelSpec, kernel_task, realistic_instance
+from .store import load_suite, save_suite
+from .suite import (
+    figure1_instance,
+    paper_instance,
+    paper_suite,
+    small_suite,
+    zedboard_architecture,
+)
+from .taskgraphs import (
+    GENERATORS,
+    layered_edges,
+    random_order_edges,
+    series_parallel_edges,
+)
+
+__all__ = [
+    "ModuleLibrary",
+    "ModuleLibraryConfig",
+    "figure1_instance",
+    "paper_instance",
+    "paper_suite",
+    "small_suite",
+    "zedboard_architecture",
+    "KERNEL_CATALOG",
+    "KernelSpec",
+    "kernel_task",
+    "realistic_instance",
+    "load_suite",
+    "save_suite",
+    "GENERATORS",
+    "layered_edges",
+    "random_order_edges",
+    "series_parallel_edges",
+]

@@ -1,0 +1,114 @@
+"""Implementation-library generator.
+
+Section VII-A: every task has one software implementation and three
+hardware implementations with heterogeneous CLB/DSP/BRAM requirements,
+and "different tasks can share a common implementation so that module
+reuse can be exploited by IS-k".
+
+The generator therefore maintains a *module library*: each entry is a
+bundle of (1 SW + 3 HW) implementations.  A task either draws a fresh
+entry or, with ``share_probability``, reuses an existing one — shared
+entries carry identical implementation names, which is exactly the
+module-reuse trigger in both IS-k and the PA extension.
+
+Hardware variants model HLS loop-unrolling trade-offs: the fastest
+variant uses the most fabric, the slowest the least, with mild noise so
+instances are not perfectly Pareto-regular (dominated variants occur in
+real HLS sweeps too).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..model import Implementation, ResourceVector
+
+__all__ = ["ModuleLibraryConfig", "ModuleLibrary"]
+
+
+@dataclass(frozen=True)
+class ModuleLibraryConfig:
+    """Knobs for the module generator (defaults target the XC7Z020).
+
+    Times are microseconds.  ``hw_time_range`` is the fastest HW
+    variant's execution-time range; slower variants multiply it by
+    ``slowdowns``; their footprints shrink by ``area_ratios``.
+    """
+
+    hw_time_range: tuple[float, float] = (50.0, 500.0)
+    sw_slowdown_range: tuple[float, float] = (1.5, 2.5)
+    slowdowns: tuple[float, ...] = (1.0, 1.45, 2.0)
+    area_ratios: tuple[float, ...] = (4.0, 2.0, 1.0)
+    base_clb_range: tuple[int, int] = (40, 220)
+    dsp_probability: float = 0.3
+    dsp_range: tuple[int, int] = (2, 5)
+    bram_probability: float = 0.25
+    bram_range: tuple[int, int] = (2, 4)
+    noise: float = 0.15
+    share_probability: float = 0.25
+
+    def __post_init__(self) -> None:
+        if len(self.slowdowns) != len(self.area_ratios):
+            raise ValueError("slowdowns and area_ratios must have equal length")
+        if not (0.0 <= self.share_probability <= 1.0):
+            raise ValueError("share_probability must be in [0, 1]")
+
+
+@dataclass
+class ModuleLibrary:
+    """Stateful module generator; one per generated instance."""
+
+    rng: random.Random
+    config: ModuleLibraryConfig = field(default_factory=ModuleLibraryConfig)
+    entries: list[tuple[Implementation, ...]] = field(default_factory=list)
+
+    def implementations_for_task(self) -> tuple[Implementation, ...]:
+        """A (possibly shared) implementation bundle for a new task."""
+        cfg = self.config
+        if self.entries and self.rng.random() < cfg.share_probability:
+            return self.rng.choice(self.entries)
+        entry = self._fresh_entry()
+        self.entries.append(entry)
+        return entry
+
+    # -- internals -----------------------------------------------------------
+
+    def _noisy(self, value: float) -> float:
+        span = self.config.noise
+        return value * self.rng.uniform(1.0 - span, 1.0 + span)
+
+    def _fresh_entry(self) -> tuple[Implementation, ...]:
+        cfg = self.config
+        rng = self.rng
+        index = len(self.entries)
+        base_time = rng.uniform(*cfg.hw_time_range)
+        base_clb = rng.randint(*cfg.base_clb_range)
+        base_dsp = (
+            rng.randint(*cfg.dsp_range) if rng.random() < cfg.dsp_probability else 0
+        )
+        base_bram = (
+            rng.randint(*cfg.bram_range)
+            if rng.random() < cfg.bram_probability
+            else 0
+        )
+
+        impls: list[Implementation] = []
+        for variant, (slow, area) in enumerate(zip(cfg.slowdowns, cfg.area_ratios)):
+            resources = {"CLB": max(1, round(self._noisy(base_clb * area)))}
+            if base_dsp:
+                resources["DSP"] = max(1, round(self._noisy(base_dsp * area)))
+            if base_bram:
+                resources["BRAM"] = max(1, round(self._noisy(base_bram * area)))
+            impls.append(
+                Implementation.hw(
+                    name=f"mod{index}_hw{variant}",
+                    time=round(self._noisy(base_time * slow), 3),
+                    resources=ResourceVector(resources),
+                )
+            )
+        sw_time = base_time * rng.uniform(*cfg.sw_slowdown_range)
+        impls.append(
+            Implementation.sw(name=f"mod{index}_sw", time=round(sw_time, 3))
+        )
+        return tuple(impls)

@@ -1,0 +1,136 @@
+"""A catalog of named accelerator kernels with literature-plausible
+footprints on the XC7Z020.
+
+The synthetic suite (:mod:`repro.benchgen.suite`) matches the paper's
+statistical description; this module complements it with *recognisable*
+workloads — FFTs, AES, Sobel, matrix multiply … — whose resource
+numbers are in the ballpark of published HLS results for 7-series
+parts.  ``realistic_instance`` samples a DAG over catalog kernels,
+giving demos and docs instances a reader can relate to.
+
+Numbers are order-of-magnitude calibrations, not vendor data: base time
+is the fully-unrolled variant for a typical block size; CLB counts are
+slices; the generator derives the slower/smaller variants with the same
+unroll trade-off used everywhere else.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..model import Architecture, Implementation, Instance, Task, TaskGraph
+from .suite import zedboard_architecture
+from .taskgraphs import GENERATORS
+
+__all__ = ["KernelSpec", "KERNEL_CATALOG", "kernel_task", "realistic_instance"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One catalog entry: the fully-unrolled implementation's profile."""
+
+    name: str
+    base_time_us: float
+    clb: int
+    dsp: int = 0
+    bram: int = 0
+    sw_factor: float = 4.0  # ARM fallback slowdown vs the fast variant
+
+    def __post_init__(self) -> None:
+        if self.base_time_us <= 0 or self.clb <= 0:
+            raise ValueError(f"kernel {self.name!r}: bad profile")
+
+
+KERNEL_CATALOG: dict[str, KernelSpec] = {
+    spec.name: spec
+    for spec in [
+        KernelSpec("fir64", 90.0, clb=320, dsp=16, sw_factor=5.0),
+        KernelSpec("fft1024", 210.0, clb=780, dsp=24, bram=6, sw_factor=6.0),
+        KernelSpec("aes128", 140.0, clb=540, bram=4, sw_factor=8.0),
+        KernelSpec("sha256", 160.0, clb=460, sw_factor=6.0),
+        KernelSpec("sobel", 120.0, clb=380, dsp=8, bram=3, sw_factor=4.0),
+        KernelSpec("gaussian", 150.0, clb=420, dsp=10, bram=4, sw_factor=4.5),
+        KernelSpec("harris", 260.0, clb=700, dsp=18, bram=6, sw_factor=5.0),
+        KernelSpec("matmul32", 180.0, clb=520, dsp=30, bram=4, sw_factor=7.0),
+        KernelSpec("conv3x3", 200.0, clb=600, dsp=20, bram=5, sw_factor=5.5),
+        KernelSpec("huffman", 110.0, clb=300, bram=6, sw_factor=2.5),
+        KernelSpec("crc32", 40.0, clb=120, sw_factor=3.0),
+        KernelSpec("histogram", 70.0, clb=180, bram=5, sw_factor=2.0),
+        KernelSpec("kmeans", 320.0, clb=650, dsp=22, bram=5, sw_factor=5.0),
+        KernelSpec("viterbi", 240.0, clb=560, bram=8, sw_factor=6.0),
+        KernelSpec("interp2d", 130.0, clb=340, dsp=12, sw_factor=4.0),
+        KernelSpec("threshold", 30.0, clb=90, sw_factor=1.8),
+    ]
+}
+
+# Unroll derating shared with the synthetic generator's spirit.
+_VARIANTS = (
+    ("u8", 1.0, 1.0),  # suffix, time multiplier, area multiplier
+    ("u4", 1.5, 0.55),
+    ("u1", 2.2, 0.28),
+)
+
+
+def kernel_task(task_id: str, kernel: str | KernelSpec) -> Task:
+    """A task with the catalog kernel's three HW variants + SW fallback.
+
+    Variant names are ``<kernel>_<suffix>`` — tasks built from the same
+    kernel share implementation names, so module reuse applies.
+    """
+    spec = KERNEL_CATALOG[kernel] if isinstance(kernel, str) else kernel
+    impls: list[Implementation] = []
+    for suffix, t_mul, a_mul in _VARIANTS:
+        resources = {"CLB": max(1, round(spec.clb * a_mul))}
+        if spec.dsp:
+            resources["DSP"] = max(1, round(spec.dsp * a_mul))
+        if spec.bram:
+            resources["BRAM"] = max(1, round(spec.bram * a_mul))
+        impls.append(
+            Implementation.hw(
+                name=f"{spec.name}_{suffix}",
+                time=round(spec.base_time_us * t_mul, 3),
+                resources=resources,
+            )
+        )
+    impls.append(
+        Implementation.sw(
+            name=f"{spec.name}_arm",
+            time=round(spec.base_time_us * spec.sw_factor, 3),
+        )
+    )
+    return Task.of(task_id, tuple(impls))
+
+
+def realistic_instance(
+    tasks: int,
+    seed: int,
+    graph_kind: str = "layered",
+    architecture: Architecture | None = None,
+    **generator_kwargs,
+) -> Instance:
+    """A DAG of catalog kernels on the ZedBoard model.
+
+    Kernels are sampled with replacement, so module reuse opportunities
+    occur naturally once ``tasks`` exceeds the catalog size.
+    """
+    if graph_kind not in GENERATORS:
+        raise ValueError(f"unknown graph kind {graph_kind!r}")
+    rng = random.Random(f"kernels-{seed}-{tasks}-{graph_kind}")
+    arch = architecture or zedboard_architecture()
+    edges = GENERATORS[graph_kind](rng, tasks, **generator_kwargs)
+    names = list(KERNEL_CATALOG)
+
+    graph = TaskGraph(name=f"kernels-{graph_kind}-{tasks}-s{seed}")
+    for node in range(tasks):
+        graph.add_task(kernel_task(f"t{node}", rng.choice(names)))
+    for src, dst in edges:
+        graph.add_dependency(f"t{src}", f"t{dst}")
+
+    instance = Instance(
+        architecture=arch,
+        taskgraph=graph,
+        metadata={"seed": seed, "catalog": True, "graph_kind": graph_kind},
+    )
+    instance.validate()
+    return instance

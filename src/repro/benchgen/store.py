@@ -1,0 +1,57 @@
+"""Suite persistence: save/load instance corpora as JSON directories.
+
+A stored suite is a directory of ``<name>.json`` instance files plus a
+``manifest.json`` describing how it was generated, so experiments can
+be re-run bit-identically on another machine (or years later) without
+trusting the generator's stability.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..model import Instance
+
+__all__ = ["save_suite", "load_suite"]
+
+MANIFEST = "manifest.json"
+
+
+def save_suite(
+    suite: dict[int, list[Instance]],
+    directory: str | Path,
+    metadata: dict | None = None,
+) -> Path:
+    """Write every instance plus a manifest; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {"groups": {}, "metadata": dict(metadata or {})}
+    for size, instances in sorted(suite.items()):
+        names = []
+        for index, instance in enumerate(instances):
+            name = f"g{size:03d}_{index:02d}.json"
+            (directory / name).write_text(
+                json.dumps(instance.to_dict(), sort_keys=True)
+            )
+            names.append(name)
+        manifest["groups"][str(size)] = names
+    (directory / MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_suite(directory: str | Path) -> dict[int, list[Instance]]:
+    """Load a suite saved by :func:`save_suite`."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {MANIFEST} in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    suite: dict[int, list[Instance]] = {}
+    for size_str, names in manifest["groups"].items():
+        instances = []
+        for name in names:
+            data = json.loads((directory / name).read_text())
+            instances.append(Instance.from_dict(data))
+        suite[int(size_str)] = instances
+    return suite

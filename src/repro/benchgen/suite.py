@@ -1,0 +1,167 @@
+"""Benchmark suite builders (Section VII-A).
+
+``paper_suite`` regenerates the evaluation corpus: 10 groups x 10
+pseudo-random taskgraphs, group sizes 10..100 tasks, one SW + three HW
+implementations per task with heterogeneous CLB/DSP/BRAM demands,
+shared implementations for module reuse, targeting the ZedBoard
+(dual-core ARM + XC7Z020 fabric).
+
+``figure1_instance`` rebuilds the Section IV motivating example, used
+by the quickstart example and the integration test asserting the
+resource-efficiency argument.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..floorplan.device import zynq_7z020
+from ..model import (
+    Architecture,
+    Implementation,
+    Instance,
+    ResourceVector,
+    Task,
+    TaskGraph,
+)
+from .implementations import ModuleLibrary, ModuleLibraryConfig
+from .taskgraphs import GENERATORS
+
+__all__ = [
+    "zedboard_architecture",
+    "paper_instance",
+    "paper_suite",
+    "small_suite",
+    "figure1_instance",
+]
+
+_SUITE_SEED = 2016  # publication year; any fixed value works
+
+
+def zedboard_architecture(processors: int = 2, derate: float = 0.8) -> Architecture:
+    """The evaluation target, derived from the fabric model so the
+    floorplanner and the scheduler agree on every number.
+
+    ``derate`` shrinks the scheduler-visible ``maxRes`` below the raw
+    fabric totals: reconfigurable regions are whole-column/clock-region
+    rectangles, so a region set summing to 100% of the fabric is never
+    placeable (tiling overhead + static system).  20% headroom makes
+    the Section V-H floorplan check pass for typical schedules, as in
+    the paper's evaluation, while the floorplanner still verifies
+    against the *full* device.
+    """
+    arch = zynq_7z020().architecture(processors=processors)
+    if derate >= 1.0:
+        return arch
+    return arch.with_max_res(arch.max_res.scaled(derate))
+
+
+def paper_instance(
+    tasks: int,
+    seed: int,
+    graph_kind: str = "layered",
+    architecture: Architecture | None = None,
+    config: ModuleLibraryConfig | None = None,
+    **generator_kwargs,
+) -> Instance:
+    """One synthetic instance in the style of the paper's suite."""
+    if graph_kind not in GENERATORS:
+        raise ValueError(
+            f"unknown graph kind {graph_kind!r}; choose from {sorted(GENERATORS)}"
+        )
+    rng = random.Random(f"{seed}-{tasks}-{graph_kind}")
+    arch = architecture or zedboard_architecture()
+
+    edges = GENERATORS[graph_kind](rng, tasks, **generator_kwargs)
+    library = ModuleLibrary(rng=rng, config=config or ModuleLibraryConfig())
+
+    graph = TaskGraph(name=f"{graph_kind}-{tasks}-s{seed}")
+    for node in range(tasks):
+        graph.add_task(Task.of(f"t{node}", library.implementations_for_task()))
+    for src, dst in edges:
+        graph.add_dependency(f"t{src}", f"t{dst}")
+
+    instance = Instance(
+        architecture=arch,
+        taskgraph=graph,
+        metadata={
+            "seed": seed,
+            "tasks": tasks,
+            "graph_kind": graph_kind,
+            "modules": len(library.entries),
+        },
+    )
+    instance.validate()
+    return instance
+
+
+def paper_suite(
+    seed: int = _SUITE_SEED,
+    group_sizes: tuple[int, ...] = tuple(range(10, 101, 10)),
+    per_group: int = 10,
+    graph_kind: str = "layered",
+) -> dict[int, list[Instance]]:
+    """The full Section VII-A corpus: ``{group_size: [instances]}``."""
+    return {
+        size: [
+            paper_instance(size, seed=seed * 1000 + size * 10 + i, graph_kind=graph_kind)
+            for i in range(per_group)
+        ]
+        for size in group_sizes
+    }
+
+
+def small_suite(
+    seed: int = _SUITE_SEED,
+    group_sizes: tuple[int, ...] = (10, 20, 30, 40, 50, 60),
+    per_group: int = 3,
+) -> dict[int, list[Instance]]:
+    """Reduced corpus for CI and the default benchmark configuration."""
+    return paper_suite(seed=seed, group_sizes=group_sizes, per_group=per_group)
+
+
+def figure1_instance() -> Instance:
+    """The Section IV motivating example.
+
+    Three tasks on one resource type; ``t1`` has a fast/large and a
+    slow/small implementation.  Selecting the fast/large one serializes
+    the fabric (left schedule of Figure 1); the resource-efficient
+    choice wins overall (right schedule).
+    """
+    arch = Architecture(
+        name="figure1",
+        processors=1,
+        max_res=ResourceVector({"CLB": 100}),
+        bit_per_resource={"CLB": 100.0},
+        rec_freq=1000.0,  # 0.1 us per CLB
+    )
+    t1 = Task.of(
+        "t1",
+        [
+            Implementation.hw("t1_1", time=40.0, resources={"CLB": 80}),
+            Implementation.hw("t1_2", time=60.0, resources={"CLB": 40}),
+            Implementation.sw("t1_sw", time=500.0),
+        ],
+    )
+    t2 = Task.of(
+        "t2",
+        [
+            Implementation.hw("t2_hw", time=50.0, resources={"CLB": 40}),
+            Implementation.sw("t2_sw", time=500.0),
+        ],
+    )
+    t3 = Task.of(
+        "t3",
+        [
+            Implementation.hw("t3_hw", time=30.0, resources={"CLB": 40}),
+            Implementation.sw("t3_sw", time=500.0),
+        ],
+    )
+    graph = TaskGraph(name="figure1")
+    for task in (t1, t2, t3):
+        graph.add_task(task)
+    graph.add_dependency("t1", "t3")
+    graph.add_dependency("t2", "t3")
+    instance = Instance(architecture=arch, taskgraph=graph)
+    instance.validate()
+    return instance

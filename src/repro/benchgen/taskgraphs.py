@@ -1,0 +1,152 @@
+"""Pseudo-random DAG topology generators.
+
+Section VII-A evaluates on "100 pseudo-random taskgraphs" without
+pinning the generator; we provide the three standard families used by
+the scheduling literature this paper sits in:
+
+* **layered** (the default) — tasks are binned into levels, arcs go
+  from earlier to later levels; controls both depth and parallelism and
+  is the usual model of media/streaming pipelines;
+* **series-parallel** — recursive series/parallel composition, the
+  shape of fork-join accelerator workloads;
+* **random-order** — Erdős–Rényi over a fixed topological order (the
+  classic "random DAG" null model).
+
+Generators return edge lists over integer node ids ``0..n-1``; the
+suite builder attaches tasks/implementations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = ["layered_edges", "series_parallel_edges", "random_order_edges", "GENERATORS"]
+
+
+def layered_edges(
+    rng: random.Random,
+    n: int,
+    depth_factor: float = 1.0,
+    edge_prob: float = 0.3,
+    max_in_degree: int = 4,
+) -> list[tuple[int, int]]:
+    """Layer-structured DAG: every non-entry node has >= 1 predecessor
+    in the previous layer, plus extra arcs from earlier layers."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    n_layers = max(1, min(n, round(math.sqrt(n) * depth_factor)))
+    # Random layer sizes summing to n, each >= 1.
+    cuts = sorted(rng.sample(range(1, n), n_layers - 1)) if n_layers > 1 else []
+    bounds = [0, *cuts, n]
+    layers = [list(range(bounds[i], bounds[i + 1])) for i in range(n_layers)]
+
+    edges: set[tuple[int, int]] = set()
+    for layer_index in range(1, n_layers):
+        previous = layers[layer_index - 1]
+        earlier = [v for layer in layers[:layer_index] for v in layer]
+        for node in layers[layer_index]:
+            preds = {rng.choice(previous)}
+            for candidate in earlier:
+                if len(preds) >= max_in_degree:
+                    break
+                if candidate not in preds and rng.random() < edge_prob / n_layers:
+                    preds.add(candidate)
+            edges.update((p, node) for p in preds)
+    return sorted(edges)
+
+
+def series_parallel_edges(
+    rng: random.Random,
+    n: int,
+    parallel_bias: float = 0.55,
+) -> list[tuple[int, int]]:
+    """Series-parallel DAG over ``n`` nodes.
+
+    Built by recursively splitting a node budget into series chains or
+    parallel branches between a source and a sink of the sub-block.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    edges: set[tuple[int, int]] = set()
+    counter = [0]
+
+    def fresh() -> int:
+        node = counter[0]
+        counter[0] += 1
+        return node
+
+    def build(budget: int) -> tuple[int, int]:
+        """Returns (entry, exit) of a sub-block consuming ``budget`` nodes."""
+        if budget <= 1:
+            node = fresh()
+            return node, node
+        if budget == 2 or rng.random() >= parallel_bias:
+            # Series: split budget into two sequential blocks.
+            left = rng.randint(1, budget - 1)
+            a_in, a_out = build(left)
+            b_in, b_out = build(budget - left)
+            edges.add((a_out, b_in))
+            return a_in, b_out
+        # Parallel: entry + branches + exit.
+        inner = budget - 2
+        if inner < 2:
+            return build_series_fallback(budget)
+        entry, exit_ = fresh(), None
+        branches = rng.randint(2, min(4, inner))
+        sizes = _split(rng, inner, branches)
+        outs = []
+        for size in sizes:
+            b_in, b_out = build(size)
+            edges.add((entry, b_in))
+            outs.append(b_out)
+        exit_ = fresh()
+        for out in outs:
+            edges.add((out, exit_))
+        return entry, exit_
+
+    def build_series_fallback(budget: int) -> tuple[int, int]:
+        first = fresh()
+        prev = first
+        for _ in range(budget - 1):
+            node = fresh()
+            edges.add((prev, node))
+            prev = node
+        return first, prev
+
+    build(n)
+    assert counter[0] == n, "series-parallel construction consumed a wrong budget"
+    return sorted(edges)
+
+
+def _split(rng: random.Random, total: int, parts: int) -> list[int]:
+    """Split ``total`` into ``parts`` positive integers."""
+    cuts = sorted(rng.sample(range(1, total), parts - 1)) if parts > 1 else []
+    bounds = [0, *cuts, total]
+    return [bounds[i + 1] - bounds[i] for i in range(parts)]
+
+
+def random_order_edges(
+    rng: random.Random,
+    n: int,
+    edge_prob: float = 0.12,
+    max_in_degree: int = 5,
+) -> list[tuple[int, int]]:
+    """Erdős–Rényi DAG over the natural order, connectivity enforced."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    edges: set[tuple[int, int]] = set()
+    for dst in range(1, n):
+        preds = [src for src in range(dst) if rng.random() < edge_prob]
+        if not preds:
+            preds = [rng.randrange(dst)]
+        rng.shuffle(preds)
+        edges.update((p, dst) for p in preds[:max_in_degree])
+    return sorted(edges)
+
+
+GENERATORS = {
+    "layered": layered_edges,
+    "series-parallel": series_parallel_edges,
+    "random-order": random_order_edges,
+}

@@ -1,0 +1,310 @@
+"""Command-line interface.
+
+::
+
+    repro generate --tasks 30 --seed 7 -o instance.json
+    repro schedule instance.json --algorithm pa-r --budget 5
+    repro validate instance.json schedule.json
+    repro gantt instance.json schedule.json
+    repro floorplan instance.json schedule.json
+    repro experiments table1 fig3 --profile tiny
+    repro experiments all --profile small -o results/
+
+(Installed as ``repro``; also runnable as ``python -m repro``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .analysis import render_gantt
+from .analysis.runner import ExperimentConfig, run_convergence, run_quality
+from .baselines import isk_schedule, list_schedule
+from .benchgen import paper_instance
+from .core import PAOptions, SchedulerTrace, do_schedule, pa_r_schedule, pa_schedule
+from .floorplan import Floorplanner, render_floorplan
+from .model import Instance, Schedule
+from .validate import check_schedule
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    instance = paper_instance(
+        tasks=args.tasks, seed=args.seed, graph_kind=args.graph
+    )
+    text = instance.to_json(args.output)
+    if args.output:
+        print(f"wrote {args.output} ({len(instance.taskgraph)} tasks)")
+    else:
+        print(text)
+    return 0
+
+
+def _load_instance(path: str) -> Instance:
+    return Instance.from_dict(json.loads(Path(path).read_text()))
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance)
+    floorplanner = (
+        None
+        if args.no_floorplan
+        else Floorplanner.for_architecture(instance.architecture)
+    )
+    if args.algorithm == "pa":
+        result = pa_schedule(instance, PAOptions(), floorplanner=floorplanner)
+        schedule = result.schedule
+        info = (
+            f"PA: makespan={schedule.makespan:.1f} feasible={result.feasible} "
+            f"sched={result.scheduling_time:.3f}s floorplan={result.floorplanning_time:.3f}s"
+        )
+    elif args.algorithm == "pa-r":
+        result = pa_r_schedule(
+            instance,
+            time_budget=args.budget,
+            seed=args.seed,
+            floorplanner=floorplanner,
+        )
+        schedule = result.schedule
+        info = (
+            f"PA-R: makespan={schedule.makespan:.1f} "
+            f"iterations={result.iterations} budget={args.budget}s"
+        )
+    elif args.algorithm.startswith("is-"):
+        k = int(args.algorithm[3:])
+        result = isk_schedule(instance, k=k)
+        schedule = result.schedule
+        info = f"IS-{k}: makespan={schedule.makespan:.1f} nodes={result.nodes}"
+    elif args.algorithm == "exhaustive":
+        from .baselines import exhaustive_schedule
+
+        result = exhaustive_schedule(instance, node_limit=500_000)
+        schedule = result.schedule
+        info = (
+            f"EXHAUSTIVE: makespan={schedule.makespan:.1f} nodes={result.nodes}"
+        )
+    elif args.algorithm == "list":
+        result = list_schedule(instance)
+        schedule = result.schedule
+        info = f"LIST: makespan={schedule.makespan:.1f}"
+    else:
+        print(f"unknown algorithm {args.algorithm!r}", file=sys.stderr)
+        return 2
+    print(info)
+    if args.output:
+        Path(args.output).write_text(json.dumps(schedule.to_dict(), indent=2))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance)
+    schedule = Schedule.from_dict(json.loads(Path(args.schedule).read_text()))
+    report = check_schedule(
+        instance, schedule, allow_module_reuse=args.allow_module_reuse
+    )
+    if report.ok:
+        print(f"OK: {len(schedule.tasks)} tasks, makespan {schedule.makespan:.1f}")
+        return 0
+    for violation in report.violations:
+        print(violation)
+    return 1
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    schedule = Schedule.from_dict(json.loads(Path(args.schedule).read_text()))
+    print(render_gantt(schedule, width=args.width))
+    return 0
+
+
+def _cmd_floorplan(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance)
+    schedule = Schedule.from_dict(json.loads(Path(args.schedule).read_text()))
+    planner = Floorplanner.for_architecture(instance.architecture, engine=args.engine)
+    result = planner.check(list(schedule.regions.values()))
+    print(
+        f"feasible={result.feasible} engine={result.engine} "
+        f"proven={result.proven} elapsed={result.elapsed:.3f}s"
+    )
+    if result.placements:
+        for region_id, placement in sorted(result.placements.items()):
+            print(
+                f"  {region_id}: cols [{placement.col}, {placement.col + placement.width}) "
+                f"rows [{placement.row}, {placement.row + placement.height})"
+            )
+        print()
+        print(render_floorplan(planner.device, result.placements))
+    return 0 if result.feasible else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .analysis import schedule_stats
+
+    instance = _load_instance(args.instance)
+    schedule = Schedule.from_dict(json.loads(Path(args.schedule).read_text()))
+    print(schedule_stats(instance, schedule).render())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance)
+    trace = SchedulerTrace()
+    schedule = do_schedule(instance, PAOptions(), trace=trace)
+    print(f"PA makespan {schedule.makespan:.1f}; "
+          f"decision profile: {trace.summary()}")
+    if args.task:
+        print()
+        print(trace.explain(args.task))
+    elif args.phase:
+        print()
+        print(trace.render(args.phase))
+    else:
+        print()
+        print(trace.render())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(profile=args.profile)
+    wanted = set(args.exhibits) or {"all"}
+    if "all" in wanted:
+        wanted = {"table1", "fig2", "fig3", "fig4", "fig5", "fig6"}
+    outdir = Path(args.output) if args.output else None
+    if outdir:
+        outdir.mkdir(parents=True, exist_ok=True)
+
+    quality_needed = wanted & {"table1", "fig2", "fig3", "fig4", "fig5"}
+    results = None
+    convergence = None
+    if quality_needed:
+        results = run_quality(config, progress=print if args.verbose else None)
+        renders = {
+            "table1": results.render_table1,
+            "fig2": results.render_fig2,
+            "fig3": results.render_fig3,
+            "fig4": results.render_fig4,
+            "fig5": results.render_fig5,
+        }
+        for name in sorted(quality_needed):
+            print()
+            print(renders[name]())
+        if outdir:
+            results.to_json(outdir / "quality.json")
+    if "fig6" in wanted:
+        convergence = run_convergence(
+            budget=args.budget, progress=print if args.verbose else None
+        )
+        print()
+        print(convergence.render())
+        if outdir:
+            convergence.to_json(outdir / "convergence.json")
+    if outdir and results is not None:
+        from .analysis import export_all, write_html_report
+
+        export_all(results, outdir / "csv", convergence)
+        report = write_html_report(results, outdir / "report.html", convergence)
+        print(f"\nwrote {report} (+ CSV exports under {outdir / 'csv'})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Resource-Efficient Scheduling for "
+            "Partially-Reconfigurable FPGA-based Systems'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic instance")
+    p.add_argument("--tasks", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--graph",
+        default="layered",
+        choices=["layered", "series-parallel", "random-order"],
+    )
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("schedule", help="schedule an instance")
+    p.add_argument("instance")
+    p.add_argument(
+        "--algorithm",
+        default="pa",
+        help="pa | pa-r | is-1 | is-5 | is-<k> | list | exhaustive",
+    )
+    p.add_argument("--budget", type=float, default=5.0, help="PA-R seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-floorplan", action="store_true")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("validate", help="check a schedule's invariants")
+    p.add_argument("instance")
+    p.add_argument("schedule")
+    p.add_argument("--allow-module-reuse", action="store_true")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("gantt", help="render a schedule as ASCII lanes")
+    p.add_argument("instance")
+    p.add_argument("schedule")
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(func=_cmd_gantt)
+
+    p = sub.add_parser("floorplan", help="floorplan a schedule's regions")
+    p.add_argument("instance")
+    p.add_argument("schedule")
+    p.add_argument("--engine", default="backtrack", choices=["backtrack", "milp", "both"])
+    p.set_defaults(func=_cmd_floorplan)
+
+    p = sub.add_parser("stats", help="aggregate statistics of a schedule")
+    p.add_argument("instance")
+    p.add_argument("schedule")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "explain", help="trace the PA scheduler's decisions on an instance"
+    )
+    p.add_argument("instance")
+    p.add_argument("--task", default=None, help="explain one task's journey")
+    p.add_argument("--phase", default=None, help="show one phase's decisions")
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p.add_argument(
+        "exhibits",
+        nargs="*",
+        default=["all"],
+        help="table1 fig2 fig3 fig4 fig5 fig6 | all",
+    )
+    p.add_argument("--profile", default=None, help="tiny | small | full")
+    p.add_argument("--budget", type=float, default=10.0, help="fig6 PA-R seconds")
+    p.add_argument("-o", "--output", default=None, help="results directory")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""The paper's contribution: PA and PA-R schedulers (Sections IV-VI)."""
+
+from .balancing import balance_software_tasks, total_reconfiguration_time
+from .cost import (
+    efficiency_index,
+    implementation_cost,
+    max_serial_time,
+    select_initial_implementation,
+)
+from .mapping import map_software_tasks, processor_delay
+from .options import PAOptions, TaskOrdering
+from .randomized import pa_r_schedule
+from .reconf import ReconfPlan, ReconfTask, schedule_reconfigurations
+from .regions import define_regions, order_noncritical
+from .scheduler import FloorplanChecker, PAResult, do_schedule, pa_schedule
+from .selection import select_implementations
+from .state import PAState
+from .timing import CycleError, PrecedenceGraph, TimingResult
+from .trace import SchedulerTrace, TraceEvent
+
+__all__ = [
+    "balance_software_tasks",
+    "total_reconfiguration_time",
+    "efficiency_index",
+    "implementation_cost",
+    "max_serial_time",
+    "select_initial_implementation",
+    "map_software_tasks",
+    "processor_delay",
+    "PAOptions",
+    "TaskOrdering",
+    "pa_r_schedule",
+    "ReconfPlan",
+    "ReconfTask",
+    "schedule_reconfigurations",
+    "define_regions",
+    "order_noncritical",
+    "FloorplanChecker",
+    "PAResult",
+    "do_schedule",
+    "pa_schedule",
+    "select_implementations",
+    "PAState",
+    "CycleError",
+    "PrecedenceGraph",
+    "TimingResult",
+    "SchedulerTrace",
+    "TraceEvent",
+]

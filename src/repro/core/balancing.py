@@ -1,0 +1,108 @@
+"""Step 4 — software task balancing (Section V-D).
+
+Demotions during regions definition can leave hardware idle while the
+schedule waits on slow software tasks.  This post-processing walks the
+software tasks that do have hardware candidates (lowest ``T_MIN``
+first) and promotes them back to hardware when (a) the task starts
+late enough that the reconfigurator is plausibly free
+(``T_MIN_t > totRecTime``, Eq. 6) and (b) some region's hosted windows
+are compatible.
+
+Addition over the paper text (documented in DESIGN.md): the promoted
+implementation must physically fit the chosen region's resources.
+"""
+
+from __future__ import annotations
+
+from .cost import implementation_cost, max_serial_time
+from .state import PAState
+
+__all__ = ["balance_software_tasks", "total_reconfiguration_time"]
+
+
+def total_reconfiguration_time(state: PAState) -> float:
+    """Eq. 6: ``totRecTime = sum_s reconf_s * (|T_s| - 1)``."""
+    total = 0.0
+    for region_id, chain in state.region_chain.items():
+        if len(chain) > 1:
+            total += state.region_reconf_time(region_id) * (len(chain) - 1)
+    return total
+
+
+def balance_software_tasks(state: PAState) -> dict:
+    """Run the balancing pass; returns statistics."""
+    stats = {"promoted": 0, "examined": 0}
+    if not state.options.enable_sw_balancing:
+        return stats
+
+    candidates = [
+        t for t in state.sw_task_ids() if state.taskgraph.task(t).has_hw
+    ]
+    max_t = max_serial_time(state.taskgraph)
+    # Lower T_MIN first, with the windows current at phase start; each
+    # promotion recomputes windows for subsequent checks.
+    for task_id in state.ordered(candidates, "est"):
+        stats["examined"] += 1
+        tot_rec = total_reconfiguration_time(state)
+        if state.timing.est[task_id] <= tot_rec:
+            state.record(
+                "balancing", "gate-blocked", task_id,
+                t_min=state.timing.est[task_id], tot_rec_time=tot_rec,
+            )
+            continue
+        task = state.taskgraph.task(task_id)
+        # HW candidates in Eq. 3 cost order; the paper says "the
+        # hardware implementation with the lowest cost" — we take the
+        # lowest-cost one that actually fits a window-compatible region
+        # (a clarification documented in DESIGN.md: the literal lowest
+        # cost implementation frequently fits no region at all, which
+        # would make this whole phase a no-op under contention).
+        by_cost = sorted(
+            task.hw_implementations,
+            key=lambda i: (
+                implementation_cost(i, state.arch, max_t, state.weights),
+                i.time,
+                i.name,
+            ),
+        )
+        hw_impl = None
+        region_id = None
+        for candidate in by_cost:
+            viable: list[tuple[float, str, int]] = []
+            for rid, capacity in state.regions.items():
+                if not candidate.resources.fits_in(capacity):
+                    continue
+                position = state.region_insert_position(
+                    rid, task_id, require_reconf_gap=False
+                )
+                if position is None:
+                    continue
+                viable.append((state.region_bitstream(rid), rid, position))
+            if viable:
+                # Lowest bitstream wins, consistent with every other
+                # region-reuse decision in the algorithm.
+                viable.sort(key=lambda c: (c[0], c[1]))
+                hw_impl = candidate
+                region_id = viable[0][1]
+                break
+        if hw_impl is None or region_id is None:
+            state.record("balancing", "no-region", task_id)
+            continue
+
+        previous = state.impl[task_id]
+        state.set_implementation(task_id, hw_impl)
+        # The execution time changed, so re-derive the slot under the
+        # new (shorter) window; roll back if it vanished.
+        position = state.region_insert_position(
+            region_id, task_id, require_reconf_gap=False
+        )
+        if position is None:
+            state.set_implementation(task_id, previous)
+            continue
+        state.assign_region(task_id, region_id, position)
+        stats["promoted"] += 1
+        state.record(
+            "balancing", "promoted", task_id,
+            implementation=hw_impl.name, region=region_id,
+        )
+    return stats

@@ -1,0 +1,58 @@
+"""Steps 5 & 6 — start/end computation and software task mapping.
+
+Step 5 (Section V-E) fixes ``T_START_t = T_MIN_t``; in this codebase
+starts are always the earliest-start pass over the augmented graph, so
+the step amounts to snapshotting.  Step 6 (Section V-F) binds every
+software task to the processor core generating the minimum delay
+``λ_p`` and serializes the core's tasks; delay propagation is the next
+forward pass.
+
+Note on Eq. 8: the paper prints ``λ_p = min{0, max(T_END − T_MIN)}``,
+which is never positive; the accompanying text ("the processor in which
+the minimum delay is generated") implies the clamp is from below —
+``λ_p = max(0, max_{t2∈T_p} T_END_{t2} − T_MIN_t)`` — which is what we
+implement (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from .state import PAState
+from .timing import EPS
+
+__all__ = ["map_software_tasks", "processor_delay"]
+
+
+def processor_delay(state: PAState, processor: int, task_id: str) -> float:
+    """Eq. 8 (corrected): delay incurred by putting ``task_id`` on core ``p``."""
+    chain = state.proc_chain[processor]
+    if not chain:
+        return 0.0
+    timing = state.timing
+    # Serialization arcs make end times non-decreasing along the chain,
+    # so the last element realises max_{t2 in T_p} T_END_{t2}.
+    last = chain[-1]
+    last_end = timing.est[last] + state.exe[last]
+    return max(0.0, last_end - timing.est[task_id])
+
+
+def map_software_tasks(state: PAState) -> dict:
+    """Bind SW tasks to cores in chronological (``T_MIN``) order."""
+    stats = {"mapped": 0, "delayed": 0}
+    order = state.ordered(state.sw_task_ids(), "est")
+    for task_id in order:
+        best_proc = 0
+        best_delay = float("inf")
+        for processor in range(state.arch.processors):
+            delay = processor_delay(state, processor, task_id)
+            if delay < best_delay - EPS:
+                best_delay = delay
+                best_proc = processor
+        state.assign_processor(task_id, best_proc)
+        stats["mapped"] += 1
+        if best_delay > EPS:
+            stats["delayed"] += 1
+        state.record(
+            "mapping", "mapped", task_id,
+            processor=best_proc, delay=best_delay,
+        )
+    return stats

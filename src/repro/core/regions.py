@@ -1,0 +1,163 @@
+"""Step 3 — regions definition (Section V-C).
+
+Walks the hardware tasks — critical ones first, each bucket ordered by
+the Eq. 5 efficiency index (or a relaxed ordering for PA-R / ablations)
+— and either reuses an existing region, carves a new one out of the
+remaining fabric, or demotes the task to software.
+
+Critical tasks prefer *reusing* a region (lowest-bitstream fit whose
+hosted windows, including the reconfiguration needed to host the task,
+are compatible) and only then claim fresh fabric; non-critical tasks do
+the opposite, maximising FPGA utilization.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .cost import efficiency_index, implementation_cost, max_serial_time
+from .options import TaskOrdering
+from .state import PAState
+
+__all__ = ["define_regions", "order_noncritical"]
+
+
+def define_regions(state: PAState, rng: random.Random | None = None) -> dict:
+    """Run the regions-definition phase; returns per-phase statistics."""
+    timing = state.timing
+    critical = timing.critical_set(state.options.critical_tolerance)
+
+    hw_tasks = state.hw_task_ids()
+    critical_tasks = [t for t in hw_tasks if t in critical]
+    noncritical_tasks = [t for t in hw_tasks if t not in critical]
+
+    def efficiency(task_id: str) -> float:
+        return efficiency_index(state.impl[task_id], state.arch, state.weights)
+
+    # Higher efficiency index first; ids break ties deterministically.
+    critical_order = sorted(critical_tasks, key=lambda t: (-efficiency(t), t))
+    noncritical_order = order_noncritical(state, noncritical_tasks, rng)
+
+    stats = {"demoted": 0, "reused": 0, "created": 0}
+    for task_id in critical_order:
+        _assign_critical(state, task_id, stats)
+    for task_id in noncritical_order:
+        _assign_noncritical(state, task_id, stats)
+    return stats
+
+
+def order_noncritical(
+    state: PAState,
+    task_ids: list[str],
+    rng: random.Random | None = None,
+) -> list[str]:
+    """Processing order of non-critical HW tasks (the PA-R lever)."""
+    ordering = state.options.ordering
+
+    def efficiency(task_id: str) -> float:
+        return efficiency_index(state.impl[task_id], state.arch, state.weights)
+
+    if ordering is TaskOrdering.EFFICIENCY:
+        return sorted(task_ids, key=lambda t: (-efficiency(t), t))
+    if ordering is TaskOrdering.REVERSE_EFFICIENCY:
+        return sorted(task_ids, key=lambda t: (efficiency(t), t))
+    if ordering is TaskOrdering.COST:
+        max_t = max_serial_time(state.taskgraph)
+        return sorted(
+            task_ids,
+            key=lambda t: (
+                implementation_cost(state.impl[t], state.arch, max_t, state.weights),
+                t,
+            ),
+        )
+    if ordering is TaskOrdering.GRAPH:
+        position = {t: i for i, t in enumerate(state.graph.nodes)}
+        return sorted(task_ids, key=position.__getitem__)
+    if ordering is TaskOrdering.RANDOM:
+        shuffled = list(task_ids)
+        (rng or random.Random(state.options.seed)).shuffle(shuffled)
+        return shuffled
+    raise ValueError(f"unknown ordering {ordering!r}")
+
+
+def _reusable_regions(
+    state: PAState, task_id: str, require_reconf_gap: bool
+) -> list[tuple[float, str, int]]:
+    """Regions that can host ``task_id``: (bitstream, region, position)."""
+    demand = state.impl[task_id].resources
+    candidates: list[tuple[float, str, int]] = []
+    for region_id, capacity in state.regions.items():
+        if not demand.fits_in(capacity):
+            continue
+        position = state.region_insert_position(
+            region_id, task_id, require_reconf_gap=require_reconf_gap
+        )
+        if position is None:
+            continue
+        candidates.append((state.region_bitstream(region_id), region_id, position))
+    candidates.sort(key=lambda c: (c[0], c[1]))
+    return candidates
+
+
+def _assign_critical(state: PAState, task_id: str, stats: dict) -> None:
+    """Section V-C critical procedure: reuse, then create, then demote."""
+    candidates = _reusable_regions(state, task_id, require_reconf_gap=True)
+    if candidates:
+        _, region_id, position = candidates[0]
+        state.assign_region(task_id, region_id, position)
+        stats["reused"] += 1
+        state.record(
+            "regions", "reused", task_id,
+            region=region_id, position=position, critical=True,
+        )
+        return
+    demand = state.impl[task_id].resources
+    if state.can_host_new_region(demand):
+        region_id = state.new_region(demand)
+        state.assign_region(task_id, region_id, 0)
+        stats["created"] += 1
+        state.record(
+            "regions", "created", task_id,
+            region=region_id, resources=state.regions[region_id].to_dict(),
+            critical=True,
+        )
+        return
+    impl = state.switch_to_fastest_sw(task_id)
+    stats["demoted"] += 1
+    state.record(
+        "regions", "demoted", task_id,
+        implementation=impl.name, critical=True,
+        available=state.available_resources().to_dict(),
+    )
+
+
+def _assign_noncritical(state: PAState, task_id: str, stats: dict) -> None:
+    """Section V-C non-critical procedure: create, then reuse, then demote."""
+    demand = state.impl[task_id].resources
+    if state.can_host_new_region(demand):
+        region_id = state.new_region(demand)
+        state.assign_region(task_id, region_id, 0)
+        stats["created"] += 1
+        state.record(
+            "regions", "created", task_id,
+            region=region_id, resources=state.regions[region_id].to_dict(),
+            critical=False,
+        )
+        return
+    candidates = _reusable_regions(state, task_id, require_reconf_gap=False)
+    if candidates:
+        _, region_id, position = candidates[0]
+        state.assign_region(task_id, region_id, position)
+        stats["reused"] += 1
+        state.record(
+            "regions", "reused", task_id,
+            region=region_id, position=position, critical=False,
+        )
+        return
+    impl = state.switch_to_fastest_sw(task_id)
+    stats["demoted"] += 1
+    state.record(
+        "regions", "demoted", task_id,
+        implementation=impl.name, critical=False,
+        available=state.available_resources().to_dict(),
+    )

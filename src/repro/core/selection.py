@@ -1,0 +1,99 @@
+"""Step 1 — implementation selection (Section V-A).
+
+For every task, pick the HW implementation with the lowest Eq. 3 cost
+and the SW implementation with the lowest execution time, then keep the
+faster of the two champions.  This seeds the pipeline with
+implementations that already trade execution time against fabric
+footprint, which is the paper's first lever against the Figure 1
+pathology.
+"""
+
+from __future__ import annotations
+
+from .cost import max_serial_time, select_initial_implementation
+from .state import PAState
+
+__all__ = ["select_implementations"]
+
+
+def select_implementations(state: PAState) -> None:
+    """Assign every task its initial implementation.
+
+    The HW champion is chosen by ``options.selection_policy`` ("cost"
+    is the paper's Eq. 3; "fastest"/"smallest" exist for the selection
+    ablation); the champion then competes with the fastest SW
+    implementation on execution time, as in Section V-A.
+    """
+    policy = state.options.selection_policy
+    if policy == "adaptive":
+        policy = _resolve_adaptive(state)
+    max_t = max_serial_time(state.taskgraph)
+    for task in state.taskgraph:
+        if policy == "cost":
+            impl = select_initial_implementation(
+                task, state.arch, max_t, weights=state.weights
+            )
+        else:
+            impl = _policy_champion(state, task, policy)
+        state.set_implementation(task.id, impl)
+        state.record(
+            "selection",
+            "selected",
+            task.id,
+            implementation=impl.name,
+            kind=impl.kind.value,
+            time=impl.time,
+        )
+
+
+def _resolve_adaptive(state: PAState) -> str:
+    """The "adaptive" extension: Eq. 3's area/time trade is only worth
+    paying under fabric contention.  If every task's *fastest* HW
+    champion fits the fabric simultaneously (quantized, i.e. as regions
+    would actually be carved), go fastest; otherwise use Eq. 3."""
+    from ..model import ResourceVector
+
+    total = ResourceVector.zero()
+    for task in state.taskgraph:
+        hw = task.hw_implementations
+        if not hw:
+            continue
+        champion = min(hw, key=lambda i: (i.time, i.name))
+        sw_best = min(
+            (i.time for i in task.sw_implementations), default=float("inf")
+        )
+        if champion.time <= sw_best:  # the task would actually go HW
+            total = total + state.instance.architecture.quantize_region(
+                champion.resources
+            )
+    fits = total.fits_in(state.arch.max_res)
+    resolved = "fastest" if fits else "cost"
+    state.record(
+        "selection", "adaptive-resolved", None,
+        policy=resolved, demand=total.to_dict(),
+    )
+    return resolved
+
+
+def _policy_champion(state: PAState, task, policy: str):
+    hw = task.hw_implementations
+    sw = task.sw_implementations
+    best_hw = None
+    if hw:
+        if policy == "fastest":
+            best_hw = min(hw, key=lambda i: (i.time, i.name))
+        else:  # "smallest": least scarcity-weighted area
+            best_hw = min(
+                hw,
+                key=lambda i: (
+                    i.resources.weighted_sum(state.weights),
+                    i.time,
+                    i.name,
+                ),
+            )
+    best_sw = min(sw, key=lambda i: (i.time, i.name)) if sw else None
+    if best_hw is None:
+        return best_sw
+    if best_sw is None:
+        return best_hw
+    return best_hw if best_hw.time <= best_sw.time else best_sw

@@ -1,0 +1,237 @@
+"""Longest-path timing over the augmented precedence graph.
+
+The PA steps repeatedly need ASAP/ALAP time windows ("Section V-B: the
+time windows are recomputed with respect to the current tasks
+dependencies").  The *current dependencies* are the application arcs
+plus the serialization arcs the scheduler inserts to order tasks inside
+a reconfigurable region or on a processor core.
+
+:class:`PrecedenceGraph` is a small adjacency-list DAG tailored to that
+use: cheap edge insertion, deterministic topological order, forward
+(earliest-start) and backward (latest-end) passes, and per-node start
+lower bounds so already-committed decisions act as constraints.  Delay
+propagation in Sections V-F/V-G is exactly a forward pass with updated
+lower bounds, which keeps the heuristic's behaviour well-defined.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+__all__ = ["PrecedenceGraph", "CycleError", "TimingResult"]
+
+EPS = 1e-9
+
+
+class CycleError(ValueError):
+    """An inserted arc closed a cycle — scheduling invariant broken."""
+
+
+class TimingResult:
+    """Windows produced by a forward+backward pass.
+
+    ``est[t]`` is ``T_MIN_t`` (earliest start), ``lft[t]`` is
+    ``T_MAX_t`` (latest end without delaying the schedule), and the
+    makespan is the earliest possible overall completion under the
+    current constraints.
+    """
+
+    __slots__ = ("est", "lft", "exe", "makespan")
+
+    def __init__(
+        self,
+        est: dict[str, float],
+        lft: dict[str, float],
+        exe: Mapping[str, float],
+        makespan: float,
+    ) -> None:
+        self.est = est
+        self.lft = lft
+        self.exe = exe
+        self.makespan = makespan
+
+    def window(self, node: str) -> tuple[float, float]:
+        """``w_t = [T_MIN_t, T_MAX_t]``."""
+        return (self.est[node], self.lft[node])
+
+    def slack(self, node: str) -> float:
+        return self.lft[node] - self.est[node] - self.exe[node]
+
+    def is_critical(self, node: str, tol: float = 1e-6) -> bool:
+        """Zero-slack nodes form the critical path(s)."""
+        return self.slack(node) <= tol
+
+    def critical_set(self, tol: float = 1e-6) -> set[str]:
+        return {n for n in self.est if self.is_critical(n, tol)}
+
+    def windows_overlap(self, a: str, b: str) -> bool:
+        """Half-open interval overlap between ``w_a`` and ``w_b``."""
+        return self.est[a] < self.lft[b] - EPS and self.est[b] < self.lft[a] - EPS
+
+
+class PrecedenceGraph:
+    """Mutable DAG over a fixed node set with weighted arcs.
+
+    Arc weight is the communication cost charged between the end of the
+    source and the start of the destination (zero unless the
+    communication-overhead extension is active).
+    """
+
+    def __init__(self, nodes: Iterable[str]) -> None:
+        self._nodes: list[str] = list(nodes)
+        index = {n: i for i, n in enumerate(self._nodes)}
+        if len(index) != len(self._nodes):
+            raise ValueError("duplicate node ids")
+        self._index = index
+        self._succ: dict[str, dict[str, float]] = {n: {} for n in self._nodes}
+        self._pred: dict[str, dict[str, float]] = {n: {} for n in self._nodes}
+        self._order_cache: list[str] | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._index
+
+    def add_edge(self, src: str, dst: str, weight: float = 0.0) -> None:
+        """Insert ``src -> dst``; idempotent (keeps the max weight)."""
+        if src not in self._index or dst not in self._index:
+            raise KeyError(f"unknown node in edge {src!r} -> {dst!r}")
+        if src == dst:
+            raise CycleError(f"self-loop on {src!r}")
+        existing = self._succ[src].get(dst)
+        if existing is not None:
+            if weight > existing:
+                self._succ[src][dst] = weight
+                self._pred[dst][src] = weight
+            return
+        self._succ[src][dst] = weight
+        self._pred[dst][src] = weight
+        self._order_cache = None
+        if self._topological_order() is None:
+            del self._succ[src][dst]
+            del self._pred[dst][src]
+            self._order_cache = None
+            raise CycleError(f"edge {src!r} -> {dst!r} creates a cycle")
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return dst in self._succ.get(src, {})
+
+    def successors(self, node: str) -> dict[str, float]:
+        return self._succ[node]
+
+    def predecessors(self, node: str) -> dict[str, float]:
+        return self._pred[node]
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def copy(self) -> "PrecedenceGraph":
+        dup = PrecedenceGraph(self._nodes)
+        for src, outs in self._succ.items():
+            for dst, w in outs.items():
+                dup._succ[src][dst] = w
+                dup._pred[dst][src] = w
+        return dup
+
+    # -- topological order ----------------------------------------------------
+
+    def _topological_order(self) -> list[str] | None:
+        """Kahn's algorithm with insertion-index tie-break (deterministic).
+
+        Returns ``None`` when the graph currently has a cycle (used by
+        :meth:`add_edge` for rollback detection).
+        """
+        if self._order_cache is not None:
+            return self._order_cache
+        indeg = {n: len(self._pred[n]) for n in self._nodes}
+        ready = sorted(
+            (n for n in self._nodes if indeg[n] == 0), key=self._index.__getitem__
+        )
+        queue = deque(ready)
+        order: list[str] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            newly_ready = []
+            for succ in self._succ[node]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    newly_ready.append(succ)
+            for succ in sorted(newly_ready, key=self._index.__getitem__):
+                queue.append(succ)
+        if len(order) != len(self._nodes):
+            return None
+        self._order_cache = order
+        return order
+
+    def topological_order(self) -> list[str]:
+        order = self._topological_order()
+        if order is None:  # pragma: no cover - add_edge guards against this
+            raise CycleError("graph has a cycle")
+        return order
+
+    # -- timing passes ------------------------------------------------------------
+
+    def earliest_starts(
+        self,
+        exe: Mapping[str, float],
+        lower_bounds: Mapping[str, float] | None = None,
+    ) -> dict[str, float]:
+        """Forward longest-path pass (CPM earliest starts).
+
+        ``lower_bounds`` carries committed start times: a node never
+        starts before its bound, which is how delays propagate through
+        the task graph (Sections V-F step 4 and V-G).
+        """
+        lb = lower_bounds or {}
+        est: dict[str, float] = {}
+        for node in self.topological_order():
+            start = lb.get(node, 0.0)
+            for pred, comm in self._pred[node].items():
+                candidate = est[pred] + exe[pred] + comm
+                if candidate > start:
+                    start = candidate
+            est[node] = start
+        return est
+
+    def latest_ends(
+        self,
+        exe: Mapping[str, float],
+        makespan: float,
+    ) -> dict[str, float]:
+        """Backward pass: latest end not delaying ``makespan``."""
+        lft: dict[str, float] = {}
+        for node in reversed(self.topological_order()):
+            end = makespan
+            for succ, comm in self._succ[node].items():
+                candidate = lft[succ] - exe[succ] - comm
+                if candidate < end:
+                    end = candidate
+            lft[node] = end
+        return lft
+
+    def compute_windows(
+        self,
+        exe: Mapping[str, float],
+        lower_bounds: Mapping[str, float] | None = None,
+        makespan: float | None = None,
+    ) -> TimingResult:
+        """Full CPM: windows ``[T_MIN, T_MAX]`` per node.
+
+        When ``makespan`` is not given it is the schedule length implied
+        by the earliest starts, which is the classic CPM convention and
+        what Section V-B uses.
+        """
+        est = self.earliest_starts(exe, lower_bounds)
+        implied = max((est[n] + exe[n] for n in self._nodes), default=0.0)
+        horizon = implied if makespan is None else max(makespan, implied)
+        lft = self.latest_ends(exe, horizon)
+        return TimingResult(est=est, lft=lft, exe=dict(exe), makespan=horizon)

@@ -1,0 +1,39 @@
+"""Floorplanning substrate (reference [3]): fabric model, feasible
+placements, backtracking and MILP engines."""
+
+from .backtrack import (
+    BacktrackResult,
+    counting_precheck,
+    greedy_pack,
+    solve_backtracking,
+)
+from .device import ColumnSpec, FabricDevice, small_device, zynq_7z020
+from .floorplanner import (
+    FloorplanResult,
+    Floorplanner,
+    device_for_architecture,
+)
+from .milp import MilpResult, solve_milp
+from .placements import Placement, candidate_placements, placement_mask
+from .render import render_fabric, render_floorplan
+
+__all__ = [
+    "BacktrackResult",
+    "counting_precheck",
+    "greedy_pack",
+    "solve_backtracking",
+    "ColumnSpec",
+    "FabricDevice",
+    "small_device",
+    "zynq_7z020",
+    "FloorplanResult",
+    "Floorplanner",
+    "device_for_architecture",
+    "MilpResult",
+    "solve_milp",
+    "Placement",
+    "candidate_placements",
+    "placement_mask",
+    "render_fabric",
+    "render_floorplan",
+]

@@ -1,0 +1,237 @@
+"""Combinatorial floorplan engines: counting precheck, greedy packing,
+forward-checking DFS.
+
+The Section V-H feasibility oracle must answer *fast* in both
+directions, because PA's shrink loop and PA-R's improvement filter call
+it constantly:
+
+1. :func:`counting_precheck` — a region demanding ``d`` units of type
+   ``τ`` needs at least ``ceil(d / per-cell-capacity)`` cells of
+   ``τ``-typed columns, whatever its shape; summing over regions gives
+   an O(regions·types) proven-infeasibility test that catches the
+   common "too many DSP/BRAM-using regions" case instantly.
+2. :func:`greedy_pack` — first-fit over several deterministic orderings
+   (and a few seeded shuffles); succeeds for the typical
+   moderately-utilized region sets in microseconds.
+3. :func:`solve_backtracking` — exact DFS with forward checking
+   (dynamic most-constrained-region selection, pruning as soon as some
+   unplaced region has no surviving placement) under a node budget.
+
+Budget exhaustion reports infeasible-but-unproven; the PA loop treats
+that like a rejection (shrink and retry), matching the paper's use of
+the floorplanner as a bounded oracle.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass, field
+
+from ..model import ResourceVector
+from .device import FabricDevice
+from .placements import Placement, placement_mask
+
+__all__ = [
+    "BacktrackResult",
+    "counting_precheck",
+    "greedy_pack",
+    "solve_backtracking",
+]
+
+
+@dataclass
+class BacktrackResult:
+    feasible: bool
+    placements: list[Placement] | None
+    proven: bool
+    nodes: int
+    elapsed: float
+    stats: dict = field(default_factory=dict)
+
+
+def counting_precheck(
+    device: FabricDevice,
+    demands: list[ResourceVector],
+) -> bool:
+    """Necessary condition: per-type cell counting.
+
+    Returns ``False`` when the region set *provably* cannot be placed.
+    """
+    cells_available: dict[str, int] = {}
+    first = device.reserved_columns
+    for col in range(first, device.width):
+        kind = device.columns[col]
+        cells_available[kind] = cells_available.get(kind, 0) + device.rows
+    for kind, spec in device.specs.items():
+        cells_available.setdefault(kind, 0)
+
+    needed: dict[str, int] = {k: 0 for k in cells_available}
+    for demand in demands:
+        for kind, amount in demand.items():
+            spec = device.specs.get(kind)
+            if spec is None:
+                return False  # unknown resource type: unplaceable
+            needed[kind] += -(-amount // spec.resources)  # ceil division
+    return all(needed[k] <= cells_available[k] for k in needed)
+
+
+def greedy_pack(
+    device: FabricDevice,
+    candidates_per_region: list[list[Placement]],
+    orderings: int = 6,
+    seed: int = 0,
+) -> list[Placement] | None:
+    """First-fit packing over several region orderings.
+
+    Candidate lists are assumed smallest-area-first (the
+    :func:`~repro.floorplan.placements.candidate_placements` order), so
+    first-fit naturally prefers compact placements.  Returns placements
+    in input order, or ``None`` when every ordering fails.
+    """
+    n = len(candidates_per_region)
+    if n == 0:
+        return []
+    masks = [
+        [placement_mask(p, device) for p in cands]
+        for cands in candidates_per_region
+    ]
+
+    def attempt(order: list[int]) -> list[Placement] | None:
+        occupied = 0
+        chosen: list[Placement | None] = [None] * n
+        for region in order:
+            for idx, mask in enumerate(masks[region]):
+                if not occupied & mask:
+                    occupied |= mask
+                    chosen[region] = candidates_per_region[region][idx]
+                    break
+            else:
+                return None
+        return chosen  # type: ignore[return-value]
+
+    # Deterministic orders: most-constrained first, biggest first,
+    # input order — then seeded shuffles.
+    base_orders = [
+        sorted(range(n), key=lambda i: len(candidates_per_region[i])),
+        sorted(
+            range(n),
+            key=lambda i: -(
+                candidates_per_region[i][0].width
+                * candidates_per_region[i][0].height
+                if candidates_per_region[i]
+                else 0
+            ),
+        ),
+        list(range(n)),
+    ]
+    rng = random.Random(seed)
+    while len(base_orders) < orderings:
+        order = list(range(n))
+        rng.shuffle(order)
+        base_orders.append(order)
+    for order in base_orders[:orderings]:
+        result = attempt(order)
+        if result is not None:
+            return result
+    return None
+
+
+def solve_backtracking(
+    device: FabricDevice,
+    candidates_per_region: list[list[Placement]],
+    node_limit: int = 50_000,
+    time_limit: float | None = 1.0,
+) -> BacktrackResult:
+    """Exact DFS with forward checking under a node/time budget.
+
+    ``candidates_per_region[i]`` are the feasible placements of region
+    ``i``.  Returns placements in the input region order.
+    """
+    start = _time.perf_counter()
+    n = len(candidates_per_region)
+    if n == 0:
+        return BacktrackResult(True, [], True, 0, 0.0)
+    if any(not c for c in candidates_per_region):
+        return BacktrackResult(
+            False, None, True, 0, _time.perf_counter() - start,
+            stats={"reason": "region-without-placements"},
+        )
+
+    # Fast paths: counting bound, then greedy first-fit.
+    greedy = greedy_pack(device, candidates_per_region)
+    if greedy is not None:
+        return BacktrackResult(
+            True, greedy, True, 0, _time.perf_counter() - start,
+            stats={"via": "greedy"},
+        )
+
+    masks: list[list[int]] = [
+        [placement_mask(p, device) for p in cands]
+        for cands in candidates_per_region
+    ]
+    chosen: list[int] = [-1] * n
+    nodes = 0
+    deadline = None if time_limit is None else start + time_limit
+    exhausted = False
+
+    def dfs(unplaced: list[int], occupied: int, live: dict[int, list[int]]) -> bool:
+        """``live[r]`` holds the indices of r's candidates that still
+        fit the current occupancy (forward checking)."""
+        nonlocal nodes, exhausted
+        if not unplaced:
+            return True
+        # Most-constrained region next.
+        region = min(unplaced, key=lambda r: (len(live[r]), r))
+        if not live[region]:
+            return False
+        remaining = [r for r in unplaced if r != region]
+        for idx in live[region]:
+            nodes += 1
+            if nodes > node_limit or (
+                deadline is not None
+                and nodes % 256 == 0
+                and _time.perf_counter() > deadline
+            ):
+                exhausted = True
+                return False
+            mask = masks[region][idx]
+            if occupied & mask:
+                continue
+            # Forward-check: filter every other region's candidates.
+            next_live: dict[int, list[int]] = {}
+            dead_end = False
+            for other in remaining:
+                filtered = [
+                    j for j in live[other] if not (masks[other][j] & mask)
+                ]
+                if not filtered:
+                    dead_end = True
+                    break
+                next_live[other] = filtered
+            if dead_end:
+                continue
+            chosen[region] = idx
+            if dfs(remaining, occupied | mask, next_live):
+                return True
+            if exhausted:
+                return False
+        chosen[region] = -1
+        return False
+
+    initial_live = {r: list(range(len(masks[r]))) for r in range(n)}
+    found = dfs(list(range(n)), 0, initial_live)
+    elapsed = _time.perf_counter() - start
+    if found:
+        placements = [candidates_per_region[i][chosen[i]] for i in range(n)]
+        return BacktrackResult(
+            True, placements, True, nodes, elapsed, stats={"via": "dfs"}
+        )
+    return BacktrackResult(
+        False,
+        None,
+        proven=not exhausted,
+        nodes=nodes,
+        elapsed=elapsed,
+        stats={"reason": "budget" if exhausted else "exhaustive"},
+    )

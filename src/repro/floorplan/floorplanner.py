@@ -1,0 +1,264 @@
+"""Floorplanner facade — the Section V-H / Algorithm 1 oracle.
+
+Wraps feasible-placement enumeration plus a solving engine behind the
+single ``check(regions)`` call the schedulers use.  Results are cached
+on the multiset of region demands: PA-R calls the floorplanner for
+every improving schedule, and independent restarts frequently produce
+the same region set, so caching "amortizes the computational cost of
+the floorplanner over different scheduling iterations" exactly as
+Section VI intends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..model import Architecture, Region, ResourceVector
+from .backtrack import counting_precheck, solve_backtracking
+from .device import FabricDevice, FabricDevice as _Device, zynq_7z020
+from .milp import solve_milp
+from .placements import Placement, candidate_placements
+
+__all__ = ["FloorplanResult", "Floorplanner", "device_for_architecture"]
+
+
+@dataclass
+class FloorplanResult:
+    """Outcome of one feasibility query."""
+
+    feasible: bool
+    placements: dict[str, Placement] | None
+    proven: bool
+    engine: str
+    elapsed: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # convenience: `if planner.check(...)`
+        return self.feasible
+
+
+def device_for_architecture(arch: Architecture) -> FabricDevice:
+    """A fabric model matching an architecture.
+
+    Architectures derived from a device (``FabricDevice.architecture``)
+    or named after the ZedBoard map to the Zynq model; anything else
+    gets a synthetic single-row fabric with one column type per
+    resource, sized to cover ``maxRes`` exactly.
+    """
+    name = arch.name.lower()
+    if "7z020" in name or "zedboard" in name or "zynq" in name:
+        return zynq_7z020()
+    return _synthetic_device(arch)
+
+
+def _synthetic_device(arch: Architecture) -> FabricDevice:
+    from .device import ColumnSpec
+
+    rows = 2
+    specs: dict[str, ColumnSpec] = {}
+    columns: list[str] = []
+    for rtype in arch.resource_types:
+        total = arch.max_res[rtype]
+        # Aim for ~16 columns per type; per-cell density covers the
+        # total within rows * columns cells.
+        per_cell = max(1, -(-total // (rows * 16)))
+        n_cols = -(-total // (per_cell * rows))
+        frames = max(1, round(per_cell * arch.bit_per_resource[rtype] / (101 * 32)))
+        specs[rtype] = ColumnSpec(kind=rtype, resources=per_cell, frames=frames)
+        columns.extend([rtype] * n_cols)
+    # Interleave types for realism: round-robin merge.
+    by_type = {t: [c for c in columns if c == t] for t in specs}
+    merged: list[str] = []
+    while any(by_type.values()):
+        for t in list(by_type):
+            if by_type[t]:
+                merged.append(by_type[t].pop())
+    return FabricDevice(
+        name=f"synthetic-{arch.name}", rows=rows, columns=tuple(merged), specs=specs
+    )
+
+
+class Floorplanner:
+    """Feasibility oracle over a :class:`FabricDevice`.
+
+    Parameters
+    ----------
+    engine:
+        ``"backtrack"`` (default — fast, bounded DFS), ``"milp"``
+        (reference [3] selection model on HiGHS) or ``"both"``
+        (backtrack first, MILP as the tie-breaker when the DFS budget
+        runs out unproven).
+    max_candidates:
+        Cap on feasible placements enumerated per region.
+    """
+
+    def __init__(
+        self,
+        device: FabricDevice,
+        engine: str = "backtrack",
+        node_limit: int = 50_000,
+        time_limit: float = 1.0,
+        max_candidates: int | None = 400,
+        cache: bool = True,
+    ) -> None:
+        if engine not in ("backtrack", "milp", "both"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.device = device
+        self.engine = engine
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.max_candidates = max_candidates
+        self._cache: dict | None = {} if cache else None
+        self.stats = {"queries": 0, "cache_hits": 0, "feasible": 0, "infeasible": 0}
+
+    @classmethod
+    def for_architecture(cls, arch: Architecture, **kwargs) -> "Floorplanner":
+        return cls(device_for_architecture(arch), **kwargs)
+
+    # -- main entry point ---------------------------------------------------
+
+    def check(self, regions: Sequence[Region | ResourceVector]) -> FloorplanResult:
+        """Does the region set admit a non-overlapping placement?"""
+        self.stats["queries"] += 1
+        ids, demands = _normalize(regions)
+
+        key = tuple(sorted(tuple(sorted(d.items())) for d in demands))
+        if self._cache is not None and key in self._cache:
+            self.stats["cache_hits"] += 1
+            cached: FloorplanResult = self._cache[key]
+            return _rebind(cached, ids, demands, self.device)
+
+        result = self._solve(ids, demands)
+        if self._cache is not None:
+            self._cache[key] = result
+        self.stats["feasible" if result.feasible else "infeasible"] += 1
+        return result
+
+    def _solve(self, ids: list[str], demands: list[ResourceVector]) -> FloorplanResult:
+        # Quick capacity pre-check: cheaper than enumerating placements.
+        total = ResourceVector.zero()
+        for demand in demands:
+            total = total + demand
+        if not total.fits_in(self.device.total_resources()):
+            return FloorplanResult(
+                feasible=False,
+                placements=None,
+                proven=True,
+                engine="capacity",
+                stats={"reason": "capacity"},
+            )
+        # Per-type cell counting: proves the common "more special-column
+        # regions than special cells" infeasibility without any search.
+        if not counting_precheck(self.device, demands):
+            return FloorplanResult(
+                feasible=False,
+                placements=None,
+                proven=True,
+                engine="counting",
+                stats={"reason": "cell-counting"},
+            )
+
+        candidates = [
+            candidate_placements(self.device, demand, self.max_candidates)
+            for demand in demands
+        ]
+
+        if self.engine in ("backtrack", "both"):
+            bt = solve_backtracking(
+                self.device,
+                candidates,
+                node_limit=self.node_limit,
+                time_limit=self.time_limit,
+            )
+            if bt.feasible or bt.proven or self.engine == "backtrack":
+                return FloorplanResult(
+                    feasible=bt.feasible,
+                    placements=_zip_placements(ids, bt.placements),
+                    proven=bt.proven,
+                    engine="backtrack",
+                    elapsed=bt.elapsed,
+                    stats={"nodes": bt.nodes, **bt.stats},
+                )
+        mr = solve_milp(self.device, candidates, time_limit=self.time_limit)
+        return FloorplanResult(
+            feasible=mr.feasible,
+            placements=_zip_placements(ids, mr.placements),
+            proven=mr.proven,
+            engine="milp",
+            elapsed=mr.elapsed,
+            stats=mr.stats,
+        )
+
+
+def _normalize(
+    regions: Sequence[Region | ResourceVector],
+) -> tuple[list[str], list[ResourceVector]]:
+    ids: list[str] = []
+    demands: list[ResourceVector] = []
+    for index, region in enumerate(regions):
+        if isinstance(region, Region):
+            ids.append(region.id)
+            demands.append(region.resources)
+        else:
+            ids.append(f"R{index}")
+            demands.append(region)
+    return ids, demands
+
+
+def _zip_placements(
+    ids: list[str], placements: list[Placement] | None
+) -> dict[str, Placement] | None:
+    if placements is None:
+        return None
+    return dict(zip(ids, placements))
+
+
+def _rebind(
+    cached: FloorplanResult,
+    ids: list[str],
+    demands: list[ResourceVector],
+    device: FabricDevice,
+) -> FloorplanResult:
+    """Re-map a cached (multiset-keyed) result onto this query's ids.
+
+    The cache key is demand-multiset based, so the concrete region ids
+    of the cached result may differ.  Placements are matched to
+    demands greedily by footprint.
+    """
+    if cached.placements is None:
+        return FloorplanResult(
+            feasible=cached.feasible,
+            placements=None,
+            proven=cached.proven,
+            engine=cached.engine + "+cache",
+            elapsed=0.0,
+            stats=dict(cached.stats),
+        )
+    available = list(cached.placements.values())
+    mapping: dict[str, Placement] = {}
+    for region_id, demand in sorted(
+        zip(ids, demands), key=lambda x: -x[1].total()
+    ):
+        for i, placement in enumerate(available):
+            if demand.fits_in(placement.resources(device)):
+                mapping[region_id] = placement
+                available.pop(i)
+                break
+    if len(mapping) != len(ids):
+        # Extremely defensive: multiset key should make this impossible.
+        return FloorplanResult(
+            feasible=cached.feasible,
+            placements=None,
+            proven=cached.proven,
+            engine=cached.engine + "+cache",
+            stats=dict(cached.stats),
+        )
+    return FloorplanResult(
+        feasible=cached.feasible,
+        placements=mapping,
+        proven=cached.proven,
+        engine=cached.engine + "+cache",
+        elapsed=0.0,
+        stats=dict(cached.stats),
+    )

@@ -1,0 +1,120 @@
+"""Feasible-placement detection (the core idea of reference [3]).
+
+For a region with resource demand ``res_{s,r}`` the floorplanner first
+enumerates every *minimal* rectangle of fabric cells satisfying the
+demand: for each anchor column and each height (in clock regions) the
+minimal width is found with a sliding-window sweep, and a placement is
+emitted for every vertical offset.  Non-minimal rectangles are
+dominated — any solution using a wider rectangle also admits the
+minimal one — so dropping them shrinks the search space without losing
+completeness for the *feasibility* question the scheduler asks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model import ResourceVector
+from .device import FabricDevice
+
+__all__ = ["Placement", "candidate_placements", "placement_mask"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A rectangle of fabric cells: columns ``[col, col+width)`` by
+    clock-region rows ``[row, row+height)``."""
+
+    col: int
+    row: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("placement must span at least one cell")
+        if self.col < 0 or self.row < 0:
+            raise ValueError("placement anchor must be non-negative")
+
+    def cells(self):
+        """All (col, row) cells covered by the rectangle."""
+        for c in range(self.col, self.col + self.width):
+            for r in range(self.row, self.row + self.height):
+                yield (c, r)
+
+    def overlaps(self, other: "Placement") -> bool:
+        return (
+            self.col < other.col + other.width
+            and other.col < self.col + self.width
+            and self.row < other.row + other.height
+            and other.row < self.row + self.height
+        )
+
+    def resources(self, device: FabricDevice) -> ResourceVector:
+        return device.rect_resources(self.col, self.width, self.height)
+
+    def bits(self, device: FabricDevice) -> float:
+        return device.rect_bits(self.col, self.width, self.height)
+
+
+def placement_mask(placement: Placement, device: FabricDevice) -> int:
+    """Occupancy bitmask over fabric cells (cell id = row * width + col)."""
+    mask = 0
+    for c, r in placement.cells():
+        mask |= 1 << (r * device.width + c)
+    return mask
+
+
+def candidate_placements(
+    device: FabricDevice,
+    demand: ResourceVector,
+    max_candidates: int | None = None,
+) -> list[Placement]:
+    """Minimal-width feasible rectangles for ``demand``.
+
+    Candidates are ordered smallest-area first (then leftmost/lowest),
+    which makes both the backtracking solver and the MILP warm start
+    prefer compact, fragmentation-friendly placements — the
+    anti-fragmentation spirit of the PARLGRAN line of work.
+    """
+    first_col = device.reserved_columns
+    width = device.width
+    candidates: list[Placement] = []
+    for height in range(1, device.rows + 1):
+        # Sliding window over columns: resources scale linearly with
+        # height, so compute per-column vectors once.
+        needed = {r: demand[r] for r in demand}
+        if not needed:
+            raise ValueError("placement demand must be non-empty")
+        have: dict[str, int] = {r: 0 for r in needed}
+
+        def satisfied() -> bool:
+            return all(have[r] >= needed[r] for r in needed)
+
+        left = first_col
+        right = first_col
+        while left < width:
+            while right < width and not satisfied():
+                spec = device.specs[device.columns[right]]
+                if spec.kind in have:
+                    have[spec.kind] += spec.resources * height
+                right += 1
+            if not satisfied():
+                break  # no window starting at `left` (or beyond) works
+            w = right - left
+            for row in range(0, device.rows - height + 1):
+                candidates.append(
+                    Placement(col=left, row=row, width=w, height=height)
+                )
+            # Slide: drop the leftmost column.
+            spec = device.specs[device.columns[left]]
+            if spec.kind in have:
+                have[spec.kind] -= spec.resources * height
+            left += 1
+
+    candidates.sort(
+        key=lambda p: (p.width * p.height, p.width, p.col, p.row)
+    )
+    if max_candidates is not None:
+        candidates = candidates[:max_candidates]
+    return candidates

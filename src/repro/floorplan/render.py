@@ -1,0 +1,65 @@
+"""ASCII rendering of fabrics and floorplans.
+
+Draws the column layout of a :class:`~repro.floorplan.device.FabricDevice`
+(one character per column, one line per clock-region row) and overlays
+region placements — the quickest way to eyeball why a region set does
+or does not tile.
+"""
+
+from __future__ import annotations
+
+from .device import FabricDevice
+from .placements import Placement
+
+__all__ = ["render_fabric", "render_floorplan"]
+
+_KIND_CHARS = {"CLB": ".", "BRAM": "B", "DSP": "D"}
+# Region fill characters, cycled.
+_REGION_CHARS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_fabric(device: FabricDevice) -> str:
+    """The bare fabric: column types per row, reserved columns as '#'."""
+    header = f"{device.name}: {device.rows} rows x {device.width} columns"
+    row_chars = []
+    for col in range(device.width):
+        if col < device.reserved_columns:
+            row_chars.append("#")
+        else:
+            row_chars.append(_KIND_CHARS.get(device.columns[col], "?"))
+    line = "".join(row_chars)
+    body = "\n".join(f"r{r} |{line}|" for r in range(device.rows))
+    legend = "  ".join(
+        f"{char}={kind}" for kind, char in _KIND_CHARS.items()
+    )
+    return f"{header}\n{body}\n({legend}, #=reserved)"
+
+
+def render_floorplan(
+    device: FabricDevice,
+    placements: dict[str, Placement],
+) -> str:
+    """The fabric with placed regions overlaid.
+
+    Each region gets a single character (its legend is printed below);
+    untouched cells show their column type.
+    """
+    grid = [
+        [
+            "#" if col < device.reserved_columns
+            else _KIND_CHARS.get(device.columns[col], "?")
+            for col in range(device.width)
+        ]
+        for _ in range(device.rows)
+    ]
+    legend: list[str] = []
+    for index, (region_id, placement) in enumerate(sorted(placements.items())):
+        char = _REGION_CHARS[index % len(_REGION_CHARS)]
+        legend.append(f"{char}={region_id}")
+        for col, row in placement.cells():
+            grid[row][col] = char
+    body = "\n".join(
+        f"r{r} |{''.join(grid[r])}|" for r in range(device.rows)
+    )
+    header = f"{device.name}: {len(placements)} regions placed"
+    return f"{header}\n{body}\n" + "  ".join(legend)

@@ -1,0 +1,36 @@
+"""Problem model: architecture, tasks, task graphs, schedules (Section III)."""
+
+from .architecture import Architecture, zedboard
+from .instance import Instance
+from .resources import ResourceKindError, ResourceVector
+from .schedule import (
+    Placement,
+    ProcessorPlacement,
+    Reconfiguration,
+    Region,
+    RegionPlacement,
+    Schedule,
+    ScheduledTask,
+)
+from .task import Implementation, ImplKind, Task
+from .taskgraph import TaskGraph, TaskGraphError
+
+__all__ = [
+    "Architecture",
+    "zedboard",
+    "Instance",
+    "ResourceKindError",
+    "ResourceVector",
+    "Placement",
+    "ProcessorPlacement",
+    "Reconfiguration",
+    "Region",
+    "RegionPlacement",
+    "Schedule",
+    "ScheduledTask",
+    "Implementation",
+    "ImplKind",
+    "Task",
+    "TaskGraph",
+    "TaskGraphError",
+]

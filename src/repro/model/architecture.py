@@ -1,0 +1,211 @@
+"""Target architecture description (Section III).
+
+The architecture is a SoC with ``|P|`` homogeneous processor cores and a
+partially-reconfigurable FPGA described by:
+
+* the resource types ``R`` with availability ``maxRes_r``,
+* the per-resource configuration-bit cost ``bit_r`` (derived from the
+  number of configuration frames per fabric tile, per Vipin & Fahmy),
+* the reconfiguration throughput ``recFreq`` of the single
+  reconfiguration controller (ICAP).
+
+Equation 1 (bitstream size of a region) and Equation 2 (reconfiguration
+time) live here because every other component — the PA scheduler, the
+IS-k baseline and the validator — must share the exact same estimates.
+
+Time unit convention: microseconds.  ``rec_freq`` is therefore in
+bits per microsecond (the ZedBoard ICAP moves 32 bit @ 100 MHz =
+3200 bits/us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .resources import ResourceVector
+
+__all__ = ["Architecture", "zedboard"]
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """Immutable architecture description.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"zedboard-xc7z020"``.
+    processors:
+        Number of homogeneous processor cores (``|P|``).
+    max_res:
+        ``maxRes_r`` — fabric availability per resource type.
+    bit_per_resource:
+        ``bit_r`` — average configuration bits per unit of resource.
+    rec_freq:
+        ``recFreq`` — reconfiguration throughput in bits per
+        microsecond.
+    """
+
+    name: str
+    processors: int
+    max_res: ResourceVector
+    bit_per_resource: Mapping[str, float]
+    rec_freq: float
+    region_quantum: Mapping[str, int] | None = None
+    # The paper assumes a single reconfiguration controller (ICAP);
+    # reference [8] generalizes to several — supported as an extension.
+    reconfigurators: int = 1
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("architecture needs at least one processor core")
+        if self.reconfigurators < 1:
+            raise ValueError("architecture needs at least one reconfigurator")
+        if self.rec_freq <= 0:
+            raise ValueError("rec_freq must be > 0")
+        if self.max_res.is_zero():
+            raise ValueError("architecture has no fabric resources")
+        missing = [r for r in self.max_res if r not in self.bit_per_resource]
+        if missing:
+            raise ValueError(f"bit_per_resource missing types: {missing}")
+        bad = [r for r, b in self.bit_per_resource.items() if b <= 0]
+        if bad:
+            raise ValueError(f"bit_per_resource must be > 0, offending types: {bad}")
+        # Freeze the mapping so the dataclass is truly immutable/hashable.
+        object.__setattr__(self, "bit_per_resource", dict(self.bit_per_resource))
+        if self.region_quantum is not None:
+            bad = [r for r, q in self.region_quantum.items() if q < 1]
+            if bad:
+                raise ValueError(f"region_quantum must be >= 1, offending: {bad}")
+            object.__setattr__(self, "region_quantum", dict(self.region_quantum))
+
+    @property
+    def resource_types(self) -> tuple[str, ...]:
+        """``R`` in a deterministic order."""
+        return tuple(sorted(self.max_res))
+
+    # -- Eq. 4 helper weights ---------------------------------------------
+
+    def resource_weights(self) -> dict[str, float]:
+        """``weightRes_r = 1 - maxRes_r / sum_r' maxRes_r'`` (Eq. 4).
+
+        Scarce resource types get a weight close to 1, abundant ones a
+        small weight, so the cost metric (Eq. 3) and efficiency index
+        (Eq. 5) penalise demands on scarce resources more.
+        """
+        total = sum(self.max_res[r] for r in self.max_res)
+        return {r: 1.0 - self.max_res[r] / total for r in self.max_res}
+
+    # -- Eq. 1 / Eq. 2 -------------------------------------------------------
+
+    def bitstream_bits(self, resources: ResourceVector) -> float:
+        """Eq. 1: ``bit_s = sum_r res_{s,r} * bit_r``."""
+        return resources.weighted_sum(self.bit_per_resource)
+
+    def reconf_time(self, resources: ResourceVector) -> float:
+        """Eq. 2: ``reconf_s = bit_s / recFreq`` (microseconds)."""
+        return self.bitstream_bits(resources) / self.rec_freq
+
+    def quantize_region(self, demand: ResourceVector) -> ResourceVector:
+        """Round a region demand up to the fabric's placement granularity.
+
+        A reconfigurable region is a rectangle of whole fabric cells —
+        a demand of 3 DSP48 physically consumes a full DSP column cell
+        (20 DSP48 on 7-series).  Sizing regions to cell multiples keeps
+        the scheduler's capacity bookkeeping consistent with what the
+        floorplanner can actually place, and makes the Eq. 1 bitstream
+        estimate cover the *whole* region, as reconfiguration does.
+        No-op when the architecture defines no ``region_quantum``.
+        """
+        if self.region_quantum is None:
+            return demand
+        out: dict[str, int] = {}
+        for rtype, amount in demand.items():
+            quantum = self.region_quantum.get(rtype, 1)
+            out[rtype] = -(-amount // quantum) * quantum  # ceil to multiple
+        return ResourceVector(out)
+
+    # -- feasibility-loop support (Section V-H) ---------------------------------
+
+    def with_max_res(self, max_res: ResourceVector) -> "Architecture":
+        """A copy with a different fabric availability.
+
+        Used by the PA feasibility loop, which virtually shrinks
+        ``maxRes_r`` by a constant factor when the floorplanner rejects
+        a set of regions.
+        """
+        return Architecture(
+            name=self.name,
+            processors=self.processors,
+            max_res=max_res,
+            bit_per_resource=self.bit_per_resource,
+            rec_freq=self.rec_freq,
+            region_quantum=self.region_quantum,
+            reconfigurators=self.reconfigurators,
+        )
+
+    def shrunk(self, factor: float) -> "Architecture":
+        """A copy with ``maxRes_r`` scaled by ``factor`` (< 1)."""
+        return self.with_max_res(self.max_res.scaled(factor))
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "processors": self.processors,
+            "max_res": self.max_res.to_dict(),
+            "bit_per_resource": dict(self.bit_per_resource),
+            "rec_freq": self.rec_freq,
+            "region_quantum": (
+                dict(self.region_quantum) if self.region_quantum else None
+            ),
+            "reconfigurators": self.reconfigurators,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Architecture":
+        return cls(
+            name=data["name"],
+            processors=data["processors"],
+            max_res=ResourceVector(data["max_res"]),
+            bit_per_resource=dict(data["bit_per_resource"]),
+            rec_freq=data["rec_freq"],
+            region_quantum=data.get("region_quantum"),
+            reconfigurators=data.get("reconfigurators", 1),
+        )
+
+
+# Frame-derived per-resource bit costs for Xilinx 7-series, following the
+# Vipin & Fahmy accounting the paper cites for Eq. 1: a configuration frame
+# is 101 words x 32 bit = 3232 bits; a CLB column spans 50 CLBs (100 slices)
+# and 36 frames; a DSP column spans 20 DSP48 slices and 28 frames; a BRAM
+# column spans 10 RAMB36 and 28 interconnect frames (block content excluded,
+# as for region reconfiguration only the frame set matters).
+_FRAME_BITS = 101 * 32
+BITS_PER_CLB_SLICE = 36 * _FRAME_BITS / 100  # ~1163.5 bits per slice
+BITS_PER_BRAM36 = 28 * _FRAME_BITS / 10  # ~9049.6 bits per RAMB36
+BITS_PER_DSP48 = 28 * _FRAME_BITS / 20  # ~4524.8 bits per DSP48
+
+
+def zedboard(processors: int = 2) -> Architecture:
+    """The paper's target: ZedBoard, Zynq-7000 XC7Z020.
+
+    Dual-core ARM Cortex-A9 plus an Artix-7 class fabric with 13300
+    slices, 140 RAMB36 and 220 DSP48.  ICAP throughput is 32 bit @
+    100 MHz = 3200 bits/us.
+    """
+    return Architecture(
+        name="zedboard-xc7z020",
+        processors=processors,
+        max_res=ResourceVector({"CLB": 13300, "BRAM": 140, "DSP": 220}),
+        bit_per_resource={
+            "CLB": BITS_PER_CLB_SLICE,
+            "BRAM": BITS_PER_BRAM36,
+            "DSP": BITS_PER_DSP48,
+        },
+        rec_freq=3200.0,
+        # 7-series placement granularity: one column x clock-region cell.
+        region_quantum={"CLB": 100, "BRAM": 10, "DSP": 20},
+    )

@@ -1,0 +1,90 @@
+"""Problem instance: architecture + application task graph.
+
+Bundles everything a scheduler needs, plus JSON round-tripping so
+benchmark suites can be stored and shared.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from .architecture import Architecture
+from .taskgraph import TaskGraph
+
+__all__ = ["Instance"]
+
+
+@dataclass
+class Instance:
+    """One scheduling problem: schedule ``taskgraph`` on ``architecture``."""
+
+    architecture: Architecture
+    taskgraph: TaskGraph
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.taskgraph.name
+
+    def validate(self, require_sw: bool = True) -> None:
+        """Structural validation of the instance (Section III contract).
+
+        Besides graph checks, every HW implementation must individually
+        fit on the fabric — a demand exceeding ``maxRes`` could never be
+        placed and indicates a malformed instance.
+        """
+        self.taskgraph.validate(require_sw=require_sw)
+        for task in self.taskgraph:
+            for impl in task.hw_implementations:
+                if not impl.resources.fits_in(self.architecture.max_res):
+                    raise ValueError(
+                        f"task {task.id!r} implementation {impl.name!r} "
+                        f"exceeds fabric capacity"
+                    )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "architecture": self.architecture.to_dict(),
+            "taskgraph": self.taskgraph.to_dict(),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Instance":
+        return cls(
+            architecture=Architecture.from_dict(data["architecture"]),
+            taskgraph=TaskGraph.from_dict(data["taskgraph"]),
+            name=data.get("name", ""),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "Instance":
+        """Load from a file path or directly from a JSON string."""
+        text = str(source)
+        try:
+            path = Path(source)
+            if path.exists():
+                text = path.read_text()
+        except OSError:
+            pass  # raw JSON text longer than a legal file name
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        return (
+            f"Instance({self.name!r}, tasks={len(self.taskgraph)}, "
+            f"arch={self.architecture.name!r})"
+        )

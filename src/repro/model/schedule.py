@@ -1,0 +1,314 @@
+"""Schedule objects — the output contract of Section III.
+
+A complete solution consists of:
+
+1. the set of reconfigurable regions ``S`` with their resource
+   requirements ``res_{s,r}`` (:class:`Region`),
+2. a mapping of every task to an implementation and to either a
+   processor core or a region (:class:`Placement` inside
+   :class:`ScheduledTask`),
+3. a time slot per task,
+4. the reconfiguration tasks with their time slots
+   (:class:`Reconfiguration`).
+
+Intervals are half-open ``[start, end)``: two activities whose
+intervals merely touch do not conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Optional
+
+from .architecture import Architecture
+from .resources import ResourceVector
+from .task import Implementation
+from .taskgraph import TaskGraph
+
+__all__ = [
+    "Placement",
+    "ProcessorPlacement",
+    "RegionPlacement",
+    "Region",
+    "ScheduledTask",
+    "Reconfiguration",
+    "Schedule",
+]
+
+
+@dataclass(frozen=True)
+class ProcessorPlacement:
+    """Task runs in software on processor core ``index``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("processor index must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {"kind": "processor", "index": self.index}
+
+    def __str__(self) -> str:
+        return f"P{self.index}"
+
+
+@dataclass(frozen=True)
+class RegionPlacement:
+    """Task runs in hardware inside reconfigurable region ``region_id``."""
+
+    region_id: str
+
+    def to_dict(self) -> dict:
+        return {"kind": "region", "region_id": self.region_id}
+
+    def __str__(self) -> str:
+        return self.region_id
+
+
+Placement = ProcessorPlacement | RegionPlacement
+
+
+def placement_from_dict(data: Mapping) -> Placement:
+    if data["kind"] == "processor":
+        return ProcessorPlacement(index=data["index"])
+    if data["kind"] == "region":
+        return RegionPlacement(region_id=data["region_id"])
+    raise ValueError(f"unknown placement kind {data['kind']!r}")
+
+
+@dataclass(frozen=True)
+class Region:
+    """A reconfigurable region ``s`` with its resource envelope.
+
+    The bitstream size and reconfiguration time follow Eq. 1/2 and are
+    computed against a given :class:`Architecture` so every component
+    shares identical estimates.
+    """
+
+    id: str
+    resources: ResourceVector
+
+    def __post_init__(self) -> None:
+        if self.resources.is_zero():
+            raise ValueError(f"region {self.id!r} has no resources")
+
+    def bitstream_bits(self, arch: Architecture) -> float:
+        return arch.bitstream_bits(self.resources)
+
+    def reconf_time(self, arch: Architecture) -> float:
+        return arch.reconf_time(self.resources)
+
+    def to_dict(self) -> dict:
+        return {"id": self.id, "resources": self.resources.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Region":
+        return cls(id=data["id"], resources=ResourceVector(data["resources"]))
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """A task with its chosen implementation, placement and time slot."""
+
+    task_id: str
+    implementation: Implementation
+    placement: Placement
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"task {self.task_id!r}: end < start")
+        hw_placed = isinstance(self.placement, RegionPlacement)
+        if self.implementation.is_hw != hw_placed:
+            raise ValueError(
+                f"task {self.task_id!r}: {self.implementation.kind.value} "
+                f"implementation placed on {self.placement}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_hw(self) -> bool:
+        return self.implementation.is_hw
+
+    def to_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "implementation": self.implementation.to_dict(),
+            "placement": self.placement.to_dict(),
+            "start": self.start,
+            "end": self.end,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScheduledTask":
+        return cls(
+            task_id=data["task_id"],
+            implementation=Implementation.from_dict(data["implementation"]),
+            placement=placement_from_dict(data["placement"]),
+            start=data["start"],
+            end=data["end"],
+        )
+
+
+@dataclass(frozen=True)
+class Reconfiguration:
+    """A reconfiguration task between two subsequent tasks of a region.
+
+    ``ingoing_task`` finished using the region; ``outgoing_task`` needs
+    a new bitstream loaded before it can start (Section V-G).
+    """
+
+    region_id: str
+    ingoing_task: str
+    outgoing_task: str
+    start: float
+    end: float
+    controller: int = 0  # which reconfigurator performs the load
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"reconfiguration for {self.outgoing_task!r}: end < start"
+            )
+        if self.controller < 0:
+            raise ValueError("controller index must be >= 0")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "region_id": self.region_id,
+            "ingoing_task": self.ingoing_task,
+            "outgoing_task": self.outgoing_task,
+            "start": self.start,
+            "end": self.end,
+            "controller": self.controller,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Reconfiguration":
+        return cls(
+            region_id=data["region_id"],
+            ingoing_task=data["ingoing_task"],
+            outgoing_task=data["outgoing_task"],
+            start=data["start"],
+            end=data["end"],
+            controller=data.get("controller", 0),
+        )
+
+
+@dataclass
+class Schedule:
+    """A complete solution for one problem instance.
+
+    The object is a passive record; use
+    :func:`repro.validate.check_schedule` for the full invariant suite
+    and :class:`repro.analysis.gantt` for rendering.
+    """
+
+    tasks: dict[str, ScheduledTask]
+    regions: dict[str, Region]
+    reconfigurations: list[Reconfiguration] = field(default_factory=list)
+    scheduler: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Overall application execution time (the paper's objective)."""
+        ends = [t.end for t in self.tasks.values()]
+        ends.extend(r.end for r in self.reconfigurations)
+        return max(ends, default=0.0)
+
+    # -- queries -------------------------------------------------------------
+
+    def hw_tasks(self) -> list[ScheduledTask]:
+        return [t for t in self.tasks.values() if t.is_hw]
+
+    def sw_tasks(self) -> list[ScheduledTask]:
+        return [t for t in self.tasks.values() if not t.is_hw]
+
+    def region_sequence(self, region_id: str) -> list[ScheduledTask]:
+        """Tasks hosted by a region, in start-time order."""
+        hosted = [
+            t
+            for t in self.tasks.values()
+            if isinstance(t.placement, RegionPlacement)
+            and t.placement.region_id == region_id
+        ]
+        return sorted(hosted, key=lambda t: (t.start, t.task_id))
+
+    def processor_sequence(self, index: int) -> list[ScheduledTask]:
+        """Tasks mapped to a core, in start-time order."""
+        hosted = [
+            t
+            for t in self.tasks.values()
+            if isinstance(t.placement, ProcessorPlacement)
+            and t.placement.index == index
+        ]
+        return sorted(hosted, key=lambda t: (t.start, t.task_id))
+
+    def total_region_resources(self) -> ResourceVector:
+        """Sum of ``res_{s,r}`` over all regions (capacity check input)."""
+        total = ResourceVector.zero()
+        for region in self.regions.values():
+            total = total + region.resources
+        return total
+
+    def total_reconfiguration_time(self) -> float:
+        return sum(r.duration for r in self.reconfigurations)
+
+    def shifted(self, delta: float) -> "Schedule":
+        """A copy with every activity shifted by ``delta`` (testing aid)."""
+        return Schedule(
+            tasks={
+                tid: replace(t, start=t.start + delta, end=t.end + delta)
+                for tid, t in self.tasks.items()
+            },
+            regions=dict(self.regions),
+            reconfigurations=[
+                replace(r, start=r.start + delta, end=r.end + delta)
+                for r in self.reconfigurations
+            ],
+            scheduler=self.scheduler,
+            metadata=dict(self.metadata),
+        )
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "makespan": self.makespan,
+            "tasks": [t.to_dict() for t in self.tasks.values()],
+            "regions": [r.to_dict() for r in self.regions.values()],
+            "reconfigurations": [r.to_dict() for r in self.reconfigurations],
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Schedule":
+        tasks = [ScheduledTask.from_dict(d) for d in data["tasks"]]
+        regions = [Region.from_dict(d) for d in data["regions"]]
+        return cls(
+            tasks={t.task_id: t for t in tasks},
+            regions={r.id: r for r in regions},
+            reconfigurations=[
+                Reconfiguration.from_dict(d) for d in data.get("reconfigurations", [])
+            ],
+            scheduler=data.get("scheduler", ""),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(scheduler={self.scheduler!r}, tasks={len(self.tasks)}, "
+            f"regions={len(self.regions)}, reconfs={len(self.reconfigurations)}, "
+            f"makespan={self.makespan:.1f})"
+        )

@@ -1,0 +1,181 @@
+"""Tasks and their hardware/software implementations.
+
+Section III of the paper: each application task ``t`` has a set of
+software implementations ``I_t^S`` (run on a processor core, no fabric
+resources) and hardware implementations ``I_t^H`` (run in a
+reconfigurable region, with a resource demand ``res_{i,r}``).  The
+paper assumes at least one SW implementation per task; the model keeps
+that as a validation option because some extensions (HW-only
+accelerators) relax it.
+
+Implementations are *library* objects: two tasks may reference the same
+:class:`Implementation` instance (or an equal one), which is what makes
+module reuse possible — subsequent tasks in the same region that share
+an implementation do not need a reconfiguration in between.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .resources import ResourceVector
+
+__all__ = ["ImplKind", "Implementation", "Task"]
+
+
+class ImplKind(enum.Enum):
+    """Whether an implementation targets the fabric or a processor core."""
+
+    HW = "hw"
+    SW = "sw"
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """One way of executing a task.
+
+    Attributes
+    ----------
+    name:
+        Library identifier.  Equal names denote the *same* bitstream /
+        binary, which enables module reuse across tasks.
+    kind:
+        :class:`ImplKind.HW` or :class:`ImplKind.SW`.
+    time:
+        Execution time ``time_i`` in microseconds (any consistent unit
+        works; the repository convention is microseconds).
+    resources:
+        Fabric demand ``res_{i,r}``; must be empty for SW
+        implementations and non-empty for HW ones.
+    """
+
+    name: str
+    kind: ImplKind
+    time: float
+    resources: ResourceVector = field(default_factory=ResourceVector)
+
+    def __post_init__(self) -> None:
+        if self.time <= 0:
+            raise ValueError(f"implementation {self.name!r}: time must be > 0")
+        if self.kind is ImplKind.SW and not self.resources.is_zero():
+            raise ValueError(
+                f"SW implementation {self.name!r} must not demand fabric resources"
+            )
+        if self.kind is ImplKind.HW and self.resources.is_zero():
+            raise ValueError(
+                f"HW implementation {self.name!r} must demand fabric resources"
+            )
+
+    @property
+    def is_hw(self) -> bool:
+        return self.kind is ImplKind.HW
+
+    @property
+    def is_sw(self) -> bool:
+        return self.kind is ImplKind.SW
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "time": self.time,
+            "resources": self.resources.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Implementation":
+        return cls(
+            name=data["name"],
+            kind=ImplKind(data["kind"]),
+            time=data["time"],
+            resources=ResourceVector(data.get("resources", {})),
+        )
+
+    @classmethod
+    def sw(cls, name: str, time: float) -> "Implementation":
+        """Convenience constructor for a software implementation."""
+        return cls(name=name, kind=ImplKind.SW, time=time)
+
+    @classmethod
+    def hw(cls, name: str, time: float, resources: dict | ResourceVector) -> "Implementation":
+        """Convenience constructor for a hardware implementation."""
+        if not isinstance(resources, ResourceVector):
+            resources = ResourceVector(resources)
+        return cls(name=name, kind=ImplKind.HW, time=time, resources=resources)
+
+
+@dataclass(frozen=True)
+class Task:
+    """An application task with its candidate implementations ``I_t``."""
+
+    id: str
+    implementations: tuple[Implementation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("task id must be non-empty")
+        if not self.implementations:
+            raise ValueError(f"task {self.id!r} has no implementations")
+        names = [impl.name for impl in self.implementations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"task {self.id!r} has duplicate implementation names")
+
+    @staticmethod
+    def of(id: str, implementations: Iterable[Implementation]) -> "Task":
+        return Task(id=id, implementations=tuple(implementations))
+
+    @property
+    def hw_implementations(self) -> tuple[Implementation, ...]:
+        """``I_t^H`` — the hardware candidates."""
+        return tuple(i for i in self.implementations if i.is_hw)
+
+    @property
+    def sw_implementations(self) -> tuple[Implementation, ...]:
+        """``I_t^S`` — the software candidates."""
+        return tuple(i for i in self.implementations if i.is_sw)
+
+    @property
+    def has_hw(self) -> bool:
+        return any(i.is_hw for i in self.implementations)
+
+    @property
+    def has_sw(self) -> bool:
+        return any(i.is_sw for i in self.implementations)
+
+    def fastest_sw(self) -> Implementation:
+        """The SW implementation with the lowest execution time.
+
+        The PA steps fall back to this whenever a HW task cannot be
+        placed (Section V-C step 3).
+        """
+        sw = self.sw_implementations
+        if not sw:
+            raise ValueError(f"task {self.id!r} has no SW implementation")
+        return min(sw, key=lambda i: (i.time, i.name))
+
+    def fastest(self) -> Implementation:
+        """The overall fastest implementation (defines maxT in Eq. 4)."""
+        return min(self.implementations, key=lambda i: (i.time, i.name))
+
+    def implementation(self, name: str) -> Implementation:
+        for impl in self.implementations:
+            if impl.name == name:
+                return impl
+        raise KeyError(f"task {self.id!r} has no implementation named {name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "implementations": [i.to_dict() for i in self.implementations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Task":
+        return cls(
+            id=data["id"],
+            implementations=tuple(
+                Implementation.from_dict(d) for d in data["implementations"]
+            ),
+        )

@@ -1,0 +1,218 @@
+"""The application task graph — a DAG of :class:`~repro.model.task.Task`.
+
+Section III: the application is a directed acyclic graph ``G = (T, E)``
+where an arc ``(t1, t2)`` is a data dependency.  Communication overhead
+is not modelled explicitly by the paper (it is folded into execution
+times), but Section VIII lists it as future work; the graph therefore
+carries an optional per-edge communication cost that the timing engine
+can honour when the ``communication_overhead`` option is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from .task import Task
+
+__all__ = ["TaskGraph", "TaskGraphError"]
+
+
+class TaskGraphError(ValueError):
+    """Raised for structurally invalid task graphs."""
+
+
+class TaskGraph:
+    """A DAG of tasks with optional communication costs on edges.
+
+    The class wraps :class:`networkx.DiGraph` rather than subclassing it
+    so the public surface stays small and every mutation keeps the
+    acyclicity invariant.
+    """
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self._graph = nx.DiGraph()
+
+    # -- construction ------------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        if task.id in self._graph:
+            raise TaskGraphError(f"duplicate task id {task.id!r}")
+        self._graph.add_node(task.id, task=task)
+        return task
+
+    def add_dependency(self, src: str | Task, dst: str | Task, comm: float = 0.0) -> None:
+        """Add the data dependency ``src -> dst``.
+
+        ``comm`` is the optional communication cost charged between the
+        end of ``src`` and the start of ``dst`` when the communication
+        extension is enabled.
+        """
+        src_id = src.id if isinstance(src, Task) else src
+        dst_id = dst.id if isinstance(dst, Task) else dst
+        for tid in (src_id, dst_id):
+            if tid not in self._graph:
+                raise TaskGraphError(f"unknown task id {tid!r}")
+        if src_id == dst_id:
+            raise TaskGraphError(f"self-dependency on {src_id!r}")
+        if comm < 0:
+            raise TaskGraphError("communication cost must be >= 0")
+        self._graph.add_edge(src_id, dst_id, comm=float(comm))
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(src_id, dst_id)
+            raise TaskGraphError(
+                f"dependency {src_id!r} -> {dst_id!r} would create a cycle"
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._graph
+
+    def __iter__(self) -> Iterator[Task]:
+        return (self._graph.nodes[n]["task"] for n in self._graph.nodes)
+
+    @property
+    def task_ids(self) -> list[str]:
+        return list(self._graph.nodes)
+
+    @property
+    def tasks(self) -> list[Task]:
+        return list(self)
+
+    @property
+    def edge_count(self) -> int:
+        return self._graph.number_of_edges()
+
+    def task(self, task_id: str) -> Task:
+        try:
+            return self._graph.nodes[task_id]["task"]
+        except KeyError:
+            raise TaskGraphError(f"unknown task id {task_id!r}") from None
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        return iter(self._graph.edges())
+
+    def comm_cost(self, src: str, dst: str) -> float:
+        return float(self._graph.edges[src, dst].get("comm", 0.0))
+
+    def predecessors(self, task_id: str) -> list[str]:
+        return list(self._graph.predecessors(task_id))
+
+    def successors(self, task_id: str) -> list[str]:
+        return list(self._graph.successors(task_id))
+
+    def sources(self) -> list[str]:
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def sinks(self) -> list[str]:
+        return [n for n in self._graph.nodes if self._graph.out_degree(n) == 0]
+
+    def topological_order(self) -> list[str]:
+        """A deterministic topological order (lexicographic tie-break)."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def descendants(self, task_id: str) -> set[str]:
+        return nx.descendants(self._graph, task_id)
+
+    def ancestors(self, task_id: str) -> set[str]:
+        return nx.ancestors(self._graph, task_id)
+
+    def as_networkx(self) -> nx.DiGraph:
+        """A defensive copy of the underlying graph (for analysis code)."""
+        return self._graph.copy()
+
+    # -- structural metrics (used by benchgen / analysis) ---------------------
+
+    def width(self) -> int:
+        """Maximum antichain size — available task parallelism.
+
+        Computed exactly via Dilworth's theorem (min chain cover on the
+        transitive closure, solved as bipartite matching).
+        """
+        if len(self) == 0:
+            return 0
+        closure = nx.transitive_closure_dag(self._graph)
+        matching = nx.bipartite.maximum_matching(
+            _split_bipartite(closure), top_nodes={("u", n) for n in closure.nodes}
+        )
+        matched = sum(1 for k in matching if k[0] == "u")
+        return len(self) - matched
+
+    def depth(self) -> int:
+        """Number of tasks on the longest chain."""
+        if len(self) == 0:
+            return 0
+        return nx.dag_longest_path_length(self._graph) + 1
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, require_sw: bool = True) -> None:
+        """Check the Section III structural assumptions.
+
+        ``require_sw`` enforces the paper's "at least one SW
+        implementation per task" assumption.
+        """
+        if len(self) == 0:
+            raise TaskGraphError("task graph is empty")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise TaskGraphError("task graph has a cycle")
+        if require_sw:
+            for task in self:
+                if not task.has_sw:
+                    raise TaskGraphError(
+                        f"task {task.id!r} has no SW implementation "
+                        "(Section III assumes at least one)"
+                    )
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tasks": [t.to_dict() for t in self],
+            "edges": [
+                {"src": u, "dst": v, "comm": self.comm_cost(u, v)}
+                for u, v in self._graph.edges()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TaskGraph":
+        graph = cls(name=data.get("name", "app"))
+        for task_data in data["tasks"]:
+            graph.add_task(Task.from_dict(task_data))
+        for edge in data.get("edges", []):
+            graph.add_dependency(edge["src"], edge["dst"], comm=edge.get("comm", 0.0))
+        return graph
+
+    @classmethod
+    def from_edges(
+        cls,
+        tasks: Iterable[Task],
+        edges: Iterable[tuple[str, str]],
+        name: str = "app",
+    ) -> "TaskGraph":
+        graph = cls(name=name)
+        for task in tasks:
+            graph.add_task(task)
+        for src, dst in edges:
+            graph.add_dependency(src, dst)
+        return graph
+
+    def __repr__(self) -> str:
+        return f"TaskGraph({self.name!r}, tasks={len(self)}, edges={self.edge_count})"
+
+
+def _split_bipartite(closure: nx.DiGraph) -> nx.Graph:
+    """Split-node bipartite graph for the Dilworth matching."""
+    bipartite = nx.Graph()
+    bipartite.add_nodes_from((("u", n) for n in closure.nodes), bipartite=0)
+    bipartite.add_nodes_from((("v", n) for n in closure.nodes), bipartite=1)
+    bipartite.add_edges_from((("u", a), ("v", b)) for a, b in closure.edges)
+    return bipartite

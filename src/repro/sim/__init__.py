@@ -1,0 +1,5 @@
+"""Discrete-event execution of schedules (runtime replay + jitter)."""
+
+from .executor import SimulatedActivity, SimulationResult, jitter_model, simulate
+
+__all__ = ["SimulatedActivity", "SimulationResult", "jitter_model", "simulate"]

@@ -1,0 +1,264 @@
+"""Discrete-event execution of a schedule.
+
+The schedulers produce *static plans*; a real system dispatches them at
+runtime, where task durations differ from the profile numbers.  The
+executor replays a schedule as a **dispatch plan** — the orders it
+encodes (task sequence per region, per core, and the reconfiguration
+order on the controller) are kept, but every start time is re-derived
+from actual completion events:
+
+* a task starts when its predecessors have finished (plus communication
+  cost when that extension is active), its resource is free, and — for
+  hardware tasks — its bitstream has been loaded;
+* a reconfiguration starts when its region is idle (ingoing task done)
+  and the controller reaches it in the planned controller order.
+
+With a unit jitter model the simulation must reproduce the planned
+times *exactly* — the property test that cross-validates the
+scheduler's timing engine against an independent executor.  With
+non-unit jitter it answers the robustness question: how much does the
+plan's makespan degrade when tasks overrun?
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..model import (
+    Instance,
+    ProcessorPlacement,
+    RegionPlacement,
+    Schedule,
+)
+
+__all__ = ["SimulatedActivity", "SimulationResult", "simulate", "jitter_model"]
+
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SimulatedActivity:
+    """One executed activity: a task or a reconfiguration."""
+
+    kind: str  # "task" | "reconfiguration"
+    name: str  # task id, or "reconf:<outgoing task>"
+    resource: str  # "RRx", "Px" or "ICAP"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated execution."""
+
+    activities: list[SimulatedActivity]
+    task_start: dict[str, float]
+    task_end: dict[str, float]
+    makespan: float
+    planned_makespan: float
+
+    @property
+    def slippage(self) -> float:
+        """Relative makespan growth over the plan (0 = on time)."""
+        if self.planned_makespan <= 0:
+            return 0.0
+        return (self.makespan - self.planned_makespan) / self.planned_makespan
+
+    def timeline(self) -> list[SimulatedActivity]:
+        return sorted(self.activities, key=lambda a: (a.start, a.name))
+
+
+def jitter_model(
+    factor: float = 0.2, seed: int = 0
+) -> Callable[[str, float], float]:
+    """Multiplicative uniform jitter: duration x U[1-factor, 1+factor].
+
+    Deterministic per (seed, task) so repeated simulations agree.
+    """
+    if not (0.0 <= factor < 1.0):
+        raise ValueError("jitter factor must be in [0, 1)")
+
+    def model(name: str, duration: float) -> float:
+        rng = random.Random(f"{seed}:{name}")
+        return duration * rng.uniform(1.0 - factor, 1.0 + factor)
+
+    return model
+
+
+def simulate(
+    instance: Instance,
+    schedule: Schedule,
+    jitter: Callable[[str, float], float] | Mapping[str, float] | None = None,
+    communication_overhead: bool = False,
+) -> SimulationResult:
+    """Execute ``schedule`` as a dispatch plan (see module docstring)."""
+    graph = instance.taskgraph
+    arch = instance.architecture
+
+    def actual(name: str, duration: float) -> float:
+        if jitter is None:
+            return duration
+        if callable(jitter):
+            return max(EPS, jitter(name, duration))
+        return max(EPS, duration * jitter.get(name, 1.0))
+
+    # --- dispatch orders encoded by the plan -----------------------------
+    region_sequences = {
+        rid: [t.task_id for t in schedule.region_sequence(rid)]
+        for rid in schedule.regions
+    }
+    proc_ids = sorted(
+        {
+            t.placement.index
+            for t in schedule.tasks.values()
+            if isinstance(t.placement, ProcessorPlacement)
+        }
+    )
+    proc_sequences = {
+        p: [t.task_id for t in schedule.processor_sequence(p)] for p in proc_ids
+    }
+    controller_order = sorted(
+        schedule.reconfigurations, key=lambda r: (r.start, r.region_id)
+    )
+    controller_queues: dict[int, list] = {}
+    for rc in controller_order:
+        controller_queues.setdefault(rc.controller, []).append(rc)
+    reconf_for: dict[str, object] = {
+        rc.outgoing_task: rc for rc in controller_order
+    }
+
+    # --- event-driven replay -------------------------------------------------
+    task_end: dict[str, float] = {}
+    task_start: dict[str, float] = {}
+    reconf_end: dict[str, float] = {}  # keyed by outgoing task
+    region_free: dict[str, float] = {rid: 0.0 for rid in schedule.regions}
+    proc_free: dict[int, float] = {p: 0.0 for p in proc_ids}
+    controller_free: dict[int, float] = {}
+    activities: list[SimulatedActivity] = []
+
+    def data_ready(task_id: str) -> float | None:
+        ready = 0.0
+        for pred in graph.predecessors(task_id):
+            if pred not in task_end:
+                return None
+            finish = task_end[pred]
+            if communication_overhead:
+                finish += graph.comm_cost(pred, task_id)
+            ready = max(ready, finish)
+        return ready
+
+    # Progress by repeatedly firing the earliest runnable activity; the
+    # dispatch orders make each resource's next activity unique, so a
+    # simple fixed-point loop terminates in O(activities * resources).
+    pending_tasks = set(schedule.tasks)
+
+    def reconfs_pending() -> bool:
+        return any(queue for queue in controller_queues.values())
+
+    progress = True
+    while (pending_tasks or reconfs_pending()) and progress:
+        progress = False
+
+        # 1. each controller executes its reconfigurations in plan order.
+        for controller, queue in controller_queues.items():
+            while queue:
+                rc = queue[0]
+                if rc.ingoing_task not in task_end:
+                    break  # region still running its previous task
+                start = max(
+                    task_end[rc.ingoing_task],
+                    controller_free.get(controller, 0.0),
+                )
+                duration = actual(f"reconf:{rc.outgoing_task}", rc.duration)
+                end = start + duration
+                controller_free[controller] = end
+                reconf_end[rc.outgoing_task] = end
+                activities.append(
+                    SimulatedActivity(
+                        kind="reconfiguration",
+                        name=f"reconf:{rc.outgoing_task}",
+                        resource=f"ICAP{controller}",
+                        start=start,
+                        end=end,
+                    )
+                )
+                queue.pop(0)
+                progress = True
+
+        # 2. each region/core runs its next planned task when possible.
+        for rid, sequence in region_sequences.items():
+            while sequence:
+                task_id = sequence[0]
+                ready = data_ready(task_id)
+                if ready is None:
+                    break
+                if task_id in reconf_for and task_id not in reconf_end:
+                    break  # bitstream not loaded yet
+                start = max(ready, region_free[rid])
+                if task_id in reconf_end:
+                    start = max(start, reconf_end[task_id])
+                planned = schedule.tasks[task_id]
+                duration = actual(task_id, planned.duration)
+                end = start + duration
+                region_free[rid] = end
+                task_start[task_id] = start
+                task_end[task_id] = end
+                activities.append(
+                    SimulatedActivity(
+                        kind="task", name=task_id, resource=rid,
+                        start=start, end=end,
+                    )
+                )
+                sequence.pop(0)
+                pending_tasks.discard(task_id)
+                progress = True
+
+        for proc, sequence in proc_sequences.items():
+            while sequence:
+                task_id = sequence[0]
+                ready = data_ready(task_id)
+                if ready is None:
+                    break
+                start = max(ready, proc_free[proc])
+                planned = schedule.tasks[task_id]
+                duration = actual(task_id, planned.duration)
+                end = start + duration
+                proc_free[proc] = end
+                task_start[task_id] = start
+                task_end[task_id] = end
+                activities.append(
+                    SimulatedActivity(
+                        kind="task", name=task_id, resource=f"P{proc}",
+                        start=start, end=end,
+                    )
+                )
+                sequence.pop(0)
+                pending_tasks.discard(task_id)
+                progress = True
+
+    if pending_tasks or reconfs_pending():
+        stuck = sorted(pending_tasks) + [
+            f"reconf:{rc.outgoing_task}"
+            for queue in controller_queues.values()
+            for rc in queue
+        ]
+        raise RuntimeError(
+            f"dispatch deadlock — plan orders are cyclic for: {stuck[:5]}"
+        )
+
+    makespan = max(
+        [a.end for a in activities], default=0.0
+    )
+    return SimulationResult(
+        activities=activities,
+        task_start=task_start,
+        task_end=task_end,
+        makespan=makespan,
+        planned_makespan=schedule.makespan,
+    )

@@ -1,0 +1,15 @@
+"""Independent schedule invariant checking (the Section III output contract)."""
+
+from .checker import (
+    ScheduleInvalidError,
+    ValidationReport,
+    Violation,
+    check_schedule,
+)
+
+__all__ = [
+    "ScheduleInvalidError",
+    "ValidationReport",
+    "Violation",
+    "check_schedule",
+]

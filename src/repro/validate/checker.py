@@ -1,0 +1,297 @@
+"""Independent schedule validator.
+
+Checks every contract Section III imposes on a scheduler's output,
+without sharing any code path with the schedulers themselves (the point
+is to catch *their* bugs):
+
+1. every task scheduled exactly once, with one of its own
+   implementations, and non-negative times;
+2. data dependencies respected (plus communication costs when that
+   extension is active);
+3. HW tasks sit in an existing region whose resources cover the
+   implementation's demand;
+4. tasks sharing a region never overlap, and a reconfiguration with the
+   region's exact Eq. 2 duration separates every pair of subsequent
+   tasks (unless module reuse applies);
+5. reconfigurations never overlap each other (single controller), never
+   overlap their region's task executions, and respect Eq. 10 windows;
+6. tasks sharing a processor core never overlap and the core index
+   exists;
+7. the region set fits the fabric: ``sum_s res_{s,r} <= maxRes_r``.
+
+All interval comparisons are half-open with a small tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..model import (
+    Instance,
+    ProcessorPlacement,
+    RegionPlacement,
+    Schedule,
+)
+
+__all__ = ["Violation", "ValidationReport", "ScheduleInvalidError", "check_schedule"]
+
+TOL = 1e-6
+
+
+class ScheduleInvalidError(AssertionError):
+    """Raised by :meth:`ValidationReport.raise_if_invalid`."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, code: str, message: str) -> None:
+        self.violations.append(Violation(code, message))
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            summary = "\n".join(str(v) for v in self.violations[:20])
+            extra = len(self.violations) - 20
+            if extra > 0:
+                summary += f"\n... and {extra} more"
+            raise ScheduleInvalidError(f"invalid schedule:\n{summary}")
+
+    def codes(self) -> set[str]:
+        return {v.code for v in self.violations}
+
+
+def _overlap(a_start: float, a_end: float, b_start: float, b_end: float) -> bool:
+    """Half-open interval overlap with tolerance."""
+    return a_start < b_end - TOL and b_start < a_end - TOL
+
+
+def check_schedule(
+    instance: Instance,
+    schedule: Schedule,
+    communication_overhead: bool = False,
+    allow_module_reuse: bool = False,
+) -> ValidationReport:
+    """Run the full invariant suite; returns an accumulating report."""
+    report = ValidationReport()
+    graph = instance.taskgraph
+    arch = instance.architecture
+
+    _check_coverage(report, instance, schedule)
+    _check_precedence(report, instance, schedule, communication_overhead)
+    _check_regions(report, instance, schedule, allow_module_reuse)
+    _check_reconfigurator(report, instance, schedule)
+    _check_processors(report, instance, schedule)
+
+    # 7. fabric capacity
+    total = schedule.total_region_resources()
+    for rtype in arch.max_res:
+        if total[rtype] > arch.max_res[rtype]:
+            report.add(
+                "capacity",
+                f"regions demand {total[rtype]} {rtype} > "
+                f"available {arch.max_res[rtype]}",
+            )
+    for rtype in total:
+        if rtype not in arch.max_res:
+            report.add("capacity", f"regions demand unknown resource {rtype!r}")
+    return report
+
+
+def _check_coverage(report: ValidationReport, instance: Instance, schedule: Schedule) -> None:
+    graph = instance.taskgraph
+    scheduled = set(schedule.tasks)
+    expected = set(graph.task_ids)
+    for missing in sorted(expected - scheduled):
+        report.add("coverage", f"task {missing!r} not scheduled")
+    for extra in sorted(scheduled - expected):
+        report.add("coverage", f"unknown task {extra!r} in schedule")
+    for task_id in sorted(scheduled & expected):
+        st = schedule.tasks[task_id]
+        task = graph.task(task_id)
+        if st.implementation not in task.implementations:
+            report.add(
+                "implementation",
+                f"task {task_id!r} scheduled with foreign implementation "
+                f"{st.implementation.name!r}",
+            )
+        if st.start < -TOL:
+            report.add("time", f"task {task_id!r} starts before 0 ({st.start})")
+        if abs(st.duration - st.implementation.time) > TOL:
+            report.add(
+                "time",
+                f"task {task_id!r} duration {st.duration} != "
+                f"implementation time {st.implementation.time}",
+            )
+
+
+def _check_precedence(
+    report: ValidationReport,
+    instance: Instance,
+    schedule: Schedule,
+    communication_overhead: bool,
+) -> None:
+    graph = instance.taskgraph
+    for src, dst in graph.edges():
+        if src not in schedule.tasks or dst not in schedule.tasks:
+            continue  # coverage check already reported it
+        comm = graph.comm_cost(src, dst) if communication_overhead else 0.0
+        src_end = schedule.tasks[src].end + comm
+        dst_start = schedule.tasks[dst].start
+        if dst_start < src_end - TOL:
+            report.add(
+                "precedence",
+                f"{dst!r} starts at {dst_start} before {src!r} "
+                f"finishes at {src_end}",
+            )
+
+
+def _check_regions(
+    report: ValidationReport,
+    instance: Instance,
+    schedule: Schedule,
+    allow_module_reuse: bool,
+) -> None:
+    arch = instance.architecture
+    reconf_index: dict[tuple[str, str, str], list] = {}
+    for rc in schedule.reconfigurations:
+        reconf_index.setdefault(
+            (rc.region_id, rc.ingoing_task, rc.outgoing_task), []
+        ).append(rc)
+
+    for task in schedule.tasks.values():
+        if isinstance(task.placement, RegionPlacement):
+            region_id = task.placement.region_id
+            if region_id not in schedule.regions:
+                report.add(
+                    "region",
+                    f"task {task.task_id!r} placed in unknown region {region_id!r}",
+                )
+            else:
+                capacity = schedule.regions[region_id].resources
+                if not task.implementation.resources.fits_in(capacity):
+                    report.add(
+                        "region-fit",
+                        f"task {task.task_id!r} ({task.implementation.name!r}) "
+                        f"does not fit region {region_id!r}",
+                    )
+
+    for region_id, region in schedule.regions.items():
+        sequence = schedule.region_sequence(region_id)
+        for a, b in zip(sequence, sequence[1:]):
+            if _overlap(a.start, a.end, b.start, b.end):
+                report.add(
+                    "region-overlap",
+                    f"tasks {a.task_id!r} and {b.task_id!r} overlap in "
+                    f"region {region_id!r}",
+                )
+                continue
+            key = (region_id, a.task_id, b.task_id)
+            reconfs = reconf_index.pop(key, [])
+            same_module = a.implementation.name == b.implementation.name
+            if not reconfs:
+                if allow_module_reuse and same_module:
+                    continue
+                report.add(
+                    "reconfiguration-missing",
+                    f"no reconfiguration between {a.task_id!r} and "
+                    f"{b.task_id!r} in region {region_id!r}",
+                )
+                continue
+            if len(reconfs) > 1:
+                report.add(
+                    "reconfiguration-duplicate",
+                    f"{len(reconfs)} reconfigurations between {a.task_id!r} "
+                    f"and {b.task_id!r}",
+                )
+            rc = reconfs[0]
+            expected = arch.reconf_time(region.resources)
+            if abs(rc.duration - expected) > max(TOL, 1e-6 * expected):
+                report.add(
+                    "reconfiguration-duration",
+                    f"reconfiguration {a.task_id!r}->{b.task_id!r} lasts "
+                    f"{rc.duration}, Eq. 2 gives {expected}",
+                )
+            if rc.start < a.end - TOL:
+                report.add(
+                    "reconfiguration-window",
+                    f"reconfiguration for {b.task_id!r} starts at {rc.start} "
+                    f"before {a.task_id!r} ends at {a.end}",
+                )
+            if rc.end > b.start + TOL:
+                report.add(
+                    "reconfiguration-window",
+                    f"reconfiguration for {b.task_id!r} ends at {rc.end} "
+                    f"after the task starts at {b.start}",
+                )
+
+    # Leftover reconfigurations reference pairs that are not subsequent
+    # tasks of the region — bogus.
+    for (region_id, a, b), reconfs in reconf_index.items():
+        report.add(
+            "reconfiguration-orphan",
+            f"reconfiguration {a!r}->{b!r} does not match subsequent tasks "
+            f"of region {region_id!r}",
+        )
+
+
+def _check_reconfigurator(
+    report: ValidationReport, instance: Instance, schedule: Schedule
+) -> None:
+    n_controllers = instance.architecture.reconfigurators
+    by_controller: dict[int, list] = {}
+    for rc in schedule.reconfigurations:
+        if rc.controller >= n_controllers:
+            report.add(
+                "reconfigurator-index",
+                f"reconfiguration for {rc.outgoing_task!r} on controller "
+                f"{rc.controller}, architecture has {n_controllers}",
+            )
+            continue
+        by_controller.setdefault(rc.controller, []).append(rc)
+    for controller, reconfs in by_controller.items():
+        reconfs.sort(key=lambda r: (r.start, r.end))
+        for a, b in zip(reconfs, reconfs[1:]):
+            if _overlap(a.start, a.end, b.start, b.end):
+                report.add(
+                    "reconfigurator-contention",
+                    f"reconfigurations for {a.outgoing_task!r} and "
+                    f"{b.outgoing_task!r} overlap on controller {controller}",
+                )
+
+
+def _check_processors(report: ValidationReport, instance: Instance, schedule: Schedule) -> None:
+    arch = instance.architecture
+    by_proc: dict[int, list] = {}
+    for task in schedule.tasks.values():
+        if isinstance(task.placement, ProcessorPlacement):
+            index = task.placement.index
+            if index >= arch.processors:
+                report.add(
+                    "processor",
+                    f"task {task.task_id!r} on core {index}, architecture "
+                    f"has {arch.processors}",
+                )
+                continue
+            by_proc.setdefault(index, []).append(task)
+    for index, tasks in by_proc.items():
+        tasks.sort(key=lambda t: (t.start, t.end))
+        for a, b in zip(tasks, tasks[1:]):
+            if _overlap(a.start, a.end, b.start, b.end):
+                report.add(
+                    "processor-overlap",
+                    f"tasks {a.task_id!r} and {b.task_id!r} overlap on core {index}",
+                )

@@ -1,0 +1,108 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import figure1_instance, paper_instance
+from repro.model import (
+    Architecture,
+    Implementation,
+    Instance,
+    ResourceVector,
+    Task,
+    TaskGraph,
+)
+
+
+@pytest.fixture
+def simple_arch() -> Architecture:
+    """One core, one resource type; reconfigurations cost 1 us per CLB."""
+    return Architecture(
+        name="simple",
+        processors=1,
+        max_res=ResourceVector({"CLB": 100}),
+        bit_per_resource={"CLB": 10.0},
+        rec_freq=10.0,
+    )
+
+
+@pytest.fixture
+def dual_arch() -> Architecture:
+    """Two cores, three resource types (a miniature ZedBoard)."""
+    return Architecture(
+        name="dual",
+        processors=2,
+        max_res=ResourceVector({"CLB": 1000, "BRAM": 20, "DSP": 40}),
+        bit_per_resource={"CLB": 100.0, "BRAM": 900.0, "DSP": 450.0},
+        rec_freq=1000.0,
+    )
+
+
+def make_task(
+    task_id: str,
+    hw: list[tuple[str, float, dict]] = (),
+    sw: list[tuple[str, float]] = (),
+) -> Task:
+    """Terse task builder used across unit tests."""
+    impls = [Implementation.hw(name, time, res) for name, time, res in hw]
+    impls += [Implementation.sw(name, time) for name, time in sw]
+    return Task.of(task_id, impls)
+
+
+@pytest.fixture
+def chain_instance(simple_arch) -> Instance:
+    """a -> b -> c, each with one HW (20 CLB, 10 us) and one SW (100 us)."""
+    graph = TaskGraph("chain")
+    for tid in ("a", "b", "c"):
+        graph.add_task(
+            make_task(
+                tid,
+                hw=[(f"{tid}_hw", 10.0, {"CLB": 20})],
+                sw=[(f"{tid}_sw", 100.0)],
+            )
+        )
+    graph.add_dependency("a", "b")
+    graph.add_dependency("b", "c")
+    return Instance(architecture=simple_arch, taskgraph=graph)
+
+
+@pytest.fixture
+def diamond_instance(dual_arch) -> Instance:
+    """Diamond: s -> (l, r) -> t, mixed HW/SW options."""
+    graph = TaskGraph("diamond")
+    graph.add_task(
+        make_task("s", hw=[("s_hw", 10.0, {"CLB": 100})], sw=[("s_sw", 40.0)])
+    )
+    graph.add_task(
+        make_task(
+            "l",
+            hw=[
+                ("l_big", 20.0, {"CLB": 400, "DSP": 8}),
+                ("l_small", 35.0, {"CLB": 150, "DSP": 2}),
+            ],
+            sw=[("l_sw", 120.0)],
+        )
+    )
+    graph.add_task(
+        make_task("r", hw=[("r_hw", 25.0, {"CLB": 200, "BRAM": 4})], sw=[("r_sw", 110.0)])
+    )
+    graph.add_task(
+        make_task("t", hw=[("t_hw", 15.0, {"CLB": 100})], sw=[("t_sw", 60.0)])
+    )
+    graph.add_dependency("s", "l")
+    graph.add_dependency("s", "r")
+    graph.add_dependency("l", "t")
+    graph.add_dependency("r", "t")
+    return Instance(architecture=dual_arch, taskgraph=graph)
+
+
+@pytest.fixture
+def fig1_instance() -> Instance:
+    return figure1_instance()
+
+
+@pytest.fixture
+def medium_instance() -> Instance:
+    """A 25-task generated instance (deterministic)."""
+    return paper_instance(25, seed=11)

@@ -1,0 +1,121 @@
+"""End-to-end integration: every scheduler on generated suites, every
+schedule validated, plus cross-scheduler sanity relations."""
+
+import pytest
+
+from repro.baselines import isk_schedule, list_schedule
+from repro.benchgen import paper_instance
+from repro.core import PAOptions, do_schedule, pa_r_schedule, pa_schedule
+from repro.core.timing import PrecedenceGraph
+from repro.floorplan import Floorplanner
+from repro.validate import check_schedule
+
+
+SIZES_SEEDS = [(10, 1), (20, 2), (30, 3), (40, 4)]
+
+
+def cpm_lower_bound(instance) -> float:
+    graph = instance.taskgraph
+    pg = PrecedenceGraph(graph.task_ids)
+    for src, dst in graph.edges():
+        pg.add_edge(src, dst)
+    exe = {t.id: t.fastest().time for t in graph}
+    return pg.compute_windows(exe).makespan
+
+
+@pytest.mark.parametrize("size,seed", SIZES_SEEDS)
+class TestAllSchedulersValid:
+    def test_pa(self, size, seed):
+        instance = paper_instance(size, seed=seed)
+        schedule = do_schedule(instance)
+        check_schedule(instance, schedule).raise_if_invalid()
+        assert schedule.makespan >= cpm_lower_bound(instance) - 1e-6
+
+    def test_pa_r(self, size, seed):
+        instance = paper_instance(size, seed=seed)
+        result = pa_r_schedule(instance, iterations=8, seed=seed)
+        check_schedule(instance, result.schedule).raise_if_invalid()
+
+    def test_is1(self, size, seed):
+        instance = paper_instance(size, seed=seed)
+        result = isk_schedule(instance, k=1)
+        check_schedule(
+            instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+        assert result.makespan >= cpm_lower_bound(instance) - 1e-6
+
+    def test_is3(self, size, seed):
+        instance = paper_instance(size, seed=seed)
+        result = isk_schedule(instance, k=3, node_limit=1500)
+        check_schedule(
+            instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+
+    def test_list(self, size, seed):
+        instance = paper_instance(size, seed=seed)
+        result = list_schedule(instance)
+        check_schedule(
+            instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+
+
+class TestGraphKinds:
+    @pytest.mark.parametrize("kind", ["layered", "series-parallel", "random-order"])
+    def test_pa_on_every_topology(self, kind):
+        instance = paper_instance(25, seed=9, graph_kind=kind)
+        schedule = do_schedule(instance)
+        check_schedule(instance, schedule).raise_if_invalid()
+
+
+class TestWithFloorplanner:
+    @pytest.mark.parametrize("size", [20, 40])
+    def test_pa_floorplan_loop(self, size):
+        instance = paper_instance(size, seed=1)
+        planner = Floorplanner.for_architecture(instance.architecture)
+        result = pa_schedule(instance, floorplanner=planner)
+        assert result.feasible
+        check_schedule(instance, result.schedule).raise_if_invalid()
+        # The floorplan the oracle returned must cover every region.
+        assert set(result.floorplan.placements) == set(result.schedule.regions)
+
+    def test_pa_r_floorplan(self):
+        instance = paper_instance(30, seed=2)
+        planner = Floorplanner.for_architecture(instance.architecture)
+        result = pa_r_schedule(
+            instance, iterations=15, seed=5, floorplanner=planner
+        )
+        check_schedule(instance, result.schedule).raise_if_invalid()
+
+    def test_placements_do_not_overlap(self):
+        instance = paper_instance(30, seed=4)
+        planner = Floorplanner.for_architecture(instance.architecture)
+        result = pa_schedule(instance, floorplanner=planner)
+        placements = list(result.floorplan.placements.values())
+        for i, a in enumerate(placements):
+            for b in placements[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_placements_cover_region_demands(self):
+        instance = paper_instance(25, seed=6)
+        planner = Floorplanner.for_architecture(instance.architecture)
+        result = pa_schedule(instance, floorplanner=planner)
+        for region_id, placement in result.floorplan.placements.items():
+            demand = result.schedule.regions[region_id].resources
+            assert demand.fits_in(placement.resources(planner.device))
+
+
+class TestCrossSchedulerRelations:
+    def test_pa_r_never_worse_than_reported_history(self):
+        instance = paper_instance(30, seed=7)
+        result = pa_r_schedule(instance, iterations=20, seed=7)
+        assert result.makespan == min(m for _, m in result.history)
+
+    def test_serialization_roundtrip_preserves_validity(self):
+        from repro.model import Instance, Schedule
+
+        instance = paper_instance(20, seed=8)
+        schedule = do_schedule(instance)
+        instance2 = Instance.from_dict(instance.to_dict())
+        schedule2 = Schedule.from_dict(schedule.to_dict())
+        check_schedule(instance2, schedule2).raise_if_invalid()
+        assert schedule2.makespan == pytest.approx(schedule.makespan)

@@ -1,0 +1,65 @@
+"""Integration test reproducing the Section IV / Figure 1 argument.
+
+The motivating example has a task ``t1`` with a fast/large and a
+slow/small ("resource-efficient") hardware implementation.  The greedy
+IS-1 baseline picks the fast one, serializing the fabric; PA picks the
+efficient one and wins overall — the paper's central claim in
+miniature.
+"""
+
+import pytest
+
+from repro.baselines import isk_schedule
+from repro.benchgen import figure1_instance
+from repro.core import pa_schedule
+from repro.validate import check_schedule
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return figure1_instance()
+
+
+def test_pa_selects_resource_efficient_implementation(instance):
+    result = pa_schedule(instance)
+    assert result.schedule.tasks["t1"].implementation.name == "t1_2"
+
+
+def test_is1_falls_into_the_trap(instance):
+    result = isk_schedule(instance, k=1)
+    assert result.schedule.tasks["t1"].implementation.name == "t1_1"
+
+
+def test_pa_beats_is1_on_figure1(instance):
+    pa = pa_schedule(instance)
+    is1 = isk_schedule(instance, k=1)
+    assert pa.makespan < is1.makespan
+
+
+def test_pa_runs_t2_in_parallel_hardware(instance):
+    """The "right" schedule of Figure 1: t1 and t2 both in hardware,
+    concurrently, in two different regions."""
+    schedule = pa_schedule(instance).schedule
+    t1 = schedule.tasks["t1"]
+    t2 = schedule.tasks["t2"]
+    assert t1.is_hw and t2.is_hw
+    assert t1.placement != t2.placement
+    # Overlapping executions = fabric parallelism.
+    assert t1.start < t2.end and t2.start < t1.end
+
+
+def test_both_schedules_are_valid(instance):
+    check_schedule(instance, pa_schedule(instance).schedule).raise_if_invalid()
+    check_schedule(
+        instance, isk_schedule(instance, k=1).schedule, allow_module_reuse=True
+    ).raise_if_invalid()
+
+
+def test_makespans_match_hand_computation(instance):
+    # PA: t1_2 [0,60) in RR0; t2 [0,50) in RR1; reconf RR1 (45*... = 4 us
+    # for 40 CLB at 100 bits / 1000 bits-per-us) fits in [50,60); t3
+    # [60,90) in RR1.
+    assert pa_schedule(instance).makespan == pytest.approx(90.0)
+    # IS-1: t1_1 [0,40); t2 into the same 80-CLB region after an 8 us
+    # reconfiguration [40,48) -> [48,98); reconf [98,106); t3 [106,136).
+    assert isk_schedule(instance, k=1).makespan == pytest.approx(136.0)

@@ -1,0 +1,119 @@
+"""Integration tests for the multiple-reconfigurators extension
+(the reference-[8] generalization of the paper's single-ICAP model)."""
+
+import pytest
+
+from repro.baselines import isk_schedule
+from repro.benchgen import paper_instance
+from repro.core import PAOptions, do_schedule
+from repro.model import Architecture, Instance
+from repro.sim import simulate
+from repro.validate import check_schedule
+
+
+def with_controllers(instance: Instance, n: int) -> Instance:
+    arch = instance.architecture
+    multi = Architecture(
+        name=arch.name,
+        processors=arch.processors,
+        max_res=arch.max_res,
+        bit_per_resource=arch.bit_per_resource,
+        rec_freq=arch.rec_freq,
+        region_quantum=arch.region_quantum,
+        reconfigurators=n,
+    )
+    return Instance(
+        architecture=multi, taskgraph=instance.taskgraph, name=instance.name
+    )
+
+
+@pytest.fixture(scope="module")
+def contended():
+    # Large enough that reconfigurations genuinely contend.
+    return paper_instance(50, seed=1)
+
+
+class TestPAWithTwoControllers:
+    def test_valid_and_uses_both(self, contended):
+        instance = with_controllers(contended, 2)
+        schedule = do_schedule(instance)
+        check_schedule(instance, schedule).raise_if_invalid()
+        controllers = {rc.controller for rc in schedule.reconfigurations}
+        if len(schedule.reconfigurations) >= 2:
+            assert controllers <= {0, 1}
+
+    def test_never_slower_than_single(self, contended):
+        single = do_schedule(contended)
+        dual = do_schedule(with_controllers(contended, 2))
+        # Extra controllers only relax the serialization constraint.
+        assert dual.makespan <= single.makespan + 1e-6
+
+    def test_single_controller_index_zero(self, contended):
+        schedule = do_schedule(contended)
+        assert all(rc.controller == 0 for rc in schedule.reconfigurations)
+
+    def test_validator_rejects_unknown_controller(self, contended):
+        from dataclasses import replace
+
+        schedule = do_schedule(contended)
+        if not schedule.reconfigurations:
+            pytest.skip("no reconfigurations in this schedule")
+        broken = schedule
+        broken.reconfigurations[0] = replace(
+            broken.reconfigurations[0], controller=5
+        )
+        report = check_schedule(contended, broken)
+        assert "reconfigurator-index" in report.codes()
+
+    def test_validator_allows_parallel_on_distinct_controllers(self, contended):
+        from dataclasses import replace
+
+        instance = with_controllers(contended, 2)
+        schedule = do_schedule(instance)
+        overlapping = None
+        # Manufacture an overlap by moving one reconfiguration onto the
+        # other controller at the same time as another.
+        if len(schedule.reconfigurations) >= 2:
+            a, b = schedule.reconfigurations[:2]
+            moved = replace(
+                b, controller=1 - a.controller, start=a.start,
+                end=a.start + b.duration,
+            )
+            schedule.reconfigurations[1] = moved
+            report = check_schedule(instance, schedule)
+            assert "reconfigurator-contention" not in report.codes()
+
+
+class TestISKWithTwoControllers:
+    def test_valid(self, contended):
+        instance = with_controllers(contended, 2)
+        result = isk_schedule(instance, k=1)
+        check_schedule(
+            instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+
+    def test_never_slower_than_single(self, contended):
+        single = isk_schedule(contended, k=1)
+        dual = isk_schedule(with_controllers(contended, 2), k=1)
+        assert dual.makespan <= single.makespan + 1e-6
+
+
+class TestSimulatorWithTwoControllers:
+    def test_exact_replay(self, contended):
+        instance = with_controllers(contended, 2)
+        schedule = do_schedule(instance)
+        result = simulate(instance, schedule)
+        assert result.makespan == pytest.approx(schedule.makespan)
+
+    def test_per_controller_exclusivity(self, contended):
+        instance = with_controllers(contended, 2)
+        schedule = do_schedule(instance)
+        result = simulate(instance, schedule)
+        lanes: dict[str, list] = {}
+        for activity in result.activities:
+            if activity.kind == "reconfiguration":
+                lanes.setdefault(activity.resource, []).append(activity)
+        for acts in lanes.values():
+            acts.sort(key=lambda a: a.start)
+            for a, b in zip(acts, acts[1:]):
+                assert b.start >= a.end - 1e-9

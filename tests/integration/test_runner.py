@@ -1,0 +1,96 @@
+"""Integration tests for the experiment harness (tiny profile)."""
+
+import json
+
+import pytest
+
+from repro.analysis.runner import (
+    ConvergenceResults,
+    ExperimentConfig,
+    QualityResults,
+    run_convergence,
+    run_quality,
+)
+
+
+@pytest.fixture(scope="module")
+def results() -> QualityResults:
+    config = ExperimentConfig(
+        profile="tiny", group_sizes=(10, 20), per_group=2, is5_node_limit=500,
+        pa_r_min_budget=0.05, pa_r_max_budget=0.2,
+    )
+    return run_quality(config)
+
+
+class TestConfig:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(profile="huge")
+
+    def test_profile_defaults(self):
+        cfg = ExperimentConfig(profile="tiny")
+        assert cfg.group_sizes == (10, 20, 30)
+        assert cfg.per_group == 2
+
+    def test_env_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE", "tiny")
+        assert ExperimentConfig().profile == "tiny"
+
+    def test_suite_shape(self):
+        cfg = ExperimentConfig(profile="tiny", group_sizes=(10,), per_group=1)
+        suite = cfg.suite()
+        assert list(suite) == [10]
+        assert len(suite[10]) == 1
+
+
+class TestQualityRun:
+    def test_record_count(self, results):
+        assert len(results.records) == 4
+        assert results.groups() == [10, 20]
+
+    def test_all_renders_produce_titles(self, results):
+        assert "Table I" in results.render_table1()
+        assert "Figure 2" in results.render_fig2()
+        assert "Figure 3" in results.render_fig3()
+        assert "Figure 4" in results.render_fig4()
+        assert "Figure 5" in results.render_fig5()
+        assert "Table I" in results.render_all()
+
+    def test_improvements_computed_per_group(self, results):
+        imps = results.improvement("is1_makespan", "pa_makespan")
+        assert [g for g, _ in imps] == [10, 20]
+        for _, imp in imps:
+            assert imp.count == 2
+
+    def test_times_positive(self, results):
+        for record in results.records:
+            assert record.pa_scheduling_time > 0
+            assert record.is1_time > 0
+            assert record.is5_time > 0
+            assert record.pa_r_iterations >= 1
+
+    def test_json_roundtrip(self, results, tmp_path):
+        path = tmp_path / "q.json"
+        results.to_json(path)
+        clone = QualityResults.from_json(path)
+        assert len(clone.records) == len(results.records)
+        assert clone.render_fig3() == results.render_fig3()
+
+
+class TestConvergenceRun:
+    def test_series_and_render(self):
+        results = run_convergence(
+            sizes=(10,), budget=0.3, use_floorplanner=False
+        )
+        assert 10 in results.series
+        series = results.series[10]
+        assert series, "PA-R must report at least one incumbent"
+        makespans = [m for _, m in series]
+        assert makespans == sorted(makespans, reverse=True)
+        assert "Figure 6" in results.render()
+
+    def test_json_export(self, tmp_path):
+        results = ConvergenceResults(series={10: [(0.1, 100.0)]})
+        path = tmp_path / "c.json"
+        results.to_json(path)
+        assert json.loads(path.read_text()) == {"10": [[0.1, 100.0]]}

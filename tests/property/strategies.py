@@ -1,0 +1,112 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.model import (
+    Architecture,
+    Implementation,
+    Instance,
+    ResourceVector,
+    Task,
+    TaskGraph,
+)
+
+RESOURCE_TYPES = ("CLB", "BRAM", "DSP")
+
+
+@st.composite
+def resource_vectors(draw, max_amount: int = 50, allow_empty: bool = False):
+    types = draw(
+        st.lists(
+            st.sampled_from(RESOURCE_TYPES),
+            unique=True,
+            min_size=0 if allow_empty else 1,
+            max_size=len(RESOURCE_TYPES),
+        )
+    )
+    return ResourceVector(
+        {t: draw(st.integers(min_value=1, max_value=max_amount)) for t in types}
+    )
+
+
+@st.composite
+def architectures(draw):
+    processors = draw(st.integers(min_value=1, max_value=3))
+    quantum = draw(
+        st.one_of(st.none(), st.just({"CLB": 10, "BRAM": 2, "DSP": 4}))
+    )
+    return Architecture(
+        name="prop-arch",
+        processors=processors,
+        max_res=ResourceVector(
+            {
+                "CLB": draw(st.integers(min_value=100, max_value=400)),
+                "BRAM": draw(st.integers(min_value=4, max_value=20)),
+                "DSP": draw(st.integers(min_value=8, max_value=40)),
+            }
+        ),
+        bit_per_resource={"CLB": 10.0, "BRAM": 90.0, "DSP": 45.0},
+        rec_freq=draw(st.sampled_from([10.0, 100.0, 1000.0])),
+        region_quantum=quantum,
+    )
+
+
+@st.composite
+def tasks(draw, task_id: str):
+    n_hw = draw(st.integers(min_value=0, max_value=3))
+    impls = []
+    for j in range(n_hw):
+        impls.append(
+            Implementation.hw(
+                name=f"{task_id}_hw{j}",
+                time=draw(
+                    st.floats(min_value=1.0, max_value=200.0, allow_nan=False)
+                ),
+                resources=ResourceVector(
+                    {
+                        "CLB": draw(st.integers(min_value=1, max_value=80)),
+                        **(
+                            {"DSP": draw(st.integers(min_value=1, max_value=8))}
+                            if draw(st.booleans())
+                            else {}
+                        ),
+                        **(
+                            {"BRAM": draw(st.integers(min_value=1, max_value=4))}
+                            if draw(st.booleans())
+                            else {}
+                        ),
+                    }
+                ),
+            )
+        )
+    impls.append(
+        Implementation.sw(
+            name=f"{task_id}_sw",
+            time=draw(st.floats(min_value=1.0, max_value=500.0, allow_nan=False)),
+        )
+    )
+    return Task.of(task_id, impls)
+
+
+@st.composite
+def instances(draw, max_tasks: int = 10):
+    n = draw(st.integers(min_value=1, max_value=max_tasks))
+    arch = draw(architectures())
+    graph = TaskGraph("prop")
+    for i in range(n):
+        graph.add_task(draw(tasks(f"t{i}")))
+    # Random-order DAG edges.
+    for dst in range(1, n):
+        for src in range(dst):
+            if draw(st.booleans()) and draw(st.booleans()):
+                comm = draw(st.sampled_from([0.0, 0.0, 5.0, 20.0]))
+                graph.add_dependency(f"t{src}", f"t{dst}", comm=comm)
+    instance = Instance(architecture=arch, taskgraph=graph)
+    # Keep only instances whose HW demands are individually placeable.
+    for task in graph:
+        for impl in task.hw_implementations:
+            if not impl.resources.fits_in(arch.max_res):
+                return draw(instances(max_tasks))  # resample (rare)
+    return instance

@@ -1,0 +1,121 @@
+"""Property-based tests for the floorplanning substrate."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.floorplan import (
+    Floorplanner,
+    candidate_placements,
+    counting_precheck,
+    small_device,
+    solve_backtracking,
+    solve_milp,
+)
+from repro.model import ResourceVector
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def devices(draw):
+    return small_device(
+        rows=draw(st.integers(min_value=1, max_value=3)),
+        clb=draw(st.integers(min_value=2, max_value=8)),
+        bram=draw(st.integers(min_value=0, max_value=2)),
+        dsp=draw(st.integers(min_value=0, max_value=2)),
+    )
+
+
+@st.composite
+def demand_sets(draw, device):
+    total = device.total_resources()
+    n = draw(st.integers(min_value=1, max_value=6))
+    demands = []
+    for _ in range(n):
+        demand = {"CLB": draw(st.integers(min_value=1, max_value=max(1, total["CLB"] // 3)))}
+        if total["DSP"] and draw(st.booleans()):
+            demand["DSP"] = draw(st.integers(min_value=1, max_value=total["DSP"]))
+        if total["BRAM"] and draw(st.booleans()):
+            demand["BRAM"] = draw(st.integers(min_value=1, max_value=total["BRAM"]))
+        demands.append(ResourceVector(demand))
+    return demands
+
+
+@SETTINGS
+@given(st.data())
+def test_candidates_always_satisfy_demand(data):
+    device = data.draw(devices())
+    demands = data.draw(demand_sets(device))
+    for demand in demands:
+        for placement in candidate_placements(device, demand, 100):
+            assert demand.fits_in(placement.resources(device))
+            assert placement.col + placement.width <= device.width
+            assert placement.row + placement.height <= device.rows
+
+
+@SETTINGS
+@given(st.data())
+def test_backtrack_solutions_are_sound(data):
+    device = data.draw(devices())
+    demands = data.draw(demand_sets(device))
+    candidates = [candidate_placements(device, d, 100) for d in demands]
+    result = solve_backtracking(device, candidates, node_limit=5000, time_limit=None)
+    if result.feasible:
+        placements = result.placements
+        assert len(placements) == len(demands)
+        for i, a in enumerate(placements):
+            assert demands[i].fits_in(a.resources(device))
+            for b in placements[i + 1 :]:
+                assert not a.overlaps(b)
+        # A feasible set must pass the necessary counting condition.
+        assert counting_precheck(device, demands)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.data())
+def test_backtrack_and_milp_agree_when_proven(data):
+    device = data.draw(devices())
+    demands = data.draw(demand_sets(device))
+    candidates = [candidate_placements(device, d, 60) for d in demands]
+    bt = solve_backtracking(device, candidates, node_limit=20000, time_limit=None)
+    mr = solve_milp(device, candidates, time_limit=10.0)
+    if bt.proven and mr.proven:
+        assert bt.feasible == mr.feasible
+
+
+@SETTINGS
+@given(st.data())
+def test_floorplanner_facade_consistent_with_cache(data):
+    device = data.draw(devices())
+    demands = data.draw(demand_sets(device))
+    planner = Floorplanner(device, time_limit=0.5)
+    first = planner.check(demands)
+    second = planner.check(demands)  # cache hit
+    assert first.feasible == second.feasible
+    if second.placements is not None:
+        placements = list(second.placements.values())
+        for i, a in enumerate(placements):
+            for b in placements[i + 1 :]:
+                assert not a.overlaps(b)
+
+
+@SETTINGS
+@given(st.data())
+def test_superset_infeasibility_monotone(data):
+    """If a demand set is proven infeasible, adding a region keeps it so."""
+    device = data.draw(devices())
+    demands = data.draw(demand_sets(device))
+    candidates = [candidate_placements(device, d, 60) for d in demands]
+    base = solve_backtracking(device, candidates, node_limit=5000, time_limit=None)
+    if not base.feasible and base.proven:
+        extra = demands + [ResourceVector({"CLB": 1})]
+        extra_cands = candidates + [
+            candidate_placements(device, extra[-1], 60)
+        ]
+        again = solve_backtracking(
+            device, extra_cands, node_limit=5000, time_limit=None
+        )
+        assert not (again.feasible and again.proven and not base.feasible) or not again.feasible

@@ -1,0 +1,60 @@
+"""Property-based serialization round-trips for every model object."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.model import Architecture, Instance, Task, TaskGraph
+
+from .strategies import architectures, instances, tasks
+
+SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SETTINGS
+@given(architectures())
+def test_architecture_roundtrip(arch):
+    clone = Architecture.from_dict(arch.to_dict())
+    assert clone == arch
+    assert clone.resource_weights() == arch.resource_weights()
+    assert clone.region_quantum == arch.region_quantum
+    assert clone.reconfigurators == arch.reconfigurators
+
+
+@SETTINGS
+@given(tasks("t0"))
+def test_task_roundtrip(task):
+    clone = Task.from_dict(task.to_dict())
+    assert clone == task
+    assert clone.fastest() == task.fastest()
+
+
+@SETTINGS
+@given(instances())
+def test_instance_roundtrip(instance):
+    clone = Instance.from_dict(instance.to_dict())
+    assert clone.to_dict() == instance.to_dict()
+    assert len(clone.taskgraph) == len(instance.taskgraph)
+    assert clone.taskgraph.edge_count == instance.taskgraph.edge_count
+    # Topological structure preserved.
+    assert clone.taskgraph.topological_order() == (
+        instance.taskgraph.topological_order()
+    )
+
+
+@SETTINGS
+@given(instances())
+def test_taskgraph_roundtrip_preserves_comm(instance):
+    graph = instance.taskgraph
+    clone = TaskGraph.from_dict(graph.to_dict())
+    for src, dst in graph.edges():
+        assert clone.comm_cost(src, dst) == graph.comm_cost(src, dst)
+
+
+@SETTINGS
+@given(instances())
+def test_json_text_roundtrip(instance):
+    clone = Instance.from_json(instance.to_json())
+    assert clone.to_dict() == instance.to_dict()

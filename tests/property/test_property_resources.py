@@ -1,0 +1,75 @@
+"""Property-based tests for the resource-vector algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.model import ResourceVector
+
+from .strategies import architectures, resource_vectors
+
+
+@given(resource_vectors(), resource_vectors())
+def test_addition_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(resource_vectors(), resource_vectors(), resource_vectors())
+def test_addition_associative(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(resource_vectors())
+def test_zero_is_identity(a):
+    assert a + ResourceVector.zero() == a
+
+
+@given(resource_vectors(), resource_vectors())
+def test_sub_inverts_add(a, b):
+    assert (a + b) - b == a
+
+
+@given(resource_vectors(), resource_vectors())
+def test_summand_fits_in_sum(a, b):
+    total = a + b
+    assert a.fits_in(total) and b.fits_in(total)
+
+
+@given(resource_vectors(), resource_vectors(), resource_vectors())
+def test_fits_in_transitive(a, b, c):
+    if a.fits_in(b) and b.fits_in(c):
+        assert a.fits_in(c)
+
+
+@given(resource_vectors())
+def test_maximum_idempotent(a):
+    assert a.maximum(a) == a
+
+
+@given(resource_vectors(), resource_vectors())
+def test_maximum_dominates_both(a, b):
+    m = a.maximum(b)
+    assert a.fits_in(m) and b.fits_in(m)
+
+
+@given(resource_vectors(), st.floats(min_value=0.0, max_value=1.0))
+def test_scaled_never_grows(a, factor):
+    assert a.scaled(factor).fits_in(a)
+
+
+@given(resource_vectors())
+def test_dict_roundtrip(a):
+    assert ResourceVector(a.to_dict()) == a
+
+
+@given(architectures(), resource_vectors())
+def test_quantize_dominates_and_is_idempotent(arch, demand):
+    q = arch.quantize_region(demand)
+    assert demand.fits_in(q)
+    assert arch.quantize_region(q) == q
+
+
+@given(architectures(), resource_vectors())
+def test_quantize_within_one_quantum(arch, demand):
+    q = arch.quantize_region(demand)
+    quantum = arch.region_quantum or {}
+    for rtype in q:
+        assert q[rtype] - demand[rtype] < quantum.get(rtype, 1)

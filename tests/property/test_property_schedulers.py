@@ -1,0 +1,114 @@
+"""The flagship property: every scheduler, on any random instance,
+produces a schedule that the independent validator accepts and that
+never beats the unlimited-resource CPM lower bound."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import isk_schedule, list_schedule
+from repro.core import PAOptions, do_schedule, pa_r_schedule
+from repro.core.timing import PrecedenceGraph
+from repro.validate import check_schedule
+
+from .strategies import instances
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def cpm_bound(instance) -> float:
+    graph = instance.taskgraph
+    pg = PrecedenceGraph(graph.task_ids)
+    for src, dst in graph.edges():
+        pg.add_edge(src, dst)
+    exe = {t.id: t.fastest().time for t in graph}
+    return pg.compute_windows(exe).makespan
+
+
+@SETTINGS
+@given(instances())
+def test_pa_always_valid(instance):
+    schedule = do_schedule(instance)
+    check_schedule(instance, schedule).raise_if_invalid()
+    assert schedule.makespan >= cpm_bound(instance) - 1e-6
+
+
+@SETTINGS
+@given(instances())
+def test_pa_cpm_window_mode_always_valid(instance):
+    schedule = do_schedule(instance, PAOptions(window_mode="cpm"))
+    check_schedule(instance, schedule).raise_if_invalid()
+
+
+@SETTINGS
+@given(instances())
+def test_pa_with_module_reuse_always_valid(instance):
+    schedule = do_schedule(instance, PAOptions(enable_module_reuse=True))
+    check_schedule(instance, schedule, allow_module_reuse=True).raise_if_invalid()
+
+
+@SETTINGS
+@given(instances())
+def test_pa_with_comm_always_valid(instance):
+    schedule = do_schedule(instance, PAOptions(communication_overhead=True))
+    check_schedule(
+        instance, schedule, communication_overhead=True
+    ).raise_if_invalid()
+
+
+@SETTINGS
+@given(instances())
+def test_pa_legacy_gap_always_valid(instance):
+    schedule = do_schedule(instance, PAOptions(legacy_unit_gap=True))
+    check_schedule(instance, schedule).raise_if_invalid()
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(instances(max_tasks=8))
+def test_pa_r_always_valid(instance):
+    result = pa_r_schedule(instance, iterations=4, seed=0)
+    check_schedule(instance, result.schedule).raise_if_invalid()
+
+
+@SETTINGS
+@given(instances())
+def test_is1_always_valid(instance):
+    result = isk_schedule(instance, k=1)
+    check_schedule(
+        instance, result.schedule, allow_module_reuse=True
+    ).raise_if_invalid()
+    assert result.makespan >= cpm_bound(instance) - 1e-6
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(instances(max_tasks=8))
+def test_is3_always_valid(instance):
+    result = isk_schedule(instance, k=3, node_limit=500)
+    check_schedule(
+        instance, result.schedule, allow_module_reuse=True
+    ).raise_if_invalid()
+
+
+@SETTINGS
+@given(instances())
+def test_list_always_valid(instance):
+    result = list_schedule(instance)
+    check_schedule(
+        instance, result.schedule, allow_module_reuse=True
+    ).raise_if_invalid()
+
+
+@SETTINGS
+@given(instances())
+def test_schedule_serialization_roundtrip(instance):
+    from repro.model import Instance, Schedule
+
+    schedule = do_schedule(instance)
+    clone_instance = Instance.from_dict(instance.to_dict())
+    clone_schedule = Schedule.from_dict(schedule.to_dict())
+    check_schedule(clone_instance, clone_schedule).raise_if_invalid()
+    assert abs(clone_schedule.makespan - schedule.makespan) < 1e-9

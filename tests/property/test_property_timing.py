@@ -1,0 +1,84 @@
+"""Property-based tests for the CPM timing engine."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.timing import PrecedenceGraph
+
+
+@st.composite
+def weighted_dags(draw):
+    """A random DAG over a natural order, with execution times."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    graph = PrecedenceGraph([f"n{i}" for i in range(n)])
+    for dst in range(1, n):
+        for src in range(dst):
+            if draw(st.booleans()) and draw(st.booleans()):
+                graph.add_edge(f"n{src}", f"n{dst}")
+    exe = {
+        f"n{i}": draw(st.floats(min_value=0.5, max_value=50.0, allow_nan=False))
+        for i in range(n)
+    }
+    return graph, exe
+
+
+@given(weighted_dags())
+def test_est_respects_precedence(dag):
+    graph, exe = dag
+    est = graph.earliest_starts(exe)
+    for node in graph.nodes:
+        for succ in graph.successors(node):
+            assert est[succ] >= est[node] + exe[node] - 1e-9
+
+
+@given(weighted_dags())
+def test_windows_are_consistent(dag):
+    graph, exe = dag
+    timing = graph.compute_windows(exe)
+    for node in graph.nodes:
+        est, lft = timing.window(node)
+        # Every task fits inside its window.
+        assert lft - est >= exe[node] - 1e-9
+        # And inside the schedule horizon.
+        assert est >= -1e-9
+        assert lft <= timing.makespan + 1e-9
+        assert timing.slack(node) >= -1e-9
+
+
+@given(weighted_dags())
+def test_makespan_is_max_earliest_finish(dag):
+    graph, exe = dag
+    timing = graph.compute_windows(exe)
+    assert timing.makespan == max(timing.est[n] + exe[n] for n in graph.nodes)
+
+
+@given(weighted_dags())
+def test_critical_path_exists(dag):
+    graph, exe = dag
+    timing = graph.compute_windows(exe)
+    critical = timing.critical_set()
+    assert critical
+    # Some critical node finishes exactly at the makespan.
+    assert any(
+        abs(timing.est[n] + exe[n] - timing.makespan) <= 1e-6 for n in critical
+    )
+
+
+@given(weighted_dags(), st.floats(min_value=0.0, max_value=100.0))
+def test_lower_bounds_monotone(dag, bump):
+    """Raising one lower bound never makes anything start earlier."""
+    graph, exe = dag
+    base = graph.earliest_starts(exe)
+    victim = graph.nodes[0]
+    bumped = graph.earliest_starts(exe, {victim: base[victim] + bump})
+    for node in graph.nodes:
+        assert bumped[node] >= base[node] - 1e-9
+
+
+@given(weighted_dags())
+def test_topological_order_valid(dag):
+    graph, _ = dag
+    order = graph.topological_order()
+    position = {n: i for i, n in enumerate(order)}
+    for node in graph.nodes:
+        for succ in graph.successors(node):
+            assert position[node] < position[succ]

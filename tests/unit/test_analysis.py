@@ -1,0 +1,84 @@
+"""Unit tests for metrics, tables and the Gantt renderer."""
+
+import pytest
+
+from repro.analysis import (
+    group_improvement,
+    improvement_percent,
+    render_gantt,
+    render_series,
+    render_table,
+)
+from repro.core import do_schedule
+
+
+class TestMetrics:
+    def test_improvement_percent(self):
+        assert improvement_percent(100.0, 80.0) == pytest.approx(20.0)
+        assert improvement_percent(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_improvement_needs_positive_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 10.0)
+
+    def test_group_improvement(self):
+        imp = group_improvement([100.0, 100.0], [80.0, 60.0])
+        assert imp.mean == pytest.approx(30.0)
+        assert imp.count == 2
+        assert imp.minimum == pytest.approx(20.0)
+        assert imp.maximum == pytest.approx(40.0)
+        assert imp.std == pytest.approx(10.0)
+
+    def test_group_improvement_validation(self):
+        with pytest.raises(ValueError):
+            group_improvement([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            group_improvement([], [])
+
+    def test_improvement_str(self):
+        imp = group_improvement([100.0], [90.0])
+        assert "+10.0%" in str(imp)
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(l) for l in lines[1:]}) == 1  # constant width
+
+    def test_render_table_nan(self):
+        out = render_table(["x"], [[float("nan")]])
+        assert "-" in out
+
+    def test_render_series(self):
+        out = render_series("S", [(1.0, 2.0)], "t", "y")
+        assert out.startswith("S")
+        assert "t" in out and "y" in out
+
+
+class TestGantt:
+    def test_contains_all_lanes(self, chain_instance):
+        schedule = do_schedule(chain_instance)
+        art = render_gantt(schedule, width=60)
+        for region_id in schedule.regions:
+            assert region_id in art
+        assert "makespan" in art
+
+    def test_reconfigurations_drawn(self, medium_instance):
+        schedule = do_schedule(medium_instance)
+        art = render_gantt(schedule, width=100)
+        if schedule.reconfigurations:
+            assert "ICAP" in art
+
+    def test_empty_schedule(self):
+        from repro.model import Schedule
+
+        assert "empty" in render_gantt(Schedule(tasks={}, regions={}))
+
+    def test_task_labels_present(self, chain_instance):
+        schedule = do_schedule(chain_instance)
+        art = render_gantt(schedule, width=120)
+        # At least the first characters of task ids appear.
+        assert "[a" in art or "[b" in art or "[c" in art

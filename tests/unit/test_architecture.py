@@ -1,0 +1,125 @@
+"""Unit tests for :mod:`repro.model.architecture` (Eqs. 1, 2, 4)."""
+
+import pytest
+
+from repro.model import Architecture, ResourceVector, zedboard
+
+
+def arch(**kwargs) -> Architecture:
+    defaults = dict(
+        name="a",
+        processors=2,
+        max_res=ResourceVector({"CLB": 100, "DSP": 10}),
+        bit_per_resource={"CLB": 10.0, "DSP": 40.0},
+        rec_freq=5.0,
+    )
+    defaults.update(kwargs)
+    return Architecture(**defaults)
+
+
+class TestValidation:
+    def test_needs_processor(self):
+        with pytest.raises(ValueError):
+            arch(processors=0)
+
+    def test_needs_positive_recfreq(self):
+        with pytest.raises(ValueError):
+            arch(rec_freq=0.0)
+
+    def test_needs_resources(self):
+        with pytest.raises(ValueError):
+            arch(max_res=ResourceVector())
+
+    def test_bit_cost_for_every_type(self):
+        with pytest.raises(ValueError):
+            arch(bit_per_resource={"CLB": 10.0})
+
+    def test_bit_cost_positive(self):
+        with pytest.raises(ValueError):
+            arch(bit_per_resource={"CLB": 10.0, "DSP": 0.0})
+
+    def test_quantum_positive(self):
+        with pytest.raises(ValueError):
+            arch(region_quantum={"CLB": 0})
+
+
+class TestEquations:
+    def test_eq1_bitstream(self):
+        a = arch()
+        # bit_s = 20*10 + 2*40 = 280
+        assert a.bitstream_bits(ResourceVector({"CLB": 20, "DSP": 2})) == 280.0
+
+    def test_eq2_reconf_time(self):
+        a = arch()
+        assert a.reconf_time(ResourceVector({"CLB": 20, "DSP": 2})) == 280.0 / 5.0
+
+    def test_eq4_weights(self):
+        a = arch()
+        weights = a.resource_weights()
+        # total = 110; weight = 1 - share
+        assert weights["CLB"] == pytest.approx(1 - 100 / 110)
+        assert weights["DSP"] == pytest.approx(1 - 10 / 110)
+
+    def test_eq4_scarce_resource_weighs_more(self):
+        weights = arch().resource_weights()
+        assert weights["DSP"] > weights["CLB"]
+
+    def test_single_type_weight_is_zero(self):
+        a = arch(
+            max_res=ResourceVector({"CLB": 100}),
+            bit_per_resource={"CLB": 10.0},
+        )
+        assert a.resource_weights()["CLB"] == 0.0
+
+
+class TestQuantization:
+    def test_no_quantum_is_identity(self):
+        demand = ResourceVector({"CLB": 37})
+        assert arch().quantize_region(demand) == demand
+
+    def test_quantize_rounds_up(self):
+        a = arch(region_quantum={"CLB": 10, "DSP": 4})
+        q = a.quantize_region(ResourceVector({"CLB": 37, "DSP": 2}))
+        assert q == ResourceVector({"CLB": 40, "DSP": 4})
+
+    def test_quantize_exact_multiple_unchanged(self):
+        a = arch(region_quantum={"CLB": 10, "DSP": 4})
+        q = a.quantize_region(ResourceVector({"CLB": 40}))
+        assert q["CLB"] == 40
+
+    def test_quantize_unknown_type_passthrough(self):
+        a = arch(region_quantum={"CLB": 10})
+        q = a.quantize_region(ResourceVector({"DSP": 3}))
+        assert q["DSP"] == 3
+
+
+class TestShrinking:
+    def test_shrunk_scales_max_res_only(self):
+        a = arch()
+        s = a.shrunk(0.9)
+        assert s.max_res["CLB"] == 90
+        assert s.rec_freq == a.rec_freq
+        assert s.bit_per_resource == a.bit_per_resource
+        assert s.region_quantum == a.region_quantum
+
+    def test_with_max_res(self):
+        a = arch()
+        s = a.with_max_res(ResourceVector({"CLB": 1, "DSP": 1}))
+        assert s.max_res.total() == 2
+
+
+class TestZedboard:
+    def test_paper_numbers(self):
+        z = zedboard()
+        assert z.processors == 2
+        assert z.max_res == ResourceVector({"CLB": 13300, "BRAM": 140, "DSP": 220})
+        assert z.rec_freq == 3200.0  # ICAP: 32 bit @ 100 MHz, bits per us
+
+    def test_dict_roundtrip(self):
+        z = zedboard()
+        clone = Architecture.from_dict(z.to_dict())
+        assert clone == z
+        assert clone.region_quantum == z.region_quantum
+
+    def test_resource_types_sorted(self):
+        assert zedboard().resource_types == ("BRAM", "CLB", "DSP")

@@ -1,0 +1,121 @@
+"""Unit tests for software task balancing (Section V-D, Eq. 6)."""
+
+import pytest
+
+from repro.core import (
+    PAOptions,
+    PAState,
+    balance_software_tasks,
+    define_regions,
+    select_implementations,
+    total_reconfiguration_time,
+)
+from repro.model import Implementation, Instance, ResourceVector, Task, TaskGraph
+
+
+def hw(name, time, clb):
+    return Implementation.hw(name, time, {"CLB": clb})
+
+
+def sw(name, time):
+    return Implementation.sw(name, time)
+
+
+class TestEq6:
+    def test_total_reconfiguration_time(self, chain_instance):
+        state = PAState(chain_instance)
+        select_implementations(state)
+        rid = state.new_region(ResourceVector({"CLB": 20}))
+        # Empty and single-task regions contribute nothing.
+        assert total_reconfiguration_time(state) == 0.0
+        state.assign_region("a", rid, 0)
+        assert total_reconfiguration_time(state) == 0.0
+        state.assign_region("c", rid, 1)
+        # One reconfiguration: 20 CLB * 10 bits / 10 bits-per-us = 20 us.
+        assert total_reconfiguration_time(state) == pytest.approx(20.0)
+        state.assign_region("b", rid, 1)
+        assert total_reconfiguration_time(state) == pytest.approx(40.0)
+
+
+class TestBalancing:
+    def _instance(self, simple_arch) -> Instance:
+        """front (HW) -> late (SW-selected but with HW candidates)."""
+        graph = TaskGraph("bal")
+        graph.add_task(Task.of("front", [hw("front_hw", 50.0, 60), sw("front_sw", 500.0)]))
+        # late's HW implementation is slower than its SW one, so step A
+        # picks SW; balancing should still be able to promote it.
+        graph.add_task(Task.of("late", [hw("late_hw", 80.0, 30), sw("late_sw", 60.0)]))
+        graph.add_dependency("front", "late")
+        return Instance(architecture=simple_arch, taskgraph=graph)
+
+    def test_promotion_into_existing_region(self, simple_arch):
+        instance = self._instance(simple_arch)
+        state = PAState(instance)
+        select_implementations(state)
+        assert state.impl["late"].name == "late_sw"
+        define_regions(state)
+        stats = balance_software_tasks(state)
+        assert stats["promoted"] == 1
+        assert state.impl["late"].name == "late_hw"
+        assert "late" in state.region_of
+
+    def test_disabled_by_option(self, simple_arch):
+        instance = self._instance(simple_arch)
+        state = PAState(instance, PAOptions(enable_sw_balancing=False))
+        select_implementations(state)
+        define_regions(state)
+        stats = balance_software_tasks(state)
+        assert stats == {"promoted": 0, "examined": 0}
+        assert state.impl["late"].name == "late_sw"
+
+    def test_eq6_gate_blocks_early_tasks(self, simple_arch):
+        # An SW task starting at t=0 can never satisfy T_MIN > totRecTime.
+        graph = TaskGraph("gate")
+        graph.add_task(Task.of("only", [hw("only_hw", 90.0, 10), sw("only_sw", 50.0)]))
+        instance = Instance(architecture=simple_arch, taskgraph=graph)
+        state = PAState(instance)
+        select_implementations(state)
+        define_regions(state)
+        stats = balance_software_tasks(state)
+        assert stats["promoted"] == 0
+        assert stats["examined"] == 1
+
+    def test_no_promotion_without_fitting_region(self, simple_arch):
+        # The only region is too small for any of late's HW impls.
+        graph = TaskGraph("nofit")
+        graph.add_task(Task.of("front", [hw("front_hw", 50.0, 95), sw("front_sw", 500.0)]))
+        graph.add_task(Task.of("late", [hw("late_hw", 80.0, 96), sw("late_sw", 60.0)]))
+        graph.add_dependency("front", "late")
+        instance = Instance(architecture=simple_arch, taskgraph=graph)
+        state = PAState(instance)
+        select_implementations(state)
+        define_regions(state)
+        stats = balance_software_tasks(state)
+        assert stats["promoted"] == 0
+        assert state.impl["late"].name == "late_sw"
+
+    def test_falls_back_to_fitting_implementation(self, simple_arch):
+        # late's lowest-cost HW impl does not fit the region, but a
+        # smaller variant does: the promotion must use the variant
+        # (DESIGN.md clarification of Section V-D).
+        graph = TaskGraph("variant")
+        graph.add_task(Task.of("front", [hw("front_hw", 50.0, 30), sw("front_sw", 500.0)]))
+        graph.add_task(
+            Task.of(
+                "late",
+                [
+                    hw("late_big", 62.0, 50),  # lowest Eq. 3 cost, too big
+                    hw("late_small", 100.0, 25),
+                    sw("late_sw", 60.0),  # faster than both -> step A picks SW
+                ],
+            )
+        )
+        graph.add_dependency("front", "late")
+        instance = Instance(architecture=simple_arch, taskgraph=graph)
+        state = PAState(instance)
+        select_implementations(state)
+        assert state.impl["late"].name == "late_sw"
+        define_regions(state)
+        stats = balance_software_tasks(state)
+        assert stats["promoted"] == 1
+        assert state.impl["late"].name == "late_small"

@@ -1,0 +1,168 @@
+"""Unit tests for the synthetic benchmark generator (Section VII-A)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.benchgen import (
+    GENERATORS,
+    ModuleLibrary,
+    ModuleLibraryConfig,
+    figure1_instance,
+    layered_edges,
+    paper_instance,
+    paper_suite,
+    random_order_edges,
+    series_parallel_edges,
+    small_suite,
+    zedboard_architecture,
+)
+
+
+def as_dag(n, edges):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    return g
+
+
+class TestTopologyGenerators:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    @pytest.mark.parametrize("n", [1, 2, 10, 40])
+    def test_generates_connected_dag(self, name, n):
+        rng = random.Random(7)
+        edges = GENERATORS[name](rng, n)
+        dag = as_dag(n, edges)
+        assert nx.is_directed_acyclic_graph(dag)
+        assert dag.number_of_nodes() == n
+        # No dangling node ids outside range.
+        assert all(0 <= u < n and 0 <= v < n for u, v in edges)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_deterministic_under_seed(self, name):
+        a = GENERATORS[name](random.Random(3), 25)
+        b = GENERATORS[name](random.Random(3), 25)
+        assert a == b
+
+    def test_layered_every_nonroot_has_pred(self):
+        edges = layered_edges(random.Random(1), 30)
+        dag = as_dag(30, edges)
+        roots = [n for n in dag if dag.in_degree(n) == 0]
+        # Only the first layer may be roots; at least one root exists.
+        assert roots
+        assert len(roots) < 30
+
+    def test_layered_max_in_degree(self):
+        edges = layered_edges(random.Random(5), 60, max_in_degree=3)
+        dag = as_dag(60, edges)
+        assert max(d for _, d in dag.in_degree()) <= 3
+
+    def test_series_parallel_single_source_sink(self):
+        edges = series_parallel_edges(random.Random(2), 40)
+        dag = as_dag(40, edges)
+        assert sum(1 for n in dag if dag.in_degree(n) == 0) == 1
+        assert sum(1 for n in dag if dag.out_degree(n) == 0) == 1
+
+    def test_random_order_connected(self):
+        edges = random_order_edges(random.Random(4), 30)
+        dag = as_dag(30, edges)
+        assert all(dag.in_degree(n) > 0 for n in dag if n != 0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            layered_edges(random.Random(0), 0)
+
+
+class TestModuleLibrary:
+    def test_bundle_shape(self):
+        lib = ModuleLibrary(rng=random.Random(0))
+        bundle = lib.implementations_for_task()
+        hw = [i for i in bundle if i.is_hw]
+        sw = [i for i in bundle if i.is_sw]
+        assert len(hw) == 3 and len(sw) == 1
+
+    def test_hw_variants_trade_time_for_area(self):
+        cfg = ModuleLibraryConfig(noise=0.0)
+        lib = ModuleLibrary(rng=random.Random(0), config=cfg)
+        hw = [i for i in lib.implementations_for_task() if i.is_hw]
+        times = [i.time for i in hw]
+        areas = [i.resources["CLB"] for i in hw]
+        assert times == sorted(times)
+        assert areas == sorted(areas, reverse=True)
+
+    def test_sw_slower_than_fastest_hw(self):
+        lib = ModuleLibrary(rng=random.Random(1))
+        for _ in range(20):
+            bundle = lib.implementations_for_task()
+            sw = next(i for i in bundle if i.is_sw)
+            fastest_hw = min(i.time for i in bundle if i.is_hw)
+            assert sw.time > fastest_hw
+
+    def test_sharing_produces_identical_bundles(self):
+        cfg = ModuleLibraryConfig(share_probability=1.0)
+        lib = ModuleLibrary(rng=random.Random(2), config=cfg)
+        first = lib.implementations_for_task()
+        second = lib.implementations_for_task()
+        assert first == second  # same module names -> module reuse
+
+    def test_no_sharing(self):
+        cfg = ModuleLibraryConfig(share_probability=0.0)
+        lib = ModuleLibrary(rng=random.Random(2), config=cfg)
+        names = set()
+        for _ in range(10):
+            for impl in lib.implementations_for_task():
+                assert impl.name not in names
+                names.add(impl.name)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ModuleLibraryConfig(slowdowns=(1.0,), area_ratios=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            ModuleLibraryConfig(share_probability=1.5)
+
+
+class TestSuite:
+    def test_paper_instance_shape(self):
+        instance = paper_instance(20, seed=1)
+        assert len(instance.taskgraph) == 20
+        instance.validate()
+        for task in instance.taskgraph:
+            assert len(task.hw_implementations) == 3
+            assert len(task.sw_implementations) == 1
+
+    def test_paper_instance_deterministic(self):
+        a = paper_instance(20, seed=1)
+        b = paper_instance(20, seed=1)
+        assert a.to_dict() == b.to_dict()
+
+    def test_paper_instance_seed_sensitivity(self):
+        a = paper_instance(20, seed=1)
+        b = paper_instance(20, seed=2)
+        assert a.to_dict() != b.to_dict()
+
+    def test_unknown_graph_kind(self):
+        with pytest.raises(ValueError):
+            paper_instance(10, seed=0, graph_kind="banana")
+
+    def test_paper_suite_structure(self):
+        suite = paper_suite(group_sizes=(10, 20), per_group=2)
+        assert set(suite) == {10, 20}
+        assert all(len(v) == 2 for v in suite.values())
+        assert all(len(i.taskgraph) == size for size, v in suite.items() for i in v)
+
+    def test_small_suite_defaults(self):
+        suite = small_suite(group_sizes=(10,), per_group=1)
+        assert list(suite) == [10]
+
+    def test_zedboard_architecture_derated(self):
+        full = zedboard_architecture(derate=1.0)
+        derated = zedboard_architecture()
+        assert derated.max_res["CLB"] < full.max_res["CLB"]
+        assert derated.region_quantum == full.region_quantum
+
+    def test_figure1_instance(self):
+        instance = figure1_instance()
+        instance.validate()
+        t1 = instance.taskgraph.task("t1")
+        assert len(t1.hw_implementations) == 2

@@ -1,0 +1,141 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "inst.json"
+    assert main(["generate", "--tasks", "12", "--seed", "3", "-o", str(path)]) == 0
+    return path
+
+
+@pytest.fixture
+def schedule_file(tmp_path, instance_file):
+    path = tmp_path / "sched.json"
+    code = main(
+        ["schedule", str(instance_file), "--algorithm", "pa", "-o", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_instance(self, instance_file):
+        from repro.model import Instance
+
+        data = json.loads(instance_file.read_text())
+        instance = Instance.from_dict(data)
+        assert len(instance.taskgraph) == 12
+
+    def test_stdout_mode(self, capsys):
+        assert main(["generate", "--tasks", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["taskgraph"]
+
+    def test_graph_kinds(self, tmp_path):
+        for kind in ("layered", "series-parallel", "random-order"):
+            path = tmp_path / f"{kind}.json"
+            assert main(
+                ["generate", "--tasks", "8", "--graph", kind, "-o", str(path)]
+            ) == 0
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("algo", ["pa", "is-1", "is-2", "list"])
+    def test_algorithms(self, instance_file, tmp_path, algo, capsys):
+        out = tmp_path / "s.json"
+        code = main(
+            [
+                "schedule", str(instance_file),
+                "--algorithm", algo, "--no-floorplan", "-o", str(out),
+            ]
+        )
+        assert code == 0
+        assert "makespan" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_pa_r(self, instance_file, capsys):
+        code = main(
+            [
+                "schedule", str(instance_file), "--algorithm", "pa-r",
+                "--budget", "0.2", "--no-floorplan",
+            ]
+        )
+        assert code == 0
+        assert "PA-R" in capsys.readouterr().out
+
+    def test_unknown_algorithm(self, instance_file):
+        assert main(
+            ["schedule", str(instance_file), "--algorithm", "magic", "--no-floorplan"]
+        ) == 2
+
+
+class TestValidateGanttFloorplan:
+    def test_validate_ok(self, instance_file, schedule_file, capsys):
+        assert main(["validate", str(instance_file), str(schedule_file)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_catches_corruption(self, instance_file, schedule_file):
+        data = json.loads(schedule_file.read_text())
+        data["tasks"][0]["end"] += 1e6  # duration no longer matches impl
+        schedule_file.write_text(json.dumps(data))
+        assert main(["validate", str(instance_file), str(schedule_file)]) == 1
+
+    def test_gantt(self, instance_file, schedule_file, capsys):
+        assert main(["gantt", str(instance_file), str(schedule_file)]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_stats(self, instance_file, schedule_file, capsys):
+        assert main(["stats", str(instance_file), str(schedule_file)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "parallelism" in out
+
+    def test_floorplan(self, instance_file, schedule_file, capsys):
+        code = main(["floorplan", str(instance_file), str(schedule_file)])
+        out = capsys.readouterr().out
+        assert "feasible=" in out
+        assert code in (0, 1)
+
+
+class TestExplain:
+    def test_full_trace(self, instance_file, capsys):
+        assert main(["explain", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert "decision profile" in out
+        assert "[selection]" in out
+
+    def test_single_task(self, instance_file, capsys):
+        assert main(["explain", str(instance_file), "--task", "t0"]) == 0
+        out = capsys.readouterr().out
+        assert "t0" in out
+
+    def test_phase_filter(self, instance_file, capsys):
+        assert main(["explain", str(instance_file), "--phase", "regions"]) == 0
+        out = capsys.readouterr().out
+        assert "[regions]" in out
+        assert "[selection]" not in out.split("\n\n", 1)[-1]
+
+
+class TestExperiments:
+    def test_tiny_fig3(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE", "tiny")
+        assert main(["experiments", "fig3", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "overall average improvement" in out
+
+    def test_output_directory_artifacts(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE", "tiny")
+        outdir = tmp_path / "res"
+        assert main(
+            ["experiments", "fig2", "--profile", "tiny", "-o", str(outdir)]
+        ) == 0
+        assert (outdir / "quality.json").exists()
+        assert (outdir / "report.html").exists()
+        assert (outdir / "csv" / "fig3_pa_vs_is1.csv").exists()
+        assert "<svg" in (outdir / "report.html").read_text()

@@ -1,0 +1,150 @@
+"""Unit tests for Equations 3, 4 and 5 (:mod:`repro.core.cost`)."""
+
+import pytest
+
+from repro.core.cost import (
+    efficiency_index,
+    implementation_cost,
+    max_serial_time,
+    select_initial_implementation,
+)
+from repro.model import (
+    Architecture,
+    Implementation,
+    ResourceVector,
+    Task,
+    TaskGraph,
+)
+
+
+@pytest.fixture
+def arch():
+    return Architecture(
+        name="a",
+        processors=1,
+        max_res=ResourceVector({"CLB": 100, "DSP": 20}),
+        bit_per_resource={"CLB": 1.0, "DSP": 1.0},
+        rec_freq=1.0,
+    )
+
+
+class TestMaxSerialTime:
+    def test_sums_fastest_times(self):
+        g = TaskGraph()
+        g.add_task(Task.of("a", [Implementation.sw("a1", 10.0), Implementation.sw("a2", 4.0)]))
+        g.add_task(Task.of("b", [Implementation.sw("b1", 6.0)]))
+        assert max_serial_time(g) == 10.0
+
+
+class TestImplementationCost:
+    def test_hand_computed(self, arch):
+        # weights: CLB = 1 - 100/120 = 1/6; DSP = 1 - 20/120 = 5/6
+        # denom = 100/6 + 100/6 = 33.33...
+        impl = Implementation.hw("i", 10.0, {"CLB": 30, "DSP": 6})
+        cost = implementation_cost(impl, arch, max_t=100.0)
+        area = (30 / 6 + 30 / 6) / (100 / 6 + 100 / 6)
+        assert cost == pytest.approx(area + 10.0 / 100.0)
+
+    def test_scarcer_resource_costs_more(self, arch):
+        clb_heavy = Implementation.hw("c", 10.0, {"CLB": 10})
+        dsp_heavy = Implementation.hw("d", 10.0, {"DSP": 10})
+        assert implementation_cost(dsp_heavy, arch, 100.0) > implementation_cost(
+            clb_heavy, arch, 100.0
+        )
+
+    def test_slower_costs_more(self, arch):
+        fast = Implementation.hw("f", 10.0, {"CLB": 10})
+        slow = Implementation.hw("s", 40.0, {"CLB": 10})
+        assert implementation_cost(slow, arch, 100.0) > implementation_cost(
+            fast, arch, 100.0
+        )
+
+    def test_sw_rejected(self, arch):
+        with pytest.raises(ValueError):
+            implementation_cost(Implementation.sw("s", 1.0), arch, 100.0)
+
+    def test_bad_max_t_rejected(self, arch):
+        impl = Implementation.hw("i", 10.0, {"CLB": 1})
+        with pytest.raises(ValueError):
+            implementation_cost(impl, arch, 0.0)
+
+    def test_single_resource_fallback(self):
+        # Eq. 4 yields weight 0 for a single-type fabric; the fallback
+        # must keep the metric informative rather than dividing by 0.
+        arch = Architecture(
+            name="one", processors=1,
+            max_res=ResourceVector({"CLB": 100}),
+            bit_per_resource={"CLB": 1.0}, rec_freq=1.0,
+        )
+        small = Implementation.hw("s", 10.0, {"CLB": 10})
+        big = Implementation.hw("b", 10.0, {"CLB": 90})
+        assert implementation_cost(big, arch, 100.0) > implementation_cost(
+            small, arch, 100.0
+        )
+
+
+class TestEfficiencyIndex:
+    def test_higher_time_per_area_is_more_efficient(self, arch):
+        dense = Implementation.hw("dense", 40.0, {"CLB": 10})
+        sparse = Implementation.hw("sparse", 10.0, {"CLB": 40})
+        assert efficiency_index(dense, arch) > efficiency_index(sparse, arch)
+
+    def test_hand_computed(self, arch):
+        impl = Implementation.hw("i", 12.0, {"CLB": 6})
+        # weighted area = 6 * 1/6 = 1
+        assert efficiency_index(impl, arch) == pytest.approx(12.0)
+
+    def test_sw_rejected(self, arch):
+        with pytest.raises(ValueError):
+            efficiency_index(Implementation.sw("s", 1.0), arch)
+
+
+class TestSelection:
+    def test_prefers_faster_champion(self, arch):
+        task = Task.of(
+            "t",
+            [
+                Implementation.hw("hw", 10.0, {"CLB": 10}),
+                Implementation.sw("sw", 50.0),
+            ],
+        )
+        chosen = select_initial_implementation(task, arch, max_t=100.0)
+        assert chosen.name == "hw"
+
+    def test_sw_wins_when_faster(self, arch):
+        task = Task.of(
+            "t",
+            [
+                Implementation.hw("hw", 60.0, {"CLB": 10}),
+                Implementation.sw("sw", 20.0),
+            ],
+        )
+        assert select_initial_implementation(task, arch, 100.0).name == "sw"
+
+    def test_hw_champion_is_lowest_cost_not_fastest(self, arch):
+        # big is faster but costs more (Eq. 3); small must be champion,
+        # and it still beats the SW implementation on time.
+        task = Task.of(
+            "t",
+            [
+                Implementation.hw("big", 30.0, {"CLB": 90, "DSP": 18}),
+                Implementation.hw("small", 35.0, {"CLB": 9}),
+                Implementation.sw("sw", 500.0),
+            ],
+        )
+        assert select_initial_implementation(task, arch, 100.0).name == "small"
+
+    def test_hw_only_task(self, arch):
+        task = Task.of("t", [Implementation.hw("hw", 10.0, {"CLB": 1})])
+        assert select_initial_implementation(task, arch, 100.0).name == "hw"
+
+    def test_sw_only_task(self, arch):
+        task = Task.of("t", [Implementation.sw("s1", 9.0), Implementation.sw("s2", 7.0)])
+        assert select_initial_implementation(task, arch, 100.0).name == "s2"
+
+    def test_tie_prefers_hw(self, arch):
+        task = Task.of(
+            "t",
+            [Implementation.hw("hw", 10.0, {"CLB": 1}), Implementation.sw("sw", 10.0)],
+        )
+        assert select_initial_implementation(task, arch, 100.0).name == "hw"

@@ -1,0 +1,90 @@
+"""Unit tests for the fabric device model."""
+
+import pytest
+
+from repro.floorplan import FabricDevice, small_device, zynq_7z020
+from repro.floorplan.device import FRAME_BITS, ColumnSpec
+from repro.model import ResourceVector
+
+
+class TestColumnSpec:
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            ColumnSpec(kind="CLB", resources=0, frames=1)
+        with pytest.raises(ValueError):
+            ColumnSpec(kind="CLB", resources=1, frames=0)
+
+
+class TestFabricDevice:
+    def test_needs_rows_and_columns(self):
+        with pytest.raises(ValueError):
+            FabricDevice("d", rows=0, columns=("CLB",))
+        with pytest.raises(ValueError):
+            FabricDevice("d", rows=1, columns=())
+
+    def test_unknown_column_type(self):
+        with pytest.raises(ValueError):
+            FabricDevice("d", rows=1, columns=("XYZ",))
+
+    def test_reserved_columns_bounds(self):
+        with pytest.raises(ValueError):
+            FabricDevice("d", rows=1, columns=("CLB",), reserved_columns=1)
+
+    def test_rect_resources(self):
+        dev = small_device(rows=2, clb=4, bram=1, dsp=1)
+        full = dev.rect_resources(0, dev.width, dev.rows)
+        assert full == dev.total_resources()
+        assert full["CLB"] == 4 * 100 * 2
+        assert full["BRAM"] == 10 * 2
+        assert full["DSP"] == 20 * 2
+
+    def test_rect_resources_independent_of_row(self):
+        dev = small_device()
+        assert dev.rect_resources(0, 2, 1) == dev.rect_resources(0, 2, 1)
+
+    def test_rect_bits_counts_frames(self):
+        dev = small_device(rows=1, clb=1, bram=0, dsp=0)
+        assert dev.rect_bits(0, 1, 1) == 36 * FRAME_BITS
+
+    def test_reserved_columns_excluded_from_totals(self):
+        dev = FabricDevice("d", rows=1, columns=("CLB", "CLB", "CLB"), reserved_columns=1)
+        assert dev.total_resources()["CLB"] == 200
+
+
+class TestZynqModel:
+    def test_totals_close_to_real_part(self):
+        dev = zynq_7z020()
+        total = dev.total_resources()
+        # Real XC7Z020: 13300 slices / 140 RAMB36 / 220 DSP48.
+        assert abs(total["CLB"] - 13300) / 13300 < 0.05
+        assert abs(total["BRAM"] - 140) / 140 < 0.10
+        assert abs(total["DSP"] - 220) / 220 < 0.10
+
+    def test_bits_per_resource_matches_model_factory(self):
+        from repro.model import zedboard
+
+        dev_bits = zynq_7z020().bits_per_resource()
+        arch_bits = zedboard().bit_per_resource
+        for kind in ("CLB", "BRAM", "DSP"):
+            assert dev_bits[kind] == pytest.approx(arch_bits[kind])
+
+    def test_architecture_adapter_is_consistent(self):
+        dev = zynq_7z020()
+        arch = dev.architecture()
+        assert arch.max_res == dev.total_resources()
+        assert arch.region_quantum == {"CLB": 100, "BRAM": 10, "DSP": 20}
+        # Eq. 1 through the architecture equals the device frame count
+        # for a full-column region.
+        region = dev.rect_resources(0, 1, 1)
+        assert arch.bitstream_bits(region) == pytest.approx(dev.rect_bits(0, 1, 1))
+
+    def test_special_columns_adjacent_pairs(self):
+        dev = zynq_7z020()
+        cols = dev.columns
+        for i, kind in enumerate(cols):
+            if kind == "BRAM":
+                # Every BRAM column with a DSP partner has it adjacent.
+                neighbours = {cols[j] for j in (i - 1, i + 1) if 0 <= j < len(cols)}
+                assert "DSP" in neighbours or "CLB" in neighbours
+        assert cols.count("BRAM") == 5
+        assert cols.count("DSP") == 4

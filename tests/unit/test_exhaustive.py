@@ -1,0 +1,71 @@
+"""Unit + property tests for the exhaustive reference scheduler."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import (
+    exhaustive_schedule,
+    isk_schedule,
+    list_schedule,
+)
+from repro.benchgen import figure1_instance, paper_instance
+from repro.validate import check_schedule
+
+from ..property.strategies import instances
+
+
+class TestExhaustive:
+    def test_figure1_optimum(self):
+        instance = figure1_instance()
+        result = exhaustive_schedule(instance)
+        check_schedule(
+            instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+        # The constructive optimum of Figure 1 is the "right" schedule:
+        # t1_2 + t2 in parallel regions, t3 after a reconfiguration.
+        assert result.makespan == pytest.approx(90.0)
+
+    def test_never_worse_than_is1(self):
+        instance = paper_instance(8, seed=3)
+        exact = exhaustive_schedule(instance)
+        assert exact.makespan <= isk_schedule(instance, k=1).makespan + 1e-9
+
+    def test_monotone_in_k(self):
+        instance = paper_instance(6, seed=5)
+        m1 = isk_schedule(instance, k=1, branch_cap=10**9).makespan
+        m3 = isk_schedule(instance, k=3, branch_cap=10**9, node_limit=10**9).makespan
+        mx = exhaustive_schedule(instance).makespan
+        assert mx <= m3 + 1e-9 <= m1 + 1e-9 or mx <= m1 + 1e-9
+
+    def test_node_limited_still_valid(self):
+        instance = paper_instance(10, seed=4)
+        result = exhaustive_schedule(instance, node_limit=500)
+        check_schedule(
+            instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+
+    def test_scheduler_label(self):
+        instance = paper_instance(5, seed=1)
+        assert exhaustive_schedule(instance).schedule.scheduler == "EXHAUSTIVE"
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(instances(max_tasks=5))
+def test_exhaustive_dominates_isk(instance):
+    """IS-k explores a subset of the exhaustive tree (identical task
+    processing order), so the exhaustive optimum bounds it.  LIST is
+    deliberately absent: it processes tasks in HEFT rank order — a
+    different linear extension — and can land outside the tree."""
+    exact = exhaustive_schedule(instance, node_limit=50_000)
+    check_schedule(
+        instance, exact.schedule, allow_module_reuse=True
+    ).raise_if_invalid()
+    assert exact.makespan <= isk_schedule(instance, k=1).makespan + 1e-6
+    assert (
+        exact.makespan
+        <= isk_schedule(instance, k=2, branch_cap=10**9).makespan + 1e-6
+    )

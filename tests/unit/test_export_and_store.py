@@ -1,0 +1,101 @@
+"""Unit tests for CSV export, suite persistence and fabric rendering."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import (
+    convergence_csv,
+    export_all,
+    improvement_csv,
+    quality_records_csv,
+)
+from repro.analysis.runner import ConvergenceResults, InstanceRecord, QualityResults
+from repro.benchgen import paper_suite
+from repro.benchgen.store import load_suite, save_suite
+from repro.floorplan import Floorplanner, render_fabric, render_floorplan, small_device
+from repro.model import ResourceVector
+
+
+@pytest.fixture
+def quality():
+    records = [
+        InstanceRecord(
+            group=size, name=f"i{size}-{i}",
+            pa_makespan=100.0 - i, pa_scheduling_time=0.01,
+            pa_floorplanning_time=0.02, pa_feasible=True,
+            is1_makespan=120.0, is1_time=0.5,
+            is5_makespan=110.0, is5_time=2.0,
+            pa_r_makespan=95.0, pa_r_budget=2.0, pa_r_iterations=50,
+        )
+        for size in (10, 20)
+        for i in range(2)
+    ]
+    return QualityResults(config_profile="tiny", records=records)
+
+
+class TestCsvExport:
+    def test_quality_records_csv(self, quality):
+        rows = list(csv.reader(io.StringIO(quality_records_csv(quality))))
+        assert rows[0][0] == "group"
+        assert len(rows) == 1 + 4
+
+    def test_improvement_csv(self, quality):
+        text = improvement_csv(quality, "is1_makespan", "pa_makespan")
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 1 + 2  # two groups
+        group, mean = int(rows[1][0]), float(rows[1][1])
+        assert group == 10
+        assert mean > 0  # PA better than IS-1 in the fixture
+
+    def test_convergence_csv(self):
+        conv = ConvergenceResults(series={20: [(0.1, 100.0), (0.5, 90.0)]})
+        rows = list(csv.reader(io.StringIO(convergence_csv(conv))))
+        assert rows[1] == ["20", "0.1", "100.0"]
+
+    def test_export_all(self, quality, tmp_path):
+        conv = ConvergenceResults(series={20: [(0.1, 100.0)]})
+        written = export_all(quality, tmp_path, conv)
+        assert len(written) == 5
+        for path in written:
+            assert path.exists() and path.read_text().strip()
+
+
+class TestSuiteStore:
+    def test_roundtrip(self, tmp_path):
+        suite = paper_suite(seed=1, group_sizes=(10,), per_group=2)
+        save_suite(suite, tmp_path / "s", metadata={"seed": 1})
+        loaded = load_suite(tmp_path / "s")
+        assert list(loaded) == [10]
+        assert len(loaded[10]) == 2
+        assert loaded[10][0].to_dict() == suite[10][0].to_dict()
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_suite(tmp_path)
+
+
+class TestFabricRendering:
+    def test_render_fabric(self):
+        dev = small_device(rows=2, clb=4, bram=1, dsp=1)
+        art = render_fabric(dev)
+        assert "r0 |" in art and "r1 |" in art
+        assert "B" in art and "D" in art
+
+    def test_render_floorplan(self):
+        dev = small_device(rows=2, clb=6, bram=1, dsp=1)
+        planner = Floorplanner(dev)
+        result = planner.check(
+            [ResourceVector({"CLB": 200}), ResourceVector({"DSP": 5})]
+        )
+        assert result.feasible
+        art = render_floorplan(dev, result.placements)
+        assert "0=" in art and "1=" in art
+        assert "regions placed" in art
+
+    def test_render_reserved(self):
+        from repro.floorplan import FabricDevice
+
+        dev = FabricDevice("d", rows=1, columns=("CLB", "CLB"), reserved_columns=1)
+        assert "#" in render_fabric(dev)

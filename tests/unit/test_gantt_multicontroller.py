@@ -1,0 +1,36 @@
+"""Gantt rendering with the multi-controller extension."""
+
+from repro.benchgen import paper_instance
+from repro.analysis import render_gantt
+from repro.core import do_schedule
+from repro.model import Architecture, Instance
+
+
+def test_single_controller_lane_named_icap():
+    instance = paper_instance(30, seed=12)
+    schedule = do_schedule(instance)
+    if schedule.reconfigurations:
+        art = render_gantt(schedule, width=90)
+        assert "ICAP |" in art or "ICAP  |" in art.replace("ICAP", "ICAP ")
+
+
+def test_two_controllers_get_separate_lanes():
+    base = paper_instance(50, seed=1)
+    arch = base.architecture
+    instance = Instance(
+        architecture=Architecture(
+            name=arch.name,
+            processors=arch.processors,
+            max_res=arch.max_res,
+            bit_per_resource=arch.bit_per_resource,
+            rec_freq=arch.rec_freq,
+            region_quantum=arch.region_quantum,
+            reconfigurators=2,
+        ),
+        taskgraph=base.taskgraph,
+    )
+    schedule = do_schedule(instance)
+    controllers = {rc.controller for rc in schedule.reconfigurations}
+    art = render_gantt(schedule, width=90)
+    for controller in controllers:
+        assert f"ICAP{controller}" in art

@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.model.instance`."""
+
+import json
+
+import pytest
+
+from repro.model import (
+    Architecture,
+    Implementation,
+    Instance,
+    ResourceVector,
+    Task,
+    TaskGraph,
+)
+
+
+def build(arch, impls) -> Instance:
+    graph = TaskGraph("i")
+    graph.add_task(Task.of("t", impls))
+    return Instance(architecture=arch, taskgraph=graph)
+
+
+class TestValidation:
+    def test_ok(self, simple_arch):
+        instance = build(
+            simple_arch,
+            [Implementation.hw("h", 1.0, {"CLB": 50}), Implementation.sw("s", 5.0)],
+        )
+        instance.validate()
+
+    def test_oversized_implementation_rejected(self, simple_arch):
+        instance = build(
+            simple_arch,
+            [Implementation.hw("h", 1.0, {"CLB": 500}), Implementation.sw("s", 5.0)],
+        )
+        with pytest.raises(ValueError):
+            instance.validate()
+
+    def test_missing_sw_rejected_unless_relaxed(self, simple_arch):
+        instance = build(simple_arch, [Implementation.hw("h", 1.0, {"CLB": 5})])
+        with pytest.raises(Exception):
+            instance.validate()
+        instance.validate(require_sw=False)
+
+    def test_name_defaults_to_graph_name(self, simple_arch):
+        instance = build(simple_arch, [Implementation.sw("s", 5.0)])
+        assert instance.name == "i"
+
+
+class TestSerialization:
+    def test_json_roundtrip_via_file(self, simple_arch, tmp_path):
+        instance = build(
+            simple_arch,
+            [Implementation.hw("h", 1.0, {"CLB": 50}), Implementation.sw("s", 5.0)],
+        )
+        path = tmp_path / "i.json"
+        instance.to_json(path)
+        clone = Instance.from_json(path)
+        assert clone.to_dict() == instance.to_dict()
+
+    def test_json_roundtrip_via_text(self, simple_arch):
+        instance = build(simple_arch, [Implementation.sw("s", 5.0)])
+        text = instance.to_json()
+        clone = Instance.from_json(text)
+        assert clone.to_dict() == instance.to_dict()
+
+    def test_reconfigurators_roundtrip(self):
+        arch = Architecture(
+            name="m", processors=1,
+            max_res=ResourceVector({"CLB": 10}),
+            bit_per_resource={"CLB": 1.0}, rec_freq=1.0,
+            reconfigurators=3,
+        )
+        clone = Architecture.from_dict(arch.to_dict())
+        assert clone.reconfigurators == 3
+        assert clone == arch
+
+    def test_metadata_preserved(self, simple_arch):
+        instance = build(simple_arch, [Implementation.sw("s", 5.0)])
+        instance.metadata["note"] = "x"
+        clone = Instance.from_dict(json.loads(instance.to_json()))
+        assert clone.metadata == {"note": "x"}

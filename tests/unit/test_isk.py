@@ -1,0 +1,90 @@
+"""Unit tests for the IS-k baseline."""
+
+import pytest
+
+from repro.baselines import ISKOptions, ISKScheduler, isk_schedule
+from repro.validate import check_schedule
+
+
+class TestOptions:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ISKOptions(k=0)
+
+    def test_limits_positive(self):
+        with pytest.raises(ValueError):
+            ISKOptions(branch_cap=0)
+        with pytest.raises(ValueError):
+            ISKOptions(node_limit=0)
+
+
+class TestIS1:
+    def test_valid_schedule(self, medium_instance):
+        result = isk_schedule(medium_instance, k=1)
+        check_schedule(
+            medium_instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+        assert result.schedule.scheduler == "IS-1"
+        assert result.iterations == len(medium_instance.taskgraph)
+
+    def test_deterministic(self, medium_instance):
+        a = isk_schedule(medium_instance, k=1)
+        b = isk_schedule(medium_instance, k=1)
+        assert a.makespan == b.makespan
+
+    def test_figure1_pathology(self, fig1_instance):
+        """IS-1 greedily picks the fast/large implementation for t1 —
+        the exact behaviour Section IV uses to motivate PA."""
+        result = isk_schedule(fig1_instance, k=1)
+        assert result.schedule.tasks["t1"].implementation.name == "t1_1"
+
+    def test_chain(self, chain_instance):
+        result = isk_schedule(chain_instance, k=1)
+        check_schedule(
+            chain_instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+        # All-HW chain, own regions: pure critical path.
+        assert result.makespan == pytest.approx(30.0)
+
+
+class TestIS5:
+    def test_valid_schedule(self, medium_instance):
+        result = isk_schedule(medium_instance, k=5, node_limit=2000)
+        check_schedule(
+            medium_instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+        assert result.schedule.scheduler == "IS-5"
+
+    def test_window_count(self, medium_instance):
+        result = isk_schedule(medium_instance, k=5, node_limit=500)
+        expected = -(-len(medium_instance.taskgraph) // 5)
+        assert result.iterations == expected
+
+    def test_lookahead_beats_or_matches_greedy(self, fig1_instance):
+        """IS-5 sees all three tasks at once and avoids (or at least
+        does not worsen) the Figure 1 trap."""
+        is1 = isk_schedule(fig1_instance, k=1)
+        is5 = isk_schedule(fig1_instance, k=3)
+        assert is5.makespan <= is1.makespan
+
+    def test_node_budget_fallback_still_valid(self, medium_instance):
+        result = isk_schedule(medium_instance, k=5, node_limit=1)
+        check_schedule(
+            medium_instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+
+    def test_branch_cap_still_valid(self, medium_instance):
+        result = isk_schedule(medium_instance, k=5, branch_cap=2, node_limit=2000)
+        check_schedule(
+            medium_instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+
+
+class TestModuleReuseKnob:
+    def test_disabled_reuse_creates_more_reconfs(self, medium_instance):
+        with_reuse = isk_schedule(medium_instance, k=1, enable_module_reuse=True)
+        without = isk_schedule(medium_instance, k=1, enable_module_reuse=False)
+        check_schedule(medium_instance, without.schedule).raise_if_invalid()
+        assert len(without.schedule.reconfigurations) >= len(
+            with_reuse.schedule.reconfigurations
+        )

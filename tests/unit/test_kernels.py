@@ -1,0 +1,88 @@
+"""Unit tests for the realistic kernel catalog."""
+
+import pytest
+
+from repro.baselines import isk_schedule
+from repro.benchgen import paper_instance
+from repro.benchgen.kernels import (
+    KERNEL_CATALOG,
+    KernelSpec,
+    kernel_task,
+    realistic_instance,
+)
+from repro.core import PAOptions, do_schedule
+from repro.validate import check_schedule
+
+
+class TestCatalog:
+    def test_catalog_nonempty_and_fits_fabric(self):
+        from repro.benchgen import zedboard_architecture
+
+        arch = zedboard_architecture()
+        assert len(KERNEL_CATALOG) >= 12
+        for spec in KERNEL_CATALOG.values():
+            task = kernel_task("t", spec)
+            for impl in task.hw_implementations:
+                assert impl.resources.fits_in(arch.max_res), spec.name
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec("bad", base_time_us=0.0, clb=10)
+
+    def test_kernel_task_shape(self):
+        task = kernel_task("t0", "fft1024")
+        assert len(task.hw_implementations) == 3
+        assert len(task.sw_implementations) == 1
+        times = sorted(i.time for i in task.hw_implementations)
+        areas = sorted(
+            (i.resources["CLB"] for i in task.hw_implementations), reverse=True
+        )
+        # Fast variant is the big one.
+        by_time = sorted(task.hw_implementations, key=lambda i: i.time)
+        assert by_time[0].resources["CLB"] == max(areas)
+        assert times[0] < times[-1]
+
+    def test_shared_kernel_shares_module_names(self):
+        a = kernel_task("a", "aes128")
+        b = kernel_task("b", "aes128")
+        assert {i.name for i in a.implementations} == {
+            i.name for i in b.implementations
+        }
+
+    def test_sw_slower_than_fast_hw(self):
+        for name in KERNEL_CATALOG:
+            task = kernel_task("t", name)
+            assert task.fastest_sw().time > task.fastest().time
+
+
+class TestRealisticInstance:
+    def test_builds_and_validates(self):
+        instance = realistic_instance(12, seed=1)
+        assert len(instance.taskgraph) == 12
+        assert instance.metadata["catalog"]
+
+    def test_deterministic(self):
+        a = realistic_instance(10, seed=2)
+        b = realistic_instance(10, seed=2)
+        assert a.to_dict() == b.to_dict()
+
+    def test_schedulable_by_everyone(self):
+        instance = realistic_instance(15, seed=3)
+        pa = do_schedule(instance, PAOptions(enable_module_reuse=True))
+        check_schedule(instance, pa, allow_module_reuse=True).raise_if_invalid()
+        is1 = isk_schedule(instance, k=1)
+        check_schedule(
+            instance, is1.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+
+    def test_module_reuse_occurs_at_scale(self):
+        # 40 tasks over a 16-kernel catalog guarantee repeats.
+        instance = realistic_instance(40, seed=4)
+        modules = {
+            t.hw_implementations[0].name for t in instance.taskgraph
+        }
+        assert len(modules) < 40
+
+    def test_unknown_graph_kind(self):
+        with pytest.raises(ValueError):
+            realistic_instance(10, seed=0, graph_kind="banana")

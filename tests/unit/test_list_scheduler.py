@@ -1,0 +1,52 @@
+"""Unit tests for the list-based greedy baseline."""
+
+import pytest
+
+from repro.baselines import list_schedule, upward_ranks
+from repro.validate import check_schedule
+
+
+class TestUpwardRanks:
+    def test_rank_decreases_along_edges(self, medium_instance):
+        ranks = upward_ranks(medium_instance)
+        for src, dst in medium_instance.taskgraph.edges():
+            assert ranks[src] > ranks[dst]
+
+    def test_sink_rank_is_own_mean(self, chain_instance):
+        ranks = upward_ranks(chain_instance)
+        task = chain_instance.taskgraph.task("c")
+        mean = sum(i.time for i in task.implementations) / len(task.implementations)
+        assert ranks["c"] == pytest.approx(mean)
+
+
+class TestListSchedule:
+    def test_valid(self, medium_instance):
+        result = list_schedule(medium_instance)
+        check_schedule(
+            medium_instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+        assert result.schedule.scheduler == "LIST"
+
+    def test_deterministic(self, medium_instance):
+        assert (
+            list_schedule(medium_instance).makespan
+            == list_schedule(medium_instance).makespan
+        )
+
+    def test_chain_is_optimal(self, chain_instance):
+        assert list_schedule(chain_instance).makespan == pytest.approx(30.0)
+
+    def test_no_module_reuse_valid(self, medium_instance):
+        result = list_schedule(medium_instance, enable_module_reuse=False)
+        check_schedule(medium_instance, result.schedule).raise_if_invalid()
+
+    def test_greedy_eft_under_capacity(self, fig1_instance):
+        # Rank order schedules t2 first (it has the slower mean), which
+        # takes 40 of the 100 CLBs; EFT then picks t1_2 for t1 because
+        # the fast t1_1 (80 CLB) no longer fits the remaining fabric.
+        result = list_schedule(fig1_instance)
+        assert result.schedule.tasks["t2"].implementation.name == "t2_hw"
+        assert result.schedule.tasks["t1"].implementation.name == "t1_2"
+        check_schedule(
+            fig1_instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()

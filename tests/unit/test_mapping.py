@@ -1,0 +1,108 @@
+"""Unit tests for software task mapping (Section V-F, Eq. 8/9)."""
+
+import pytest
+
+from repro.core import (
+    PAOptions,
+    PAState,
+    map_software_tasks,
+    processor_delay,
+    select_implementations,
+)
+from repro.model import Implementation, Instance, ResourceVector, Task, TaskGraph
+
+
+def sw_instance(arch, times: dict[str, float], edges=()) -> Instance:
+    graph = TaskGraph("sw")
+    for tid, time in times.items():
+        graph.add_task(Task.of(tid, [Implementation.sw(f"{tid}_sw", time)]))
+    for src, dst in edges:
+        graph.add_dependency(src, dst)
+    return Instance(architecture=arch, taskgraph=graph)
+
+
+class TestProcessorDelay:
+    def test_empty_processor_has_no_delay(self, dual_arch):
+        instance = sw_instance(dual_arch, {"a": 10.0})
+        state = PAState(instance)
+        select_implementations(state)
+        assert processor_delay(state, 0, "a") == 0.0
+
+    def test_busy_processor_delays(self, dual_arch):
+        instance = sw_instance(dual_arch, {"a": 10.0, "b": 5.0})
+        state = PAState(instance)
+        select_implementations(state)
+        state.assign_processor("a", 0)
+        # b is ready at 0 but core 0 is busy until 10.
+        assert processor_delay(state, 0, "b") == 10.0
+        assert processor_delay(state, 1, "b") == 0.0
+
+    def test_no_delay_when_task_ready_later(self, dual_arch):
+        instance = sw_instance(
+            dual_arch, {"a": 10.0, "b": 30.0, "c": 5.0}, edges=[("b", "c")]
+        )
+        state = PAState(instance)
+        select_implementations(state)
+        state.assign_processor("a", 0)
+        # c is ready at 30 (> a's end at 10): Eq. 8 clamps to zero.
+        assert processor_delay(state, 0, "c") == 0.0
+
+
+class TestMapping:
+    def test_spreads_over_cores(self, dual_arch):
+        instance = sw_instance(dual_arch, {"a": 10.0, "b": 10.0})
+        state = PAState(instance)
+        select_implementations(state)
+        stats = map_software_tasks(state)
+        assert stats["mapped"] == 2
+        assert stats["delayed"] == 0
+        assert {state.processor_of["a"], state.processor_of["b"]} == {0, 1}
+
+    def test_three_tasks_two_cores(self, dual_arch):
+        instance = sw_instance(dual_arch, {"a": 10.0, "b": 20.0, "c": 10.0})
+        state = PAState(instance)
+        select_implementations(state)
+        stats = map_software_tasks(state)
+        assert stats["delayed"] == 1
+        # The third task lands on the core that frees first (a's core).
+        proc_a = state.processor_of["a"]
+        assert state.processor_of["c"] == proc_a
+        # And its start is pushed to a's end.
+        assert state.timing.est["c"] == 10.0
+
+    def test_delay_propagates_to_successors(self, dual_arch):
+        instance = sw_instance(
+            dual_arch,
+            {"a": 10.0, "b": 10.0, "c": 10.0, "d": 1.0},
+            edges=[("c", "d")],
+        )
+        state = PAState(instance)
+        select_implementations(state)
+        map_software_tasks(state)
+        # c starts at 10 on a reused core; d follows at 20.
+        assert state.timing.est["d"] == 20.0
+
+    def test_chronological_order(self, dual_arch):
+        # Mapping processes tasks by T_MIN: the late task must not
+        # steal the empty core from the early ones.
+        instance = sw_instance(
+            dual_arch,
+            {"a": 100.0, "b": 5.0, "late": 5.0},
+            edges=[("b", "late")],
+        )
+        state = PAState(instance)
+        select_implementations(state)
+        map_software_tasks(state)
+        assert state.processor_of["a"] != state.processor_of["b"]
+        # late goes behind b (delay 0 on b's core at t=5).
+        assert state.timing.est["late"] == 5.0
+
+    def test_single_core_serializes_everything(self, simple_arch):
+        instance = sw_instance(simple_arch, {"a": 10.0, "b": 10.0, "c": 10.0})
+        state = PAState(instance)
+        select_implementations(state)
+        map_software_tasks(state)
+        ends = sorted(
+            state.timing.est[t] + state.exe[t] for t in ("a", "b", "c")
+        )
+        assert ends == [10.0, 20.0, 30.0]

@@ -1,0 +1,88 @@
+"""Unit tests for the multi-controller reconfiguration step (core)."""
+
+import pytest
+
+from repro.core import (
+    PAOptions,
+    PAState,
+    schedule_reconfigurations,
+    select_implementations,
+)
+from repro.model import (
+    Architecture,
+    Implementation,
+    Instance,
+    ResourceVector,
+    Task,
+    TaskGraph,
+)
+
+
+def contention_instance(reconfigurators: int) -> Instance:
+    """Two regions with back-to-back pairs whose reconfigurations become
+    ready simultaneously."""
+    arch = Architecture(
+        name="multi",
+        processors=2,
+        max_res=ResourceVector({"CLB": 200}),
+        bit_per_resource={"CLB": 10.0},
+        rec_freq=10.0,
+        reconfigurators=reconfigurators,
+    )
+    graph = TaskGraph("cont")
+    for prefix in ("x", "y"):
+        graph.add_task(
+            Task.of(f"{prefix}1", [
+                Implementation.hw(f"{prefix}1_hw", 10.0, {"CLB": 50}),
+                Implementation.sw(f"{prefix}1_sw", 900.0),
+            ])
+        )
+        graph.add_task(Task.of(f"{prefix}g", [Implementation.sw(f"{prefix}g_sw", 10.0)]))
+        graph.add_task(
+            Task.of(f"{prefix}2", [
+                Implementation.hw(f"{prefix}2_hw", 10.0, {"CLB": 50}),
+                Implementation.sw(f"{prefix}2_sw", 900.0),
+            ])
+        )
+        graph.add_dependency(f"{prefix}1", f"{prefix}g")
+        graph.add_dependency(f"{prefix}g", f"{prefix}2")
+    return Instance(architecture=arch, taskgraph=graph)
+
+
+def build_plan(reconfigurators: int):
+    instance = contention_instance(reconfigurators)
+    state = PAState(instance, PAOptions())
+    select_implementations(state)
+    for prefix, proc in (("x", 0), ("y", 1)):
+        rid = state.new_region(ResourceVector({"CLB": 50}))
+        state.assign_region(f"{prefix}1", rid, 0)
+        state.assign_region(f"{prefix}2", rid, 1)
+        state.assign_processor(f"{prefix}g", proc)
+    return state, schedule_reconfigurations(state)
+
+
+class TestTwoControllers:
+    def test_parallel_reconfigurations(self):
+        state, plan = build_plan(reconfigurators=2)
+        assert len(plan.reconf_tasks) == 2
+        starts = [plan.starts[rc.id] for rc in plan.reconf_tasks]
+        # Both ready at t=10 and with two controllers both start there.
+        assert starts == pytest.approx([10.0, 10.0])
+        assert set(plan.controller_of.values()) == {0, 1}
+
+    def test_single_controller_serializes(self):
+        state, plan = build_plan(reconfigurators=1)
+        starts = sorted(plan.starts[rc.id] for rc in plan.reconf_tasks)
+        assert starts[0] == pytest.approx(10.0)
+        assert starts[1] == pytest.approx(60.0)  # after the 50 us load
+        assert set(plan.controller_of.values()) == {0}
+
+    def test_makespan_improves_with_second_controller(self):
+        _, single = build_plan(reconfigurators=1)
+        _, dual = build_plan(reconfigurators=2)
+        assert dual.makespan < single.makespan
+
+    def test_chains_partition_reconfs(self):
+        _, plan = build_plan(reconfigurators=2)
+        flat = plan.controller_chain
+        assert sorted(flat) == sorted(rc.id for rc in plan.reconf_tasks)

@@ -1,0 +1,88 @@
+"""Unit tests for feasible-placement enumeration."""
+
+import pytest
+
+from repro.floorplan import Placement, candidate_placements, placement_mask, small_device
+from repro.model import ResourceVector
+
+
+@pytest.fixture
+def device():
+    return small_device(rows=2, clb=4, bram=1, dsp=1)  # width 6
+
+
+class TestPlacement:
+    def test_cells(self):
+        p = Placement(col=1, row=0, width=2, height=2)
+        assert set(p.cells()) == {(1, 0), (1, 1), (2, 0), (2, 1)}
+
+    def test_overlap(self):
+        a = Placement(0, 0, 2, 1)
+        assert a.overlaps(Placement(1, 0, 2, 1))
+        assert not a.overlaps(Placement(2, 0, 2, 1))
+        assert not a.overlaps(Placement(0, 1, 2, 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Placement(0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Placement(-1, 0, 1, 1)
+
+    def test_mask_distinct_cells(self, device):
+        a = placement_mask(Placement(0, 0, 2, 1), device)
+        b = placement_mask(Placement(2, 0, 2, 1), device)
+        assert a & b == 0
+        c = placement_mask(Placement(1, 0, 2, 1), device)
+        assert a & c != 0
+
+
+class TestCandidates:
+    def test_every_candidate_satisfies_demand(self, device):
+        demand = ResourceVector({"CLB": 150, "BRAM": 5})
+        for p in candidate_placements(device, demand):
+            assert demand.fits_in(p.resources(device))
+
+    def test_minimal_width(self, device):
+        # Shrinking any candidate by one column must break the demand.
+        demand = ResourceVector({"CLB": 150})
+        for p in candidate_placements(device, demand):
+            if p.width > 1:
+                narrower = device.rect_resources(p.col, p.width - 1, p.height)
+                assert not demand.fits_in(narrower)
+
+    def test_all_vertical_offsets_emitted(self, device):
+        demand = ResourceVector({"CLB": 100})
+        heights = {(p.row, p.height) for p in candidate_placements(device, demand)}
+        assert (0, 1) in heights and (1, 1) in heights and (0, 2) in heights
+
+    def test_sorted_smallest_area_first(self, device):
+        demand = ResourceVector({"CLB": 100})
+        cands = candidate_placements(device, demand)
+        areas = [p.width * p.height for p in cands]
+        assert areas == sorted(areas)
+
+    def test_max_candidates_cap(self, device):
+        demand = ResourceVector({"CLB": 100})
+        assert len(candidate_placements(device, demand, max_candidates=3)) == 3
+
+    def test_impossible_demand_has_no_candidates(self, device):
+        demand = ResourceVector({"CLB": 10_000})
+        assert candidate_placements(device, demand) == []
+
+    def test_special_resource_requires_special_column(self, device):
+        demand = ResourceVector({"DSP": 1})
+        for p in candidate_placements(device, demand):
+            kinds = {device.columns[c] for c in range(p.col, p.col + p.width)}
+            assert "DSP" in kinds
+
+    def test_empty_demand_rejected(self, device):
+        with pytest.raises(ValueError):
+            candidate_placements(device, ResourceVector())
+
+    def test_reserved_columns_not_used(self):
+        dev = small_device(rows=1, clb=4, bram=0, dsp=0)
+        reserved = type(dev)(
+            name="r", rows=1, columns=dev.columns, reserved_columns=2
+        )
+        for p in candidate_placements(reserved, ResourceVector({"CLB": 100})):
+            assert p.col >= 2

@@ -1,0 +1,89 @@
+"""Unit tests for PA-R (Section VI, Algorithm 1)."""
+
+import pytest
+
+from repro.core import PAOptions, pa_r_schedule, pa_schedule
+from repro.validate import check_schedule
+
+
+class CountingFloorplanner:
+    def __init__(self, feasible=True):
+        self.feasible = feasible
+        self.calls = 0
+
+    def check(self, regions):
+        self.calls += 1
+
+        class R:
+            pass
+
+        R.feasible = self.feasible
+        return R()
+
+
+class TestBudget:
+    def test_requires_some_budget(self, chain_instance):
+        with pytest.raises(ValueError):
+            pa_r_schedule(chain_instance)
+
+    def test_iteration_cap(self, medium_instance):
+        result = pa_r_schedule(medium_instance, iterations=5, seed=1)
+        assert result.iterations == 5
+
+    def test_time_budget_respected(self, medium_instance):
+        import time
+
+        t0 = time.perf_counter()
+        pa_r_schedule(medium_instance, time_budget=0.3, seed=1)
+        assert time.perf_counter() - t0 < 3.0  # generous slack for CI
+
+
+class TestSemantics:
+    def test_reproducible_with_seed(self, medium_instance):
+        a = pa_r_schedule(medium_instance, iterations=10, seed=42)
+        b = pa_r_schedule(medium_instance, iterations=10, seed=42)
+        assert a.makespan == b.makespan
+
+    def test_schedule_is_valid(self, medium_instance):
+        result = pa_r_schedule(medium_instance, iterations=10, seed=7)
+        check_schedule(medium_instance, result.schedule).raise_if_invalid()
+        assert result.schedule.scheduler == "PA-R"
+
+    def test_never_worse_than_its_own_iterations(self, medium_instance):
+        # The incumbent only improves: history makespans decrease.
+        result = pa_r_schedule(medium_instance, iterations=30, seed=3)
+        makespans = [m for _, m in result.history]
+        assert makespans == sorted(makespans, reverse=True)
+
+    def test_floorplanner_called_only_on_improvement(self, medium_instance):
+        planner = CountingFloorplanner(feasible=True)
+        result = pa_r_schedule(
+            medium_instance, iterations=20, seed=5, floorplanner=planner
+        )
+        # Improvements are scarce: far fewer checks than iterations.
+        assert planner.calls == len(result.history)
+        assert planner.calls <= result.iterations
+
+    def test_infeasible_candidates_discarded(self, medium_instance):
+        planner = CountingFloorplanner(feasible=False)
+        result = pa_r_schedule(
+            medium_instance, iterations=10, seed=5, floorplanner=planner
+        )
+        # Everything rejected: falls back to the deterministic PA so the
+        # caller still gets a schedule.
+        assert result.schedule is not None
+        check_schedule(medium_instance, result.schedule).raise_if_invalid()
+
+    def test_history_timestamps_increase(self, medium_instance):
+        result = pa_r_schedule(medium_instance, iterations=30, seed=2)
+        times = [t for t, _ in result.history]
+        assert times == sorted(times)
+
+    def test_base_options_respected(self, medium_instance):
+        result = pa_r_schedule(
+            medium_instance,
+            iterations=5,
+            seed=9,
+            options=PAOptions(enable_sw_balancing=False),
+        )
+        assert result.schedule.metadata["balancing"]["examined"] == 0

@@ -1,0 +1,146 @@
+"""Unit tests for the regions-definition step (Section V-C)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    PAOptions,
+    PAState,
+    TaskOrdering,
+    define_regions,
+    order_noncritical,
+    select_implementations,
+)
+from repro.model import Implementation, Instance, ResourceVector, Task, TaskGraph
+
+
+def build_state(instance: Instance, **options) -> PAState:
+    state = PAState(instance, PAOptions(**options))
+    select_implementations(state)
+    return state
+
+
+class TestDefineRegions:
+    def test_chain_gets_regions(self, chain_instance):
+        state = build_state(chain_instance)
+        stats = define_regions(state)
+        # Fabric: 100 CLB; each task needs 20 -> three regions possible,
+        # but critical reuse with reconf gap fails (tight chain), so
+        # every task gets its own region.
+        assert stats["created"] == 3
+        assert stats["demoted"] == 0
+        assert len(state.regions) == 3
+
+    def test_demotion_when_fabric_exhausted(self, simple_arch):
+        graph = TaskGraph("par")
+        for i in range(8):  # 8 x 20 CLB > 100 CLB, all parallel
+            graph.add_task(
+                Task.of(
+                    f"t{i}",
+                    [
+                        Implementation.hw(f"t{i}_hw", 10.0, {"CLB": 20}),
+                        Implementation.sw(f"t{i}_sw", 100.0),
+                    ],
+                )
+            )
+        instance = Instance(architecture=simple_arch, taskgraph=graph)
+        state = build_state(instance)
+        stats = define_regions(state)
+        assert stats["created"] == 5
+        # Remaining 3 tasks overlap all region windows -> demoted.
+        assert stats["demoted"] == 3
+        assert len(state.sw_task_ids()) == 3
+
+    def test_noncritical_prefers_new_region(self, diamond_instance):
+        state = build_state(diamond_instance)
+        define_regions(state)
+        # r is non-critical; there is free fabric, so it must have
+        # created its own region rather than queueing in an existing one.
+        assert state.region_of["r"] is not None
+        region_of_r = state.region_of["r"]
+        assert state.region_chain[region_of_r] == ["r"]
+
+    def test_reuse_when_fabric_tight(self, simple_arch):
+        # Two sequential tasks whose windows leave room for the
+        # reconfiguration: one region, reused.
+        graph = TaskGraph("seq")
+        # a is the more efficient implementation (20 us / 80 CLB beats
+        # 10 us / 70 CLB), so the critical bucket processes a first.
+        graph.add_task(Task.of("a", [
+            Implementation.hw("a_hw", 20.0, {"CLB": 80}),
+            Implementation.sw("a_sw", 200.0),
+        ]))
+        graph.add_task(Task.of("gap", [Implementation.sw("gap_sw", 100.0)]))
+        graph.add_task(Task.of("b", [
+            Implementation.hw("b_hw", 10.0, {"CLB": 70}),
+            Implementation.sw("b_sw", 200.0),
+        ]))
+        graph.add_dependency("a", "gap")
+        graph.add_dependency("gap", "b")
+        instance = Instance(architecture=simple_arch, taskgraph=graph)
+        state = build_state(instance)
+        stats = define_regions(state)
+        # b cannot get a new region (80 + 70 > 100) but fits a's region
+        # after the 100 us SW gap (the 80 us reconfiguration fits too).
+        assert stats["reused"] == 1
+        assert state.region_of["a"] == state.region_of["b"]
+
+    def test_stats_keys(self, chain_instance):
+        state = build_state(chain_instance)
+        stats = define_regions(state)
+        assert set(stats) == {"demoted", "reused", "created"}
+
+
+class TestOrdering:
+    @pytest.fixture
+    def ordering_state(self, diamond_instance):
+        return build_state(diamond_instance)
+
+    def test_efficiency_order_sorts_descending(self, ordering_state):
+        from repro.core.cost import efficiency_index
+
+        tasks = ordering_state.hw_task_ids()
+        order = order_noncritical(ordering_state, tasks)
+        effs = [
+            efficiency_index(
+                ordering_state.impl[t], ordering_state.arch, ordering_state.weights
+            )
+            for t in order
+        ]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_reverse_efficiency(self, ordering_state, diamond_instance):
+        ordering_state.options.ordering = TaskOrdering.REVERSE_EFFICIENCY
+        tasks = ordering_state.hw_task_ids()
+        fwd = order_noncritical(
+            build_state(diamond_instance), tasks
+        )
+        rev = order_noncritical(ordering_state, tasks)
+        assert rev == fwd[::-1]
+
+    def test_random_is_seeded(self, diamond_instance):
+        s1 = build_state(diamond_instance, ordering=TaskOrdering.RANDOM, seed=42)
+        s2 = build_state(diamond_instance, ordering=TaskOrdering.RANDOM, seed=42)
+        tasks = s1.hw_task_ids()
+        assert order_noncritical(s1, tasks) == order_noncritical(s2, tasks)
+
+    def test_random_rng_argument_wins(self, diamond_instance):
+        state = build_state(diamond_instance, ordering=TaskOrdering.RANDOM)
+        tasks = state.hw_task_ids()
+        a = order_noncritical(state, tasks, rng=random.Random(1))
+        b = order_noncritical(state, tasks, rng=random.Random(1))
+        assert a == b
+
+    def test_graph_order(self, ordering_state):
+        ordering_state.options.ordering = TaskOrdering.GRAPH
+        tasks = list(reversed(ordering_state.hw_task_ids()))
+        order = order_noncritical(ordering_state, tasks)
+        position = {t: i for i, t in enumerate(ordering_state.graph.nodes)}
+        assert order == sorted(tasks, key=position.__getitem__)
+
+    def test_random_is_permutation(self, ordering_state):
+        ordering_state.options.ordering = TaskOrdering.RANDOM
+        tasks = ordering_state.hw_task_ids()
+        order = order_noncritical(ordering_state, tasks, rng=random.Random(3))
+        assert sorted(order) == sorted(tasks)

@@ -1,0 +1,77 @@
+"""Unit tests for the HTML report generator."""
+
+import pytest
+
+from repro.analysis.report import render_html_report, write_html_report
+from repro.analysis.runner import ConvergenceResults, InstanceRecord, QualityResults
+
+
+@pytest.fixture
+def quality():
+    records = [
+        InstanceRecord(
+            group=size, name=f"i{size}-{i}",
+            pa_makespan=1000.0 + size, pa_scheduling_time=0.01,
+            pa_floorplanning_time=0.02, pa_feasible=True,
+            is1_makespan=1200.0 + size, is1_time=0.5,
+            is5_makespan=1100.0 + size, is5_time=2.0,
+            pa_r_makespan=950.0 + size, pa_r_budget=2.0, pa_r_iterations=50,
+        )
+        for size in (10, 20, 30)
+        for i in range(2)
+    ]
+    return QualityResults(config_profile="tiny", records=records)
+
+
+@pytest.fixture
+def convergence():
+    return ConvergenceResults(
+        series={20: [(0.1, 1500.0), (0.8, 1300.0)], 40: [(0.2, 2500.0)]}
+    )
+
+
+class TestReport:
+    def test_contains_every_figure(self, quality, convergence):
+        text = render_html_report(quality, convergence)
+        for token in (
+            "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+            "Table I",
+        ):
+            assert token in text
+
+    def test_is_selfcontained_html(self, quality):
+        text = render_html_report(quality)
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<svg" in text and "</svg>" in text
+        assert "http://" not in text.replace(
+            "http://www.w3.org/2000/svg", ""
+        )  # no external assets
+
+    def test_without_convergence(self, quality):
+        text = render_html_report(quality)
+        assert "Figure 6" not in text
+
+    def test_write_to_disk(self, quality, convergence, tmp_path):
+        path = write_html_report(quality, tmp_path / "report.html", convergence)
+        assert path.exists()
+        assert "<svg" in path.read_text()
+
+    def test_escapes_titles(self, quality):
+        text = render_html_report(quality, title="<script>alert(1)</script>")
+        assert "<script>" not in text
+
+    def test_bar_tooltips_carry_values(self, quality):
+        text = render_html_report(quality)
+        assert "<title>PA @ 10:" in text
+
+    def test_from_real_run(self):
+        """End-to-end: a tiny harness run renders without error."""
+        from repro.analysis.runner import ExperimentConfig, run_quality
+
+        config = ExperimentConfig(
+            profile="tiny", group_sizes=(10,), per_group=1,
+            is5_node_limit=200, pa_r_min_budget=0.05, pa_r_max_budget=0.1,
+        )
+        results = run_quality(config)
+        text = render_html_report(results)
+        assert "Figure 3" in text

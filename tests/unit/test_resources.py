@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.model.resources`."""
+
+import pytest
+
+from repro.model import ResourceKindError, ResourceVector
+
+
+class TestConstruction:
+    def test_empty_is_zero(self):
+        assert ResourceVector().is_zero()
+        assert ResourceVector.zero().is_zero()
+
+    def test_zero_components_dropped(self):
+        vec = ResourceVector({"CLB": 0, "DSP": 5})
+        assert "CLB" not in vec
+        assert vec["CLB"] == 0  # implicit zero
+        assert len(vec) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector({"CLB": -1})
+
+    def test_non_integral_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector({"CLB": 1.5})
+
+    def test_integral_float_accepted(self):
+        assert ResourceVector({"CLB": 2.0})["CLB"] == 2
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TypeError):
+            ResourceVector({1: 2})
+
+
+class TestAlgebra:
+    def test_add(self):
+        a = ResourceVector({"CLB": 10, "DSP": 1})
+        b = ResourceVector({"CLB": 5, "BRAM": 2})
+        c = a + b
+        assert c == ResourceVector({"CLB": 15, "DSP": 1, "BRAM": 2})
+
+    def test_add_does_not_mutate(self):
+        a = ResourceVector({"CLB": 10})
+        _ = a + ResourceVector({"CLB": 5})
+        assert a["CLB"] == 10
+
+    def test_sub(self):
+        a = ResourceVector({"CLB": 10, "DSP": 2})
+        b = ResourceVector({"CLB": 4})
+        assert (a - b) == ResourceVector({"CLB": 6, "DSP": 2})
+
+    def test_sub_underflow_raises(self):
+        with pytest.raises(ValueError):
+            ResourceVector({"CLB": 1}) - ResourceVector({"CLB": 2})
+
+    def test_sub_missing_type_underflows(self):
+        with pytest.raises(ValueError):
+            ResourceVector({"CLB": 1}) - ResourceVector({"DSP": 1})
+
+    def test_scaled_floors(self):
+        vec = ResourceVector({"CLB": 10}).scaled(0.55)
+        assert vec["CLB"] == 5
+
+    def test_scaled_zero(self):
+        assert ResourceVector({"CLB": 10}).scaled(0.0).is_zero()
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector({"CLB": 10}).scaled(-0.1)
+
+    def test_maximum(self):
+        a = ResourceVector({"CLB": 10, "DSP": 1})
+        b = ResourceVector({"CLB": 5, "DSP": 3, "BRAM": 1})
+        assert a.maximum(b) == ResourceVector({"CLB": 10, "DSP": 3, "BRAM": 1})
+
+
+class TestComparison:
+    def test_fits_in(self):
+        small = ResourceVector({"CLB": 5})
+        big = ResourceVector({"CLB": 10, "DSP": 1})
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+
+    def test_fits_in_missing_type(self):
+        assert not ResourceVector({"DSP": 1}).fits_in(ResourceVector({"CLB": 100}))
+
+    def test_zero_fits_everywhere(self):
+        assert ResourceVector().fits_in(ResourceVector({"CLB": 1}))
+        assert ResourceVector().fits_in(ResourceVector())
+
+    def test_dominates_is_inverse_of_fits(self):
+        a = ResourceVector({"CLB": 10})
+        b = ResourceVector({"CLB": 5})
+        assert a.dominates(b) and not b.dominates(a)
+
+    def test_equality_with_mapping(self):
+        assert ResourceVector({"CLB": 3}) == {"CLB": 3}
+        assert ResourceVector({"CLB": 3}) == {"CLB": 3, "DSP": 0}
+
+    def test_hashable(self):
+        assert hash(ResourceVector({"CLB": 1})) == hash(ResourceVector({"CLB": 1}))
+        assert len({ResourceVector({"CLB": 1}), ResourceVector({"CLB": 1})}) == 1
+
+
+class TestWeightedSum:
+    def test_weighted_sum(self):
+        vec = ResourceVector({"CLB": 10, "DSP": 2})
+        assert vec.weighted_sum({"CLB": 0.5, "DSP": 3.0, "BRAM": 9.0}) == 11.0
+
+    def test_missing_weight_raises(self):
+        with pytest.raises(ResourceKindError):
+            ResourceVector({"CLB": 1}).weighted_sum({"DSP": 1.0})
+
+    def test_total(self):
+        assert ResourceVector({"CLB": 10, "DSP": 2}).total() == 12
+
+    def test_to_dict_roundtrip(self):
+        vec = ResourceVector({"CLB": 10, "DSP": 2})
+        assert ResourceVector(vec.to_dict()) == vec

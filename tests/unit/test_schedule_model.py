@@ -1,0 +1,143 @@
+"""Unit tests for :mod:`repro.model.schedule`."""
+
+import pytest
+
+from repro.model import (
+    Implementation,
+    ProcessorPlacement,
+    Reconfiguration,
+    Region,
+    RegionPlacement,
+    ResourceVector,
+    Schedule,
+    ScheduledTask,
+)
+
+
+HW = Implementation.hw("h", 10.0, {"CLB": 5})
+SW = Implementation.sw("s", 20.0)
+
+
+def hw_task(tid: str, region: str, start: float) -> ScheduledTask:
+    return ScheduledTask(
+        task_id=tid,
+        implementation=HW,
+        placement=RegionPlacement(region_id=region),
+        start=start,
+        end=start + HW.time,
+    )
+
+
+def sw_task(tid: str, proc: int, start: float) -> ScheduledTask:
+    return ScheduledTask(
+        task_id=tid,
+        implementation=SW,
+        placement=ProcessorPlacement(index=proc),
+        start=start,
+        end=start + SW.time,
+    )
+
+
+class TestScheduledTask:
+    def test_duration(self):
+        assert hw_task("a", "R", 5.0).duration == 10.0
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledTask(
+                task_id="a", implementation=SW,
+                placement=ProcessorPlacement(0), start=10.0, end=5.0,
+            )
+
+    def test_hw_impl_on_processor_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledTask(
+                task_id="a", implementation=HW,
+                placement=ProcessorPlacement(0), start=0.0, end=10.0,
+            )
+
+    def test_sw_impl_in_region_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledTask(
+                task_id="a", implementation=SW,
+                placement=RegionPlacement("R"), start=0.0, end=20.0,
+            )
+
+    def test_negative_processor_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorPlacement(-1)
+
+
+class TestRegion:
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region(id="R", resources=ResourceVector())
+
+    def test_bitstream_against_architecture(self, simple_arch):
+        region = Region(id="R", resources=ResourceVector({"CLB": 10}))
+        assert region.bitstream_bits(simple_arch) == 100.0
+        assert region.reconf_time(simple_arch) == 10.0
+
+
+class TestSchedule:
+    def _schedule(self) -> Schedule:
+        return Schedule(
+            tasks={
+                "a": hw_task("a", "R0", 0.0),
+                "b": hw_task("b", "R0", 15.0),
+                "c": sw_task("c", 0, 0.0),
+            },
+            regions={"R0": Region(id="R0", resources=ResourceVector({"CLB": 5}))},
+            reconfigurations=[
+                Reconfiguration(
+                    region_id="R0", ingoing_task="a", outgoing_task="b",
+                    start=10.0, end=14.0,
+                )
+            ],
+            scheduler="TEST",
+        )
+
+    def test_makespan_includes_all_activities(self):
+        assert self._schedule().makespan == 25.0  # b ends at 25
+
+    def test_makespan_empty(self):
+        assert Schedule(tasks={}, regions={}).makespan == 0.0
+
+    def test_region_sequence_ordered(self):
+        seq = self._schedule().region_sequence("R0")
+        assert [t.task_id for t in seq] == ["a", "b"]
+
+    def test_processor_sequence(self):
+        seq = self._schedule().processor_sequence(0)
+        assert [t.task_id for t in seq] == ["c"]
+
+    def test_hw_sw_partition(self):
+        s = self._schedule()
+        assert {t.task_id for t in s.hw_tasks()} == {"a", "b"}
+        assert {t.task_id for t in s.sw_tasks()} == {"c"}
+
+    def test_total_region_resources(self):
+        assert self._schedule().total_region_resources() == ResourceVector({"CLB": 5})
+
+    def test_total_reconfiguration_time(self):
+        assert self._schedule().total_reconfiguration_time() == 4.0
+
+    def test_shifted(self):
+        shifted = self._schedule().shifted(100.0)
+        assert shifted.makespan == 125.0
+        assert shifted.reconfigurations[0].start == 110.0
+
+    def test_dict_roundtrip(self):
+        s = self._schedule()
+        clone = Schedule.from_dict(s.to_dict())
+        assert clone.makespan == s.makespan
+        assert set(clone.tasks) == set(s.tasks)
+        assert clone.scheduler == "TEST"
+        assert len(clone.reconfigurations) == 1
+
+    def test_reconfiguration_duration_validation(self):
+        with pytest.raises(ValueError):
+            Reconfiguration(
+                region_id="R", ingoing_task="a", outgoing_task="b",
+                start=5.0, end=1.0,
+            )

@@ -1,0 +1,103 @@
+"""Unit tests for step V-A (implementation selection) and its ablation
+policies."""
+
+import pytest
+
+from repro.core import PAOptions, PAState, select_implementations
+from repro.model import Implementation, Instance, ResourceVector, Task, TaskGraph
+
+
+@pytest.fixture
+def instance(dual_arch):
+    graph = TaskGraph("sel")
+    graph.add_task(
+        Task.of(
+            "t",
+            [
+                Implementation.hw("fast_big", 10.0, {"CLB": 500, "DSP": 20}),
+                Implementation.hw("slow_small", 18.0, {"CLB": 100, "DSP": 2}),
+                Implementation.sw("soft", 90.0),
+            ],
+        )
+    )
+    graph.add_task(Task.of("pad", [Implementation.sw("pad_sw", 30.0)]))
+    return Instance(architecture=dual_arch, taskgraph=graph)
+
+
+def selected(instance, **options) -> str:
+    state = PAState(instance, PAOptions(**options))
+    select_implementations(state)
+    return state.impl["t"].name
+
+
+class TestPolicies:
+    def test_cost_policy_picks_eq3_champion(self, instance):
+        # Eq. 3: the DSP-heavy fast variant is penalized on the
+        # scarcity-weighted area term -> slow_small wins.
+        assert selected(instance) == "slow_small"
+
+    def test_fastest_policy(self, instance):
+        assert selected(instance, selection_policy="fastest") == "fast_big"
+
+    def test_smallest_policy(self, instance):
+        assert selected(instance, selection_policy="smallest") == "slow_small"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PAOptions(selection_policy="psychic")
+
+    def test_adaptive_uses_fastest_when_everything_fits(self, instance):
+        # fast_big (500 CLB + 20 DSP) alone fits the 1000-CLB fabric:
+        # no contention, so adaptive resolves to "fastest".
+        assert selected(instance, selection_policy="adaptive") == "fast_big"
+
+    def test_adaptive_falls_back_to_cost_under_contention(self, dual_arch):
+        from repro.model import Instance, TaskGraph
+
+        graph = TaskGraph("tight")
+        for i in range(4):  # 4 x 500 CLB fast champions > 1000 CLB fabric
+            graph.add_task(
+                Task.of(
+                    f"t{i}",
+                    [
+                        Implementation.hw(f"t{i}_big", 10.0, {"CLB": 500, "DSP": 20}),
+                        Implementation.hw(f"t{i}_small", 18.0, {"CLB": 100, "DSP": 2}),
+                        Implementation.sw(f"t{i}_sw", 90.0),
+                    ],
+                )
+            )
+        instance = Instance(architecture=dual_arch, taskgraph=graph)
+        state = PAState(instance, PAOptions(selection_policy="adaptive"))
+        select_implementations(state)
+        # Eq. 3 favours the small variants for these DSP-heavy tasks.
+        assert state.impl["t0"].name == "t0_small"
+
+    def test_adaptive_matches_paper_suite_validity(self):
+        from repro.benchgen import paper_instance
+        from repro.core import do_schedule
+        from repro.validate import check_schedule
+
+        for n in (10, 40):
+            inst = paper_instance(n, seed=1)
+            schedule = do_schedule(inst, PAOptions(selection_policy="adaptive"))
+            check_schedule(inst, schedule).raise_if_invalid()
+
+    def test_sw_wins_when_hw_champion_slower(self, dual_arch):
+        graph = TaskGraph("swwin")
+        graph.add_task(
+            Task.of(
+                "t",
+                [
+                    Implementation.hw("hw", 200.0, {"CLB": 10}),
+                    Implementation.sw("sw", 50.0),
+                ],
+            )
+        )
+        instance = Instance(architecture=dual_arch, taskgraph=graph)
+        for policy in ("cost", "fastest", "smallest"):
+            assert selected(instance, selection_policy=policy) == "sw"
+
+    def test_every_task_gets_an_implementation(self, medium_instance):
+        state = PAState(medium_instance)
+        select_implementations(state)
+        assert set(state.impl) == set(medium_instance.taskgraph.task_ids)

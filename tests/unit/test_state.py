@@ -1,0 +1,177 @@
+"""Unit tests for :class:`repro.core.state.PAState`."""
+
+import pytest
+
+from repro.core import PAOptions, PAState
+from repro.core.timing import CycleError
+from repro.model import ResourceVector
+
+
+@pytest.fixture
+def state(chain_instance):
+    s = PAState(chain_instance)
+    for task in chain_instance.taskgraph:
+        s.set_implementation(task.id, task.implementation(f"{task.id}_hw"))
+    return s
+
+
+class TestImplementations:
+    def test_set_and_query(self, state):
+        assert state.is_hw("a")
+        assert state.exe["a"] == 10.0
+
+    def test_foreign_implementation_rejected(self, state, chain_instance):
+        other = chain_instance.taskgraph.task("b").implementation("b_hw")
+        with pytest.raises(ValueError):
+            state.set_implementation("a", other)
+
+    def test_switch_to_fastest_sw(self, state):
+        impl = state.switch_to_fastest_sw("b")
+        assert impl.name == "b_sw"
+        assert not state.is_hw("b")
+        assert state.hw_task_ids() == ["a", "c"]
+
+    def test_timing_requires_all_implementations(self, chain_instance):
+        s = PAState(chain_instance)
+        with pytest.raises(RuntimeError):
+            _ = s.timing
+
+    def test_timing_invalidated_on_switch(self, state):
+        before = state.timing.makespan  # 30: chain of 3 x 10
+        state.switch_to_fastest_sw("b")
+        assert state.timing.makespan == before + 90.0
+
+
+class TestRegions:
+    def test_new_region_consumes_capacity(self, state):
+        state.new_region(ResourceVector({"CLB": 60}))
+        assert state.available_resources()["CLB"] == 40
+        assert not state.can_host_new_region(ResourceVector({"CLB": 50}))
+
+    def test_new_region_overcommit_rejected(self, state):
+        with pytest.raises(ValueError):
+            state.new_region(ResourceVector({"CLB": 101}))
+
+    def test_region_eq1_eq2(self, state):
+        rid = state.new_region(ResourceVector({"CLB": 20}))
+        assert state.region_bitstream(rid) == 200.0
+        assert state.region_reconf_time(rid) == 20.0
+
+    def test_assign_chain_inserts_serialization_edges(self, state):
+        rid = state.new_region(ResourceVector({"CLB": 20}))
+        state.assign_region("a", rid, 0)
+        state.assign_region("c", rid, 1)
+        assert state.graph.has_edge("a", "c")
+        assert state.region_chain[rid] == ["a", "c"]
+
+    def test_insert_in_middle(self, state):
+        rid = state.new_region(ResourceVector({"CLB": 20}))
+        state.assign_region("a", rid, 0)
+        state.assign_region("c", rid, 1)
+        state.assign_region("b", rid, 1)
+        assert state.region_chain[rid] == ["a", "b", "c"]
+        assert state.graph.has_edge("a", "b")
+        assert state.graph.has_edge("b", "c")
+
+    def test_unassign(self, state):
+        rid = state.new_region(ResourceVector({"CLB": 20}))
+        state.assign_region("a", rid, 0)
+        state.unassign_region("a")
+        assert state.region_chain[rid] == []
+        assert "a" not in state.region_of
+
+    def test_drop_empty_regions(self, state):
+        state.new_region(ResourceVector({"CLB": 10}))
+        rid = state.new_region(ResourceVector({"CLB": 20}))
+        state.assign_region("a", rid, 0)
+        state.drop_empty_regions()
+        assert list(state.regions) == [rid]
+
+
+class TestInsertPosition:
+    """Chain insertion under the window-overlap rules of Section V-C."""
+
+    def test_disjoint_slots_accepted(self, state):
+        # Chain a -> b -> c: slots [0,10), [10,20), [20,30).
+        rid = state.new_region(ResourceVector({"CLB": 20}))
+        state.assign_region("a", rid, 0)
+        # c's slot [20,30) does not overlap a's [0,10): reuse OK
+        # (non-critical rule: no reconfiguration gap required).
+        pos = state.region_insert_position(rid, "c", require_reconf_gap=False)
+        assert pos == 1
+
+    def test_reconf_gap_blocks_tight_chain(self, state):
+        # reconf of a 20-CLB region = 20 us, but the gap between a and
+        # b is 0: critical reuse must be rejected.
+        rid = state.new_region(ResourceVector({"CLB": 20}))
+        state.assign_region("a", rid, 0)
+        assert state.region_insert_position(rid, "b", require_reconf_gap=True) is None
+
+    def test_reconf_gap_accepts_when_gap_is_large(self, chain_instance):
+        state = PAState(chain_instance)
+        for task in chain_instance.taskgraph:
+            state.set_implementation(task.id, task.implementation(f"{task.id}_hw"))
+        # Delay c artificially by demoting b to slow SW: gap a..c = 100.
+        state.switch_to_fastest_sw("b")
+        rid = state.new_region(ResourceVector({"CLB": 20}))
+        state.assign_region("a", rid, 0)
+        pos = state.region_insert_position(rid, "c", require_reconf_gap=True)
+        assert pos == 1  # 100 us gap >= 20 us reconfiguration
+
+    def test_successor_gap_checked(self, state):
+        # Insert before an existing member: the member's fresh
+        # reconfiguration must also fit.
+        rid = state.new_region(ResourceVector({"CLB": 20}))
+        state.assign_region("b", rid, 0)  # slot [10, 20)
+        # a's slot ends at 10 == b's start: reconfiguration b needs
+        # 20us -> reject in critical mode.
+        assert state.region_insert_position(rid, "a", require_reconf_gap=True) is None
+        # Non-critical mode accepts (delay handled later).
+        assert state.region_insert_position(rid, "a", require_reconf_gap=False) == 0
+
+    def test_overlap_rejected(self, diamond_instance):
+        state = PAState(diamond_instance)
+        for task in diamond_instance.taskgraph:
+            impl = next(iter(task.hw_implementations))
+            state.set_implementation(task.id, impl)
+        rid = state.new_region(ResourceVector({"CLB": 500, "DSP": 10}))
+        state.assign_region("l", rid, 0)
+        # l and r run concurrently after s: overlap -> None.
+        assert state.region_insert_position(rid, "r", require_reconf_gap=False) is None
+
+
+class TestProcessors:
+    def test_assignment_serializes(self, state):
+        state.switch_to_fastest_sw("a")
+        state.switch_to_fastest_sw("c")
+        state.assign_processor("a", 0)
+        state.assign_processor("c", 0)
+        assert state.graph.has_edge("a", "c")
+        assert state.proc_chain[0] == ["a", "c"]
+
+    def test_unknown_processor_rejected(self, state):
+        with pytest.raises(ValueError):
+            state.assign_processor("a", 5)
+
+
+class TestOptions:
+    def test_cpm_window_mode(self, chain_instance):
+        state = PAState(chain_instance, PAOptions(window_mode="cpm"))
+        for task in chain_instance.taskgraph:
+            state.set_implementation(task.id, task.implementation(f"{task.id}_hw"))
+        est, lft = state.occupancy_window("a")
+        assert (est, lft) == state.timing.window("a")
+
+    def test_slot_window_mode(self, chain_instance):
+        state = PAState(chain_instance, PAOptions(window_mode="slot"))
+        for task in chain_instance.taskgraph:
+            state.set_implementation(task.id, task.implementation(f"{task.id}_hw"))
+        est, lft = state.occupancy_window("a")
+        assert lft == est + state.exe["a"]
+
+    def test_invalid_window_mode(self):
+        with pytest.raises(ValueError):
+            PAOptions(window_mode="banana")
+
+    def test_ordering_coerced_from_string(self):
+        assert PAOptions(ordering="random").ordering.value == "random"

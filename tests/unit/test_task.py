@@ -1,0 +1,101 @@
+"""Unit tests for :mod:`repro.model.task`."""
+
+import pytest
+
+from repro.model import Implementation, ImplKind, ResourceVector, Task
+
+
+class TestImplementation:
+    def test_hw_constructor(self):
+        impl = Implementation.hw("fft_hw", 10.0, {"CLB": 100})
+        assert impl.is_hw and not impl.is_sw
+        assert impl.resources["CLB"] == 100
+
+    def test_sw_constructor(self):
+        impl = Implementation.sw("fft_sw", 50.0)
+        assert impl.is_sw
+        assert impl.resources.is_zero()
+
+    def test_sw_with_resources_rejected(self):
+        with pytest.raises(ValueError):
+            Implementation(
+                name="x", kind=ImplKind.SW, time=1.0,
+                resources=ResourceVector({"CLB": 1}),
+            )
+
+    def test_hw_without_resources_rejected(self):
+        with pytest.raises(ValueError):
+            Implementation(name="x", kind=ImplKind.HW, time=1.0)
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(ValueError):
+            Implementation.sw("x", 0.0)
+        with pytest.raises(ValueError):
+            Implementation.sw("x", -1.0)
+
+    def test_dict_roundtrip(self):
+        impl = Implementation.hw("fft", 10.0, {"CLB": 5, "DSP": 2})
+        assert Implementation.from_dict(impl.to_dict()) == impl
+
+    def test_equality_is_structural(self):
+        a = Implementation.hw("fft", 10.0, {"CLB": 5})
+        b = Implementation.hw("fft", 10.0, {"CLB": 5})
+        assert a == b  # shared-module semantics rely on this
+
+
+class TestTask:
+    def _task(self):
+        return Task.of(
+            "t",
+            [
+                Implementation.hw("big", 5.0, {"CLB": 100}),
+                Implementation.hw("small", 9.0, {"CLB": 40}),
+                Implementation.sw("soft", 30.0),
+                Implementation.sw("soft2", 25.0),
+            ],
+        )
+
+    def test_partitions(self):
+        task = self._task()
+        assert {i.name for i in task.hw_implementations} == {"big", "small"}
+        assert {i.name for i in task.sw_implementations} == {"soft", "soft2"}
+        assert task.has_hw and task.has_sw
+
+    def test_fastest_sw(self):
+        assert self._task().fastest_sw().name == "soft2"
+
+    def test_fastest_overall(self):
+        assert self._task().fastest().name == "big"
+
+    def test_fastest_tie_broken_by_name(self):
+        task = Task.of(
+            "t",
+            [Implementation.sw("b", 5.0), Implementation.sw("a", 5.0)],
+        )
+        assert task.fastest().name == "a"
+
+    def test_lookup_by_name(self):
+        assert self._task().implementation("small").time == 9.0
+        with pytest.raises(KeyError):
+            self._task().implementation("nope")
+
+    def test_no_implementations_rejected(self):
+        with pytest.raises(ValueError):
+            Task.of("t", [])
+
+    def test_duplicate_impl_names_rejected(self):
+        with pytest.raises(ValueError):
+            Task.of("t", [Implementation.sw("x", 1.0), Implementation.sw("x", 2.0)])
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Task.of("", [Implementation.sw("x", 1.0)])
+
+    def test_fastest_sw_requires_sw(self):
+        task = Task.of("t", [Implementation.hw("h", 1.0, {"CLB": 1})])
+        with pytest.raises(ValueError):
+            task.fastest_sw()
+
+    def test_dict_roundtrip(self):
+        task = self._task()
+        assert Task.from_dict(task.to_dict()) == task

@@ -1,0 +1,113 @@
+"""Unit tests for the CPM timing engine (Section V-B semantics)."""
+
+import pytest
+
+from repro.core.timing import CycleError, PrecedenceGraph
+
+
+def diamond() -> PrecedenceGraph:
+    g = PrecedenceGraph(["s", "l", "r", "e"])
+    g.add_edge("s", "l")
+    g.add_edge("s", "r")
+    g.add_edge("l", "e")
+    g.add_edge("r", "e")
+    return g
+
+
+EXE = {"s": 10.0, "l": 20.0, "r": 5.0, "e": 10.0}
+
+
+class TestGraph:
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            PrecedenceGraph(["a", "a"])
+
+    def test_add_edge_unknown_node(self):
+        g = PrecedenceGraph(["a"])
+        with pytest.raises(KeyError):
+            g.add_edge("a", "b")
+
+    def test_self_loop_rejected(self):
+        g = PrecedenceGraph(["a"])
+        with pytest.raises(CycleError):
+            g.add_edge("a", "a")
+
+    def test_cycle_rejected_with_rollback(self):
+        g = PrecedenceGraph(["a", "b", "c"])
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        with pytest.raises(CycleError):
+            g.add_edge("c", "a")
+        assert not g.has_edge("c", "a")
+        assert g.topological_order() == ["a", "b", "c"]
+
+    def test_idempotent_edge_keeps_max_weight(self):
+        g = PrecedenceGraph(["a", "b"])
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "b", 3.0)
+        g.add_edge("a", "b", 2.0)
+        assert g.successors("a")["b"] == 3.0
+        assert g.edge_count() == 1
+
+    def test_copy_is_independent(self):
+        g = diamond()
+        dup = g.copy()
+        dup.add_edge("l", "r")
+        assert not g.has_edge("l", "r")
+
+    def test_topological_order_deterministic(self):
+        g = diamond()
+        assert g.topological_order() == g.topological_order()
+
+
+class TestForwardPass:
+    def test_earliest_starts(self):
+        est = diamond().earliest_starts(EXE)
+        assert est == {"s": 0.0, "l": 10.0, "r": 10.0, "e": 30.0}
+
+    def test_lower_bounds_respected_and_propagated(self):
+        est = diamond().earliest_starts(EXE, lower_bounds={"l": 25.0})
+        assert est["l"] == 25.0
+        assert est["e"] == 45.0  # delay propagated over the graph
+
+    def test_comm_weights_delay_successors(self):
+        g = PrecedenceGraph(["a", "b"])
+        g.add_edge("a", "b", 7.0)
+        est = g.earliest_starts({"a": 10.0, "b": 1.0})
+        assert est["b"] == 17.0
+
+
+class TestWindows:
+    def test_windows_and_criticality(self):
+        timing = diamond().compute_windows(EXE)
+        assert timing.makespan == 40.0
+        # Critical chain: s -> l -> e.
+        assert timing.critical_set() == {"s", "l", "e"}
+        assert timing.slack("r") == pytest.approx(15.0)
+        assert timing.window("r") == (10.0, 30.0)
+
+    def test_critical_window_equals_slot(self):
+        timing = diamond().compute_windows(EXE)
+        est, lft = timing.window("l")
+        assert (est, lft) == (10.0, 30.0)
+        assert timing.slack("l") == 0.0
+
+    def test_extended_makespan_widens_windows(self):
+        timing = diamond().compute_windows(EXE, makespan=100.0)
+        assert timing.window("e")[1] == 100.0
+        assert not timing.is_critical("e")
+
+    def test_windows_overlap(self):
+        timing = diamond().compute_windows(EXE)
+        assert timing.windows_overlap("l", "r")  # both [10,30]
+        assert not timing.windows_overlap("s", "e")
+
+    def test_isolated_nodes(self):
+        g = PrecedenceGraph(["a", "b"])
+        timing = g.compute_windows({"a": 5.0, "b": 7.0})
+        assert timing.makespan == 7.0
+        assert timing.window("a") == (0.0, 7.0)
+
+    def test_empty_graph(self):
+        g = PrecedenceGraph([])
+        assert g.compute_windows({}).makespan == 0.0

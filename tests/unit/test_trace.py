@@ -1,0 +1,72 @@
+"""Unit tests for the scheduler decision trace."""
+
+import pytest
+
+from repro.benchgen import paper_instance
+from repro.core import SchedulerTrace, do_schedule
+
+
+@pytest.fixture(scope="module")
+def traced():
+    instance = paper_instance(25, seed=11)
+    trace = SchedulerTrace()
+    schedule = do_schedule(instance, trace=trace)
+    return instance, schedule, trace
+
+
+class TestTraceContent:
+    def test_every_task_has_a_selection_event(self, traced):
+        instance, _, trace = traced
+        selected = {e.task for e in trace.by_phase("selection")}
+        assert selected == set(instance.taskgraph.task_ids)
+
+    def test_region_events_match_schedule(self, traced):
+        _, schedule, trace = traced
+        created = [e for e in trace.by_phase("regions") if e.event == "created"]
+        # Every surviving region was created exactly once (demotions can
+        # leave created-then-emptied regions, so >=).
+        assert len(created) >= len(schedule.regions)
+
+    def test_reconfiguration_events_match_schedule(self, traced):
+        _, schedule, trace = traced
+        events = trace.by_phase("reconfiguration")
+        assert len(events) == len(schedule.reconfigurations)
+
+    def test_mapping_events_cover_sw_tasks(self, traced):
+        _, schedule, trace = traced
+        mapped = {e.task for e in trace.by_phase("mapping") if e.event == "mapped"}
+        assert mapped == {t.task_id for t in schedule.sw_tasks()}
+
+    def test_summary_counts(self, traced):
+        instance, _, trace = traced
+        summary = trace.summary()
+        assert summary["selection.selected"] == len(instance.taskgraph)
+
+    def test_explain_tells_a_story(self, traced):
+        instance, _, trace = traced
+        task_id = instance.taskgraph.task_ids[0]
+        story = trace.explain(task_id)
+        assert task_id in story
+        assert "[selection]" in story
+
+    def test_explain_unknown_task(self, traced):
+        _, _, trace = traced
+        assert "no recorded decisions" in trace.explain("ghost")
+
+    def test_render_filters_by_phase(self, traced):
+        _, _, trace = traced
+        out = trace.render("selection")
+        assert out and all(line.startswith("[selection]") for line in out.splitlines())
+
+
+class TestTraceOverhead:
+    def test_no_trace_records_nothing(self):
+        instance = paper_instance(10, seed=2)
+        schedule = do_schedule(instance)  # no trace: must not crash
+        assert schedule.makespan > 0
+
+    def test_trace_does_not_change_the_schedule(self):
+        instance = paper_instance(20, seed=3)
+        plain = do_schedule(instance)
+        traced = do_schedule(instance, trace=SchedulerTrace())
+        assert plain.makespan == traced.makespan
