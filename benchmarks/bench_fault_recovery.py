@@ -1,0 +1,97 @@
+"""Fault-injection runtime — recovery overhead and robustness sweep.
+
+Times a fault-injected simulation against the plain replay, and records
+the robustness profile (recovery rate, makespan degradation, retries)
+across transient fault rates plus a mid-run permanent region death.
+"""
+
+import statistics
+
+from _suite import profile
+
+from repro.analysis import fault_sweep, robustness_metrics
+from repro.benchgen import paper_instance
+from repro.core import do_schedule
+from repro.sim import (
+    FaultPlan,
+    RecoveryPolicy,
+    RegionDeath,
+    TransientTaskFaults,
+    simulate,
+)
+
+_SIZES = {"tiny": (30,), "small": (30, 50), "full": (30, 50, 70)}
+_POLICY = RecoveryPolicy(max_retries=8)
+
+
+def _planned():
+    return [
+        (instance, do_schedule(instance))
+        for instance in (
+            paper_instance(size, seed=seed)
+            for size in _SIZES[profile()]
+            for seed in (1, 2)
+        )
+    ]
+
+
+def test_simulate_with_faults_overhead(benchmark):
+    """Fault machinery cost: simulate with transients vs plain replay."""
+    instance, schedule = _planned()[0]
+    faults = FaultPlan([TransientTaskFaults(rate=0.1, seed=1)])
+
+    result = benchmark(
+        lambda: simulate(instance, schedule, faults=faults, recovery=_POLICY)
+    )
+    metrics = robustness_metrics(result)
+    assert result.completed
+    benchmark.extra_info["recovery_rate"] = round(metrics.recovery_rate, 3)
+    benchmark.extra_info["retries"] = metrics.retries
+    benchmark.extra_info["slippage_pct"] = round(metrics.degradation * 100, 1)
+
+
+def test_region_death_recovery(benchmark):
+    """Kill the busiest region 30% into each plan; every run must
+    recover (paper tasks all carry SW implementations)."""
+    plans = _planned()
+
+    def run_all():
+        results = []
+        for instance, schedule in plans:
+            victim = max(
+                schedule.regions,
+                key=lambda rid: len(schedule.region_sequence(rid)),
+            )
+            faults = FaultPlan([RegionDeath(victim, schedule.makespan * 0.3)])
+            results.append(
+                simulate(instance, schedule, faults=faults, recovery=_POLICY)
+            )
+        return results
+
+    results = benchmark(run_all)
+    metrics = [robustness_metrics(r) for r in results]
+    assert all(m.completed for m in metrics)
+    benchmark.extra_info["runs"] = len(metrics)
+    benchmark.extra_info["mean_slippage_pct"] = round(
+        statistics.mean(m.degradation for m in metrics) * 100, 1
+    )
+    benchmark.extra_info["fallbacks"] = sum(m.fallbacks for m in metrics)
+
+
+def test_fault_rate_sweep(benchmark):
+    """Makespan degradation vs transient fault rate (the robustness
+    curve behind the paper's runtime-variation discussion)."""
+    instance, schedule = _planned()[0]
+    rates = (0.0, 0.05, 0.1, 0.2)
+
+    points = benchmark(
+        lambda: fault_sweep(
+            instance, schedule, rates=rates, trials=3, seed=0, policy=_POLICY
+        )
+    )
+    assert points[0].degradation == 0.0
+    assert all(p.completed_fraction == 1.0 for p in points)
+    for point in points:
+        benchmark.extra_info[f"slippage_pct_at_{point.rate}"] = round(
+            point.degradation * 100, 1
+        )

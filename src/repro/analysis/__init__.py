@@ -8,6 +8,13 @@ from .export import (
 )
 from .gantt import render_gantt
 from .metrics import Improvement, group_improvement, improvement_percent
+from .robustness import (
+    RobustnessMetrics,
+    SweepPoint,
+    fault_sweep,
+    render_fault_sweep,
+    robustness_metrics,
+)
 from .report import render_html_report, write_html_report
 from .stats import ScheduleStats, schedule_stats
 from .runner import (
@@ -28,6 +35,11 @@ __all__ = [
     "Improvement",
     "group_improvement",
     "improvement_percent",
+    "RobustnessMetrics",
+    "SweepPoint",
+    "fault_sweep",
+    "render_fault_sweep",
+    "robustness_metrics",
     "ConvergenceResults",
     "ExperimentConfig",
     "QualityResults",

@@ -7,6 +7,8 @@
     repro validate instance.json schedule.json
     repro gantt instance.json schedule.json
     repro floorplan instance.json schedule.json
+    repro simulate instance.json schedule.json --jitter 0.2
+    repro simulate instance.json schedule.json --fault region-death:RR1@50
     repro experiments table1 fig3 --profile tiny
     repro experiments all --profile small -o results/
 
@@ -168,6 +170,50 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .analysis.robustness import robustness_metrics
+    from .sim import FaultPlan, RecoveryPolicy, jitter_model, simulate
+
+    instance = _load_instance(args.instance)
+    schedule = Schedule.from_dict(json.loads(Path(args.schedule).read_text()))
+    try:
+        jitter = (
+            jitter_model(args.jitter, seed=args.seed) if args.jitter > 0 else None
+        )
+        faults = FaultPlan.from_specs(args.fault) if args.fault else None
+        policy = RecoveryPolicy(
+            max_retries=args.retries,
+            backoff=args.backoff,
+            sw_fallback=not args.no_fallback,
+            repair=not args.no_repair,
+            repair_latency=args.repair_latency,
+        )
+        result = simulate(
+            instance,
+            schedule,
+            jitter=jitter,
+            faults=faults,
+            recovery=policy,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    metrics = robustness_metrics(result)
+    print(
+        f"simulated makespan={result.makespan:.1f} "
+        f"planned={result.planned_makespan:.1f} "
+        f"slippage={result.slippage * 100:+.1f}%"
+    )
+    if faults or not result.completed:
+        print(metrics.render())
+        if result.failed_tasks:
+            print(f"unrecovered tasks: {', '.join(result.failed_tasks)}")
+    if args.trace:
+        print()
+        print(result.trace.render())
+    return 0 if result.completed else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     config = ExperimentConfig(profile=args.profile)
     wanted = set(args.exhibits) or {"all"}
@@ -275,6 +321,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task", default=None, help="explain one task's journey")
     p.add_argument("--phase", default=None, help="show one phase's decisions")
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "simulate",
+        help="execute a schedule in the discrete-event runtime "
+        "(jitter + fault injection + recovery)",
+    )
+    p.add_argument("instance")
+    p.add_argument("schedule")
+    p.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="multiplicative jitter factor in [0, 1), 0 = exact replay",
+    )
+    p.add_argument("--seed", type=int, default=0, help="jitter seed")
+    p.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="inject a fault model; repeatable. SPECs: transient:<rate>[@seed]"
+        " | reconf:<rate>[@seed] | region-death:<region>@<time>",
+    )
+    p.add_argument(
+        "--retries", type=int, default=3, help="max retries per activity"
+    )
+    p.add_argument(
+        "--backoff", type=float, default=1.0, help="first retry backoff [us]"
+    )
+    p.add_argument(
+        "--repair-latency", type=float, default=0.0,
+        help="simulated cost of one online repair-scheduling pass [us]",
+    )
+    p.add_argument(
+        "--no-fallback", action="store_true", help="disable SW fallback"
+    )
+    p.add_argument(
+        "--no-repair", action="store_true", help="disable repair scheduling"
+    )
+    p.add_argument(
+        "--trace", action="store_true", help="print the full event trace"
+    )
+    p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p.add_argument(

@@ -1,5 +1,47 @@
-"""Discrete-event execution of schedules (runtime replay + jitter)."""
+"""Discrete-event execution of schedules: runtime replay, jitter,
+fault injection and retry/fallback/repair recovery."""
 
-from .executor import SimulatedActivity, SimulationResult, jitter_model, simulate
+from .events import ExecutionEvent, ExecutionTrace
+from .executor import (
+    DeadlockError,
+    SimulatedActivity,
+    SimulationResult,
+    jitter_model,
+    simulate,
+)
+from .faults import (
+    FaultPlan,
+    ReconfFaults,
+    RegionDeath,
+    TransientTaskFaults,
+    parse_fault,
+)
+from .recovery import (
+    RecoveryError,
+    RecoveryPolicy,
+    RepairResult,
+    degraded_architecture,
+    repair_schedule,
+    residual_instance,
+)
 
-__all__ = ["SimulatedActivity", "SimulationResult", "jitter_model", "simulate"]
+__all__ = [
+    "ExecutionEvent",
+    "ExecutionTrace",
+    "DeadlockError",
+    "SimulatedActivity",
+    "SimulationResult",
+    "jitter_model",
+    "simulate",
+    "FaultPlan",
+    "ReconfFaults",
+    "RegionDeath",
+    "TransientTaskFaults",
+    "parse_fault",
+    "RecoveryError",
+    "RecoveryPolicy",
+    "RepairResult",
+    "degraded_architecture",
+    "repair_schedule",
+    "residual_instance",
+]

@@ -1,0 +1,103 @@
+"""Structured per-event trace of a simulated execution.
+
+The executor emits one :class:`ExecutionEvent` for every observable
+runtime decision — dispatches, completions, fault injections, retries,
+fallbacks, region deaths, repair-scheduler invocations — so recovery
+behaviour can be asserted in tests and inspected from the CLI without
+parsing free-form logs.  Events are collected in an
+:class:`ExecutionTrace`; callers may additionally register an
+``on_event`` hook with :func:`repro.sim.simulate` to observe events as
+they fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExecutionEvent", "ExecutionTrace"]
+
+# The closed set of event kinds the executor emits.  Kept as a tuple so
+# tests and tooling can enumerate it.
+EVENT_KINDS = (
+    "start",  # an activity (task or reconfiguration) begins
+    "end",  # an activity completes successfully
+    "fault",  # one execution attempt failed (transient, reconf or death)
+    "retry",  # a failed activity is re-attempted after backoff
+    "fallback",  # a HW task is re-dispatched to its SW implementation
+    "region-death",  # a region permanently died
+    "repair",  # the online repair scheduler produced a new plan
+    "repair-failed",  # the repair scheduler could not produce a plan
+    "skip",  # a task is abandoned because an ancestor failed
+    "failed",  # a task is abandoned with no recovery option left
+)
+
+
+@dataclass(frozen=True)
+class ExecutionEvent:
+    """One observable runtime event.
+
+    ``subject`` is a task id, ``reconf:<task>`` or a region id
+    (for ``region-death``); ``resource`` is where it happened;
+    ``attempt`` counts execution attempts (1 = first try).
+    """
+
+    time: float
+    kind: str
+    subject: str
+    resource: str = ""
+    detail: str = ""
+    attempt: int = 0
+
+    def __str__(self) -> str:
+        parts = [f"t={self.time:.3f}", f"[{self.kind}]", self.subject]
+        if self.resource:
+            parts.append(f"on {self.resource}")
+        if self.attempt:
+            parts.append(f"attempt {self.attempt}")
+        if self.detail:
+            parts.append(f"— {self.detail}")
+        return " ".join(parts)
+
+
+@dataclass
+class ExecutionTrace:
+    """Chronological record of every event of one simulated execution."""
+
+    events: list[ExecutionEvent] = field(default_factory=list)
+
+    def add(self, event: ExecutionEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of(self, *kinds: str) -> list[ExecutionEvent]:
+        """Events of the given kind(s), in emission order."""
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def counts(self) -> dict[str, int]:
+        """Event count per kind (only kinds that occurred)."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def chronological(self) -> list[ExecutionEvent]:
+        """Events sorted by time (retry chains are emitted inline, so
+        raw emission order is only approximately chronological)."""
+        indexed = sorted(
+            enumerate(self.events), key=lambda pair: (pair[1].time, pair[0])
+        )
+        return [event for _, event in indexed]
+
+    def render(self, kinds: tuple[str, ...] | None = None) -> str:
+        """Human-readable listing, optionally filtered to some kinds."""
+        events = self.chronological()
+        if kinds is not None:
+            wanted = set(kinds)
+            events = [e for e in events if e.kind in wanted]
+        return "\n".join(str(e) for e in events)

@@ -18,35 +18,90 @@ times *exactly* — the property test that cross-validates the
 scheduler's timing engine against an independent executor.  With
 non-unit jitter it answers the robustness question: how much does the
 plan's makespan degrade when tasks overrun?
+
+On top of the replay sits a fault-injection runtime (``faults=`` and
+``recovery=``): transient task faults and failed bitstream loads are
+retried with exponential backoff, a dead region's tasks are
+re-dispatched to their software implementations, and when fallback
+cannot cover the loss the online repair scheduler
+(:func:`repro.sim.recovery.repair_schedule`) re-plans the residual task
+graph on the surviving fabric and the executor resumes from the
+repaired plan.  Every runtime decision is recorded as a structured
+:class:`~repro.sim.events.ExecutionEvent` in the result's trace.
+With ``faults=None`` the fault machinery is inert and the executed
+times are identical to the plain replay.
+
+Dispatch is strictly time-ordered: among all runnable activities the
+one with the earliest derived start fires first (deterministic
+tie-break), which is what makes fault times well-defined.  When nothing
+is runnable but work remains, the executor raises a
+:class:`DeadlockError` diagnosing each stuck resource instead of
+looping or returning a partial result.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping
 
 from ..model import (
     Instance,
     ProcessorPlacement,
+    Reconfiguration,
+    Region,
     RegionPlacement,
     Schedule,
 )
+from .events import ExecutionEvent, ExecutionTrace
+from .faults import FaultPlan
+from .recovery import RecoveryError, RecoveryPolicy, RepairResult, repair_schedule
 
-__all__ = ["SimulatedActivity", "SimulationResult", "simulate", "jitter_model"]
+__all__ = [
+    "SimulatedActivity",
+    "SimulationResult",
+    "DeadlockError",
+    "simulate",
+    "jitter_model",
+]
 
 EPS = 1e-9
 
 
+class DeadlockError(RuntimeError):
+    """The dispatch plan cannot make progress.
+
+    ``blocked`` maps each stuck resource to a human-readable reason;
+    ``stuck_tasks`` lists the unfinished task ids.
+    """
+
+    def __init__(self, blocked: Mapping[str, str], stuck_tasks: list[str]):
+        self.blocked = dict(blocked)
+        self.stuck_tasks = list(stuck_tasks)
+        lines = [f"  {res}: {why}" for res, why in sorted(self.blocked.items())]
+        super().__init__(
+            "dispatch deadlock — no runnable activity but "
+            f"{len(self.stuck_tasks)} task(s) unfinished "
+            f"({', '.join(repr(t) for t in self.stuck_tasks[:5])}"
+            f"{', ...' if len(self.stuck_tasks) > 5 else ''}):\n"
+            + "\n".join(lines)
+        )
+
+
 @dataclass(frozen=True)
 class SimulatedActivity:
-    """One executed activity: a task or a reconfiguration."""
+    """One executed activity: a task or a reconfiguration.
+
+    ``ok`` is False for failed attempts (the resource was occupied but
+    the work was lost to an injected fault)."""
 
     kind: str  # "task" | "reconfiguration"
     name: str  # task id, or "reconf:<outgoing task>"
     resource: str  # "RRx", "Px" or "ICAP"
     start: float
     end: float
+    ok: bool = True
+    attempt: int = 1
 
     @property
     def duration(self) -> float:
@@ -62,6 +117,10 @@ class SimulationResult:
     task_end: dict[str, float]
     makespan: float
     planned_makespan: float
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    completed: bool = True
+    failed_tasks: list[str] = field(default_factory=list)
+    repairs: list[RepairResult] = field(default_factory=list)
 
     @property
     def slippage(self) -> float:
@@ -96,169 +155,702 @@ def simulate(
     schedule: Schedule,
     jitter: Callable[[str, float], float] | Mapping[str, float] | None = None,
     communication_overhead: bool = False,
+    faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
+    on_event: Callable[[ExecutionEvent], None] | None = None,
 ) -> SimulationResult:
-    """Execute ``schedule`` as a dispatch plan (see module docstring)."""
-    graph = instance.taskgraph
-    arch = instance.architecture
+    """Execute ``schedule`` as a dispatch plan (see module docstring).
 
-    def actual(name: str, duration: float) -> float:
-        if jitter is None:
-            return duration
-        if callable(jitter):
-            return max(EPS, jitter(name, duration))
-        return max(EPS, duration * jitter.get(name, 1.0))
+    ``faults`` injects runtime failures; ``recovery`` configures the
+    retry/fallback/repair ladder (defaults to :class:`RecoveryPolicy`);
+    ``on_event`` observes every :class:`ExecutionEvent` as it fires.
+    """
+    if faults is not None and not faults:
+        faults = None  # empty plan == no faults
+    if faults is not None:
+        known = set(schedule.regions)
+        for _, rid in faults.region_deaths():
+            if rid not in known:
+                raise ValueError(
+                    f"region-death targets unknown region {rid!r} "
+                    f"(schedule has {sorted(known)})"
+                )
+    engine = _Engine(
+        instance=instance,
+        schedule=schedule,
+        jitter=jitter,
+        communication_overhead=communication_overhead,
+        faults=faults,
+        policy=recovery or RecoveryPolicy(),
+        on_event=on_event,
+    )
+    return engine.run()
 
-    # --- dispatch orders encoded by the plan -----------------------------
-    region_sequences = {
-        rid: [t.task_id for t in schedule.region_sequence(rid)]
-        for rid in schedule.regions
-    }
-    proc_ids = sorted(
-        {
-            t.placement.index
-            for t in schedule.tasks.values()
-            if isinstance(t.placement, ProcessorPlacement)
+
+class _Engine:
+    """Time-ordered dispatch of a plan with optional fault injection.
+
+    One instance executes one simulation; all mutable runtime state
+    (queues, resource-free times, the fallback pool, fault bookkeeping)
+    lives here so the repair scheduler can splice a new plan into a
+    running execution.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        schedule: Schedule,
+        jitter,
+        communication_overhead: bool,
+        faults: FaultPlan | None,
+        policy: RecoveryPolicy,
+        on_event,
+    ) -> None:
+        self.instance = instance
+        self.schedule = schedule
+        self.graph = instance.taskgraph
+        self.jitter = jitter
+        self.comm = communication_overhead
+        self.faults = faults
+        self.policy = policy
+        self.on_event = on_event
+        self.trace = ExecutionTrace()
+
+        arch = instance.architecture
+        self.task_start: dict[str, float] = {}
+        self.task_end: dict[str, float] = {}
+        self.reconf_end: dict[str, float] = {}  # keyed by outgoing task
+        self.resolved: dict[str, float] = {}  # when a failed task gave up
+        self.activities: list[SimulatedActivity] = []
+        self.region_free: dict[str, float] = {rid: 0.0 for rid in schedule.regions}
+        self.proc_free: dict[int, float] = {
+            p: 0.0 for p in range(arch.processors)
         }
-    )
-    proc_sequences = {
-        p: [t.task_id for t in schedule.processor_sequence(p)] for p in proc_ids
-    }
-    controller_order = sorted(
-        schedule.reconfigurations, key=lambda r: (r.start, r.region_id)
-    )
-    controller_queues: dict[int, list] = {}
-    for rc in controller_order:
-        controller_queues.setdefault(rc.controller, []).append(rc)
-    reconf_for: dict[str, object] = {
-        rc.outgoing_task: rc for rc in controller_order
-    }
+        self.controller_free: dict[int, float] = {
+            c: 0.0 for c in range(arch.reconfigurators)
+        }
+        self.regions_catalog: dict[str, Region] = dict(schedule.regions)
+        self.pool: list[str] = []  # SW-fallback tasks, dispatched when ready
+        self.not_before: dict[str, float] = {}  # earliest fallback dispatch
+        self.fallback_impl: dict[str, object] = {}
+        self.failed: set[str] = set()  # unrecovered faults
+        self.skipped: set[str] = set()  # abandoned (failed ancestor)
+        self.dead_regions: dict[str, Region] = {}
+        self.deaths: list[tuple[float, str]] = (
+            faults.region_deaths() if faults else []
+        )
+        self.repairs: list[RepairResult] = []
+        self._reconf_region: dict[str, str] = {}  # activity name -> region
+        self._install_plan(schedule)
 
-    # --- event-driven replay -------------------------------------------------
-    task_end: dict[str, float] = {}
-    task_start: dict[str, float] = {}
-    reconf_end: dict[str, float] = {}  # keyed by outgoing task
-    region_free: dict[str, float] = {rid: 0.0 for rid in schedule.regions}
-    proc_free: dict[int, float] = {p: 0.0 for p in proc_ids}
-    controller_free: dict[int, float] = {}
-    activities: list[SimulatedActivity] = []
+    # -- plan installation (initial plan and repaired plans) ----------------
 
-    def data_ready(task_id: str) -> float | None:
+    def _install_plan(self, schedule: Schedule) -> None:
+        self.region_tasks = {
+            rid: [t.task_id for t in schedule.region_sequence(rid)]
+            for rid in schedule.regions
+        }
+        proc_ids = sorted(
+            {
+                t.placement.index
+                for t in schedule.tasks.values()
+                if isinstance(t.placement, ProcessorPlacement)
+            }
+        )
+        self.proc_tasks = {
+            p: [t.task_id for t in schedule.processor_sequence(p)]
+            for p in proc_ids
+        }
+        controller_order = sorted(
+            schedule.reconfigurations, key=lambda r: (r.start, r.region_id)
+        )
+        self.controller_queues: dict[int, list[Reconfiguration]] = {}
+        for rc in controller_order:
+            self.controller_queues.setdefault(rc.controller, []).append(rc)
+        self.reconf_for: dict[str, Reconfiguration] = {
+            rc.outgoing_task: rc for rc in controller_order
+        }
+        self.planned_duration = {
+            tid: t.duration for tid, t in schedule.tasks.items()
+        }
+
+    # -- small helpers -------------------------------------------------------
+
+    def _emit(
+        self,
+        time: float,
+        kind: str,
+        subject: str,
+        resource: str = "",
+        detail: str = "",
+        attempt: int = 0,
+    ) -> None:
+        event = ExecutionEvent(
+            time=time,
+            kind=kind,
+            subject=subject,
+            resource=resource,
+            detail=detail,
+            attempt=attempt,
+        )
+        self.trace.add(event)
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _actual(self, name: str, duration: float) -> float:
+        if self.jitter is None:
+            return duration
+        if callable(self.jitter):
+            return max(EPS, self.jitter(name, duration))
+        return max(EPS, duration * self.jitter.get(name, 1.0))
+
+    def _data_ready(self, task_id: str) -> tuple[float, bool] | None:
+        """Earliest data-ready time, or None while a predecessor is
+        still outstanding.  The flag is True when an ancestor failed
+        (the task can only be skipped)."""
         ready = 0.0
-        for pred in graph.predecessors(task_id):
-            if pred not in task_end:
+        doomed = False
+        for pred in self.graph.predecessors(task_id):
+            if pred in self.task_end:
+                finish = self.task_end[pred]
+                if self.comm:
+                    finish += self.graph.comm_cost(pred, task_id)
+            elif pred in self.resolved:
+                finish = self.resolved[pred]
+                doomed = True
+            else:
                 return None
-            finish = task_end[pred]
-            if communication_overhead:
-                finish += graph.comm_cost(pred, task_id)
             ready = max(ready, finish)
-        return ready
+        return ready, doomed
 
-    # Progress by repeatedly firing the earliest runnable activity; the
-    # dispatch orders make each resource's next activity unique, so a
-    # simple fixed-point loop terminates in O(activities * resources).
-    pending_tasks = set(schedule.tasks)
+    def _ingoing_end(self, rc: Reconfiguration) -> float | None:
+        if rc.ingoing_task in self.task_end:
+            return self.task_end[rc.ingoing_task]
+        if rc.ingoing_task in self.resolved:
+            return self.resolved[rc.ingoing_task]
+        return None
 
-    def reconfs_pending() -> bool:
-        return any(queue for queue in controller_queues.values())
+    def _drop_reconf(self, task_id: str) -> None:
+        """Remove the pending bitstream load for a task that will never
+        run in hardware (fallback / skip / failure / dead region)."""
+        rc = self.reconf_for.pop(task_id, None)
+        if rc is None:
+            return
+        queue = self.controller_queues.get(rc.controller, [])
+        if rc in queue:
+            queue.remove(rc)
 
-    progress = True
-    while (pending_tasks or reconfs_pending()) and progress:
-        progress = False
+    # -- candidate collection -----------------------------------------------
 
-        # 1. each controller executes its reconfigurations in plan order.
-        for controller, queue in controller_queues.items():
-            while queue:
-                rc = queue[0]
-                if rc.ingoing_task not in task_end:
-                    break  # region still running its previous task
-                start = max(
-                    task_end[rc.ingoing_task],
-                    controller_free.get(controller, 0.0),
-                )
-                duration = actual(f"reconf:{rc.outgoing_task}", rc.duration)
-                end = start + duration
-                controller_free[controller] = end
-                reconf_end[rc.outgoing_task] = end
-                activities.append(
-                    SimulatedActivity(
-                        kind="reconfiguration",
-                        name=f"reconf:{rc.outgoing_task}",
-                        resource=f"ICAP{controller}",
-                        start=start,
-                        end=end,
-                    )
-                )
-                queue.pop(0)
-                progress = True
+    def _candidates(self) -> list[tuple[float, int, str, tuple]]:
+        """Every runnable head with its derived start time.
 
-        # 2. each region/core runs its next planned task when possible.
-        for rid, sequence in region_sequences.items():
-            while sequence:
-                task_id = sequence[0]
-                ready = data_ready(task_id)
-                if ready is None:
-                    break
-                if task_id in reconf_for and task_id not in reconf_end:
-                    break  # bitstream not loaded yet
-                start = max(ready, region_free[rid])
-                if task_id in reconf_end:
-                    start = max(start, reconf_end[task_id])
-                planned = schedule.tasks[task_id]
-                duration = actual(task_id, planned.duration)
-                end = start + duration
-                region_free[rid] = end
-                task_start[task_id] = start
-                task_end[task_id] = end
-                activities.append(
-                    SimulatedActivity(
-                        kind="task", name=task_id, resource=rid,
-                        start=start, end=end,
-                    )
-                )
-                sequence.pop(0)
-                pending_tasks.discard(task_id)
-                progress = True
+        A candidate is ``(start, class, name, payload)``; the tuple
+        orders firing deterministically by time then class then name.
+        """
+        cands: list[tuple[float, int, str, tuple]] = []
+        for controller in sorted(self.controller_queues):
+            queue = self.controller_queues[controller]
+            if not queue:
+                continue
+            rc = queue[0]
+            ingoing_end = self._ingoing_end(rc)
+            if ingoing_end is None:
+                continue
+            start = max(ingoing_end, self.controller_free[rc.controller])
+            cands.append(
+                (start, 0, f"reconf:{rc.outgoing_task}", ("reconf", controller))
+            )
+        for rid in sorted(self.region_tasks):
+            queue = self.region_tasks[rid]
+            if not queue:
+                continue
+            task_id = queue[0]
+            ready = self._data_ready(task_id)
+            if ready is None:
+                continue
+            ready_at, doomed = ready
+            if doomed:
+                cands.append((ready_at, 1, task_id, ("skip", "region", rid)))
+                continue
+            if task_id in self.reconf_for and task_id not in self.reconf_end:
+                continue  # bitstream not loaded yet
+            start = max(ready_at, self.region_free[rid])
+            if task_id in self.reconf_end:
+                start = max(start, self.reconf_end[task_id])
+            cands.append((start, 1, task_id, ("region", rid)))
+        for proc in sorted(self.proc_tasks):
+            queue = self.proc_tasks[proc]
+            if not queue:
+                continue
+            task_id = queue[0]
+            ready = self._data_ready(task_id)
+            if ready is None:
+                continue
+            ready_at, doomed = ready
+            if doomed:
+                cands.append((ready_at, 2, task_id, ("skip", "proc", proc)))
+                continue
+            start = max(ready_at, self.proc_free[proc])
+            cands.append((start, 2, task_id, ("proc", proc)))
+        for task_id in sorted(self.pool):
+            ready = self._data_ready(task_id)
+            if ready is None:
+                continue
+            ready_at, doomed = ready
+            if doomed:
+                cands.append((ready_at, 3, task_id, ("skip", "pool", None)))
+                continue
+            proc = min(self.proc_free, key=lambda p: (self.proc_free[p], p))
+            # A fallback cannot start before the fault that caused it.
+            start = max(
+                ready_at, self.not_before.get(task_id, 0.0), self.proc_free[proc]
+            )
+            cands.append((start, 3, task_id, ("pool", proc)))
+        return cands
 
-        for proc, sequence in proc_sequences.items():
-            while sequence:
-                task_id = sequence[0]
-                ready = data_ready(task_id)
-                if ready is None:
-                    break
-                start = max(ready, proc_free[proc])
-                planned = schedule.tasks[task_id]
-                duration = actual(task_id, planned.duration)
-                end = start + duration
-                proc_free[proc] = end
-                task_start[task_id] = start
-                task_end[task_id] = end
-                activities.append(
-                    SimulatedActivity(
-                        kind="task", name=task_id, resource=f"P{proc}",
-                        start=start, end=end,
-                    )
-                )
-                sequence.pop(0)
-                pending_tasks.discard(task_id)
-                progress = True
-
-    if pending_tasks or reconfs_pending():
-        stuck = sorted(pending_tasks) + [
-            f"reconf:{rc.outgoing_task}"
-            for queue in controller_queues.values()
-            for rc in queue
-        ]
-        raise RuntimeError(
-            f"dispatch deadlock — plan orders are cyclic for: {stuck[:5]}"
+    def _work_remains(self) -> bool:
+        return bool(
+            self.pool
+            or any(self.region_tasks.values())
+            or any(self.proc_tasks.values())
+            or any(self.controller_queues.values())
         )
 
-    makespan = max(
-        [a.end for a in activities], default=0.0
-    )
-    return SimulationResult(
-        activities=activities,
-        task_start=task_start,
-        task_end=task_end,
-        makespan=makespan,
-        planned_makespan=schedule.makespan,
-    )
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        while self._work_remains():
+            cands = self._candidates()
+            next_death = self.deaths[0] if self.deaths else None
+            if not cands:
+                if next_death is not None:
+                    self._process_death()
+                    continue
+                self._raise_deadlock()
+            best = min(cands, key=lambda c: (c[0], c[1], c[2]))
+            if next_death is not None and next_death[0] <= best[0]:
+                self._process_death()
+                continue
+            self._fire(best)
+        return self._result()
+
+    def _result(self) -> SimulationResult:
+        makespan = max((a.end for a in self.activities), default=0.0)
+        failed = sorted(self.failed | self.skipped)
+        completed = set(self.task_end) >= set(self.schedule.tasks)
+        return SimulationResult(
+            activities=self.activities,
+            task_start=self.task_start,
+            task_end=self.task_end,
+            makespan=makespan,
+            planned_makespan=self.schedule.makespan,
+            trace=self.trace,
+            completed=completed,
+            failed_tasks=failed,
+            repairs=self.repairs,
+        )
+
+    # -- firing --------------------------------------------------------------
+
+    def _fire(self, cand: tuple[float, int, str, tuple]) -> None:
+        start, _, name, payload = cand
+        if payload[0] == "skip":
+            self._fire_skip(start, name, payload)
+        elif payload[0] == "reconf":
+            self._fire_reconf(start, payload[1])
+        else:
+            self._fire_task(start, name, payload)
+
+    def _fire_skip(self, time: float, task_id: str, payload: tuple) -> None:
+        _, where, key = payload
+        if where == "region":
+            self.region_tasks[key].pop(0)
+        elif where == "proc":
+            self.proc_tasks[key].pop(0)
+        else:
+            self.pool.remove(task_id)
+        self._drop_reconf(task_id)
+        self.resolved[task_id] = time
+        self.skipped.add(task_id)
+        self._emit(time, "skip", task_id, detail="ancestor failed")
+
+    def _fire_reconf(self, start: float, controller: int) -> None:
+        queue = self.controller_queues[controller]
+        rc = queue.pop(0)
+        name = f"reconf:{rc.outgoing_task}"
+        self._reconf_region[name] = rc.region_id
+        cursor = start
+        attempt = 1
+        while True:
+            key = name if attempt == 1 else f"{name}#a{attempt}"
+            duration = self._actual(key, rc.duration)
+            end = cursor + duration
+            fails = (
+                self.faults.reconf_fails(rc.outgoing_task, attempt)
+                if self.faults
+                else False
+            )
+            self.activities.append(
+                SimulatedActivity(
+                    kind="reconfiguration",
+                    name=name,
+                    resource=f"ICAP{controller}",
+                    start=cursor,
+                    end=end,
+                    ok=not fails,
+                    attempt=attempt,
+                )
+            )
+            self.controller_free[controller] = end
+            if not fails:
+                self._emit(
+                    cursor, "start", name, f"ICAP{controller}", attempt=attempt
+                )
+                self._emit(end, "end", name, f"ICAP{controller}")
+                self.reconf_end[rc.outgoing_task] = end
+                return
+            self._emit(
+                end,
+                "fault",
+                name,
+                f"ICAP{controller}",
+                detail="bitstream load failed",
+                attempt=attempt,
+            )
+            if attempt > self.policy.max_retries:
+                self.reconf_for.pop(rc.outgoing_task, None)
+                self._recover_hw_task(
+                    rc.outgoing_task, end, cause="bitstream load retries exhausted"
+                )
+                return
+            delay = self.policy.retry_delay(attempt)
+            self._emit(
+                end, "retry", name, f"ICAP{controller}",
+                detail=f"backoff {delay:g}", attempt=attempt + 1,
+            )
+            cursor = end + delay
+            attempt += 1
+
+    def _fire_task(self, start: float, task_id: str, payload: tuple) -> None:
+        where, key = payload
+        # Dequeue before running the attempt chain: recovery paths
+        # (exhausted retries) may themselves edit the queues.
+        if where == "region":
+            resource = key
+            self.region_tasks[key].pop(0)
+            duration0 = self.planned_duration[task_id]
+        elif where == "proc":
+            resource = f"P{key}"
+            self.proc_tasks[key].pop(0)
+            duration0 = self.planned_duration[task_id]
+        else:  # fallback pool
+            resource = f"P{key}"
+            self.pool.remove(task_id)
+            duration0 = self.fallback_impl[task_id].time
+
+        # If the region dies mid-attempt, the death processing (which is
+        # guaranteed to run before any later activity fires) truncates
+        # the committed activities and triggers recovery for this task.
+        cursor = start
+        attempt = 1
+        final_end = start
+        while True:
+            jitter_key = task_id if attempt == 1 else f"{task_id}#a{attempt}"
+            duration = self._actual(jitter_key, duration0)
+            end = cursor + duration
+            fails = (
+                self.faults.task_fails(task_id, attempt) if self.faults else False
+            )
+            self.activities.append(
+                SimulatedActivity(
+                    kind="task",
+                    name=task_id,
+                    resource=resource,
+                    start=cursor,
+                    end=end,
+                    ok=not fails,
+                    attempt=attempt,
+                )
+            )
+            final_end = end
+            if not fails:
+                self._emit(cursor, "start", task_id, resource, attempt=attempt)
+                self._emit(end, "end", task_id, resource)
+                self.task_start[task_id] = cursor
+                self.task_end[task_id] = end
+                break
+            self._emit(
+                end, "fault", task_id, resource,
+                detail="transient fault", attempt=attempt,
+            )
+            if attempt > self.policy.max_retries:
+                self._exhausted_task(task_id, end, where, resource)
+                break
+            delay = self.policy.retry_delay(attempt)
+            self._emit(
+                end, "retry", task_id, resource,
+                detail=f"backoff {delay:g}", attempt=attempt + 1,
+            )
+            cursor = end + delay
+            attempt += 1
+
+        if where == "region":
+            self.region_free[key] = final_end
+        else:
+            self.proc_free[key] = final_end
+
+    def _exhausted_task(
+        self, task_id: str, time: float, where: str, resource: str
+    ) -> None:
+        """Retries are spent; fall back to SW if the task ran in HW."""
+        if where == "region":
+            self._recover_hw_task(task_id, time, cause="retries exhausted")
+            return
+        self.resolved[task_id] = time
+        self.failed.add(task_id)
+        self._emit(time, "failed", task_id, resource, detail="retries exhausted")
+
+    def _recover_hw_task(self, task_id: str, time: float, cause: str) -> None:
+        """Move a HW task to the SW fallback pool, or give up on it.
+
+        The task is removed from its region queue (it may not be the
+        head when a bitstream load fails ahead of time)."""
+        for queue in self.region_tasks.values():
+            if task_id in queue:
+                queue.remove(task_id)
+        self._drop_reconf(task_id)
+        task = self.graph.task(task_id)
+        if self.policy.sw_fallback and task.has_sw:
+            self.fallback_impl[task_id] = task.fastest_sw()
+            self.pool.append(task_id)
+            self.not_before[task_id] = time
+            self._emit(time, "fallback", task_id, detail=cause)
+        else:
+            self.resolved[task_id] = time
+            self.failed.add(task_id)
+            self._emit(time, "failed", task_id, detail=f"{cause}; no SW fallback")
+
+    # -- permanent region death ---------------------------------------------
+
+    def _process_death(self) -> None:
+        death_time, region_id = self.deaths.pop(0)
+        region = self.regions_catalog[region_id]
+        self.dead_regions[region_id] = region
+        self._emit(death_time, "region-death", region_id, resource=region_id)
+
+        victims: set[str] = set()
+        # 1. abort whatever the region (or the ICAP, loading into it)
+        #    was doing past the death instant.
+        victims |= self._truncate_region_activities(region_id, death_time)
+        # 2. everything still queued on the region can never run there.
+        victims |= set(self.region_tasks.pop(region_id, []))
+        self.region_free.pop(region_id, None)
+        # 3. pending bitstream loads into the region are void.
+        for queue in self.controller_queues.values():
+            for rc in list(queue):
+                if rc.region_id == region_id:
+                    queue.remove(rc)
+                    self.reconf_for.pop(rc.outgoing_task, None)
+
+        for task_id in victims:
+            self._emit(
+                death_time, "fault", task_id, region_id,
+                detail=f"region {region_id} died",
+            )
+
+        if not victims:
+            return
+        fallback_ok = self.policy.sw_fallback and all(
+            self.graph.task(t).has_sw for t in victims
+        )
+        if fallback_ok:
+            for task_id in sorted(victims):
+                task = self.graph.task(task_id)
+                self.fallback_impl[task_id] = task.fastest_sw()
+                self.pool.append(task_id)
+                self.not_before[task_id] = death_time
+                self._emit(
+                    death_time, "fallback", task_id,
+                    detail=f"region {region_id} died",
+                )
+            return
+        if self.policy.repair and len(self.repairs) < self.policy.max_repairs:
+            if self._repair(death_time, region_id):
+                return
+        for task_id in sorted(victims):
+            task = self.graph.task(task_id)
+            if self.policy.sw_fallback and task.has_sw:
+                self.fallback_impl[task_id] = task.fastest_sw()
+                self.pool.append(task_id)
+                self.not_before[task_id] = death_time
+                self._emit(
+                    death_time, "fallback", task_id,
+                    detail=f"region {region_id} died",
+                )
+            else:
+                self.resolved[task_id] = death_time
+                self.failed.add(task_id)
+                self._emit(
+                    death_time, "failed", task_id,
+                    detail=f"region {region_id} died; no recovery path",
+                )
+
+    def _truncate_region_activities(
+        self, region_id: str, death_time: float
+    ) -> set[str]:
+        """Cut short activities overlapping the death instant.
+
+        Returns tasks whose completed or in-flight work is lost: a task
+        executing (or retrying) on the region, and a task whose
+        bitstream load finished after the region died."""
+        victims: set[str] = set()
+        scrubbed: set[str] = set()  # activity names with events past T
+        updated: list[SimulatedActivity] = []
+        for activity in self.activities:
+            on_region = (
+                activity.resource == region_id
+                if activity.kind == "task"
+                else self._reconf_region.get(activity.name) == region_id
+            )
+            if not on_region or activity.end <= death_time:
+                updated.append(activity)
+                continue
+            scrubbed.add(activity.name)
+            task_id = (
+                activity.name
+                if activity.kind == "task"
+                else activity.name.removeprefix("reconf:")
+            )
+            if activity.kind == "task":
+                if activity.ok:
+                    self.task_start.pop(task_id, None)
+                    self.task_end.pop(task_id, None)
+                victims.add(task_id)
+            else:
+                self.reconf_end.pop(task_id, None)
+                if task_id not in self.task_end:
+                    victims.add(task_id)
+            if activity.start < death_time:
+                updated.append(
+                    replace(activity, end=death_time, ok=False)
+                )
+            # activities starting at/after the death vanish entirely
+        self.activities = updated
+        # Events the aborted executions emitted past the death instant
+        # never happened (the per-victim "fault" events are emitted by
+        # the caller, after this scrub).
+        self.trace.events[:] = [
+            e
+            for e in self.trace.events
+            if not (
+                e.subject in scrubbed
+                and e.time > death_time - EPS
+                and e.kind in ("start", "end", "fault", "retry")
+            )
+        ]
+        # tasks whose work was aborted are no longer queued anywhere
+        for task_id in victims:
+            for queue in self.region_tasks.values():
+                if task_id in queue:
+                    queue.remove(task_id)
+            self._drop_reconf(task_id)
+        return victims
+
+    # -- online repair scheduling --------------------------------------------
+
+    def _repair(self, death_time: float, region_id: str) -> bool:
+        """Re-plan the residual graph on the surviving fabric.
+
+        Returns True when the executor resumes from the repaired plan;
+        False leaves recovery to the caller's fallback/abandon path."""
+        completed = frozenset(self.task_end)
+        try:
+            repair = repair_schedule(
+                self.instance,
+                completed,
+                self.dead_regions.values(),
+                suffix=f"*{len(self.repairs) + 1}",
+            )
+        except RecoveryError as exc:
+            self._emit(
+                death_time, "repair-failed", region_id, detail=str(exc)
+            )
+            return False
+        resume = death_time + self.policy.repair_latency
+        residual = set(repair.schedule.tasks)
+
+        self._install_plan(repair.schedule)
+        self.regions_catalog.update(repair.schedule.regions)
+        self.pool = []
+        self.fallback_impl = {}
+        self.reconf_end = {}
+        self.failed -= residual
+        self.skipped -= residual
+        for task_id in residual:
+            self.resolved.pop(task_id, None)
+        for rid in repair.schedule.regions:
+            self.region_free[rid] = resume
+        for proc in self.proc_free:
+            self.proc_free[proc] = max(self.proc_free[proc], resume)
+        for controller in self.controller_free:
+            self.controller_free[controller] = max(
+                self.controller_free[controller], resume
+            )
+        self.repairs.append(repair)
+        self._emit(
+            death_time,
+            "repair",
+            region_id,
+            detail=(
+                f"re-scheduled {len(residual)} task(s) on surviving fabric; "
+                f"resume at {resume:g}"
+            ),
+        )
+        return True
+
+    # -- deadlock diagnostics -------------------------------------------------
+
+    def _raise_deadlock(self) -> None:
+        blocked: dict[str, str] = {}
+        for controller, queue in self.controller_queues.items():
+            if queue:
+                rc = queue[0]
+                blocked[f"ICAP{controller}"] = (
+                    f"reconfiguration for {rc.outgoing_task!r} waits on "
+                    f"ingoing task {rc.ingoing_task!r} (unfinished)"
+                )
+        for rid, queue in self.region_tasks.items():
+            if queue:
+                blocked[rid] = self._task_block_reason(queue[0])
+        for proc, queue in self.proc_tasks.items():
+            if queue:
+                blocked[f"P{proc}"] = self._task_block_reason(queue[0])
+        for task_id in self.pool:
+            blocked[f"pool:{task_id}"] = self._task_block_reason(task_id)
+        stuck = sorted(
+            set(self.schedule.tasks)
+            - set(self.task_end)
+            - self.failed
+            - self.skipped
+        )
+        raise DeadlockError(blocked, stuck)
+
+    def _task_block_reason(self, task_id: str) -> str:
+        missing = [
+            p
+            for p in self.graph.predecessors(task_id)
+            if p not in self.task_end and p not in self.resolved
+        ]
+        if missing:
+            return (
+                f"task {task_id!r} waits on unfinished predecessor(s) "
+                f"{missing[:4]}"
+            )
+        if task_id in self.reconf_for and task_id not in self.reconf_end:
+            rc = self.reconf_for[task_id]
+            return (
+                f"task {task_id!r} waits for its bitstream "
+                f"(load queued on ICAP{rc.controller})"
+            )
+        return f"task {task_id!r} is runnable but was never dispatched"

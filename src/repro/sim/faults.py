@@ -1,0 +1,172 @@
+"""Injectable fault models for the discrete-event executor.
+
+Three fault classes cover the failure modes a partially-reconfigurable
+runtime has to survive:
+
+* :class:`TransientTaskFaults` — a task execution attempt fails with a
+  fixed probability (SEU-style soft errors, bus timeouts).  Deterministic
+  per ``(seed, task, attempt)`` so every run is reproducible.
+* :class:`ReconfFaults` — an ICAP bitstream load fails with a fixed
+  probability (CRC errors during partial reconfiguration).
+* :class:`RegionDeath` — a reconfigurable region permanently dies at a
+  given simulation time (fabric damage, persistent configuration-memory
+  corruption).  Everything scheduled on the region afterwards needs
+  recovery.
+
+A :class:`FaultPlan` aggregates any number of models and is what
+:func:`repro.sim.simulate` consumes.  :func:`parse_fault` turns the CLI
+spec grammar (``transient:0.1@7``, ``reconf:0.05``,
+``region-death:RR1@50``) into model objects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+__all__ = [
+    "TransientTaskFaults",
+    "ReconfFaults",
+    "RegionDeath",
+    "FaultModel",
+    "FaultPlan",
+    "parse_fault",
+]
+
+
+def _check_rate(rate: float) -> None:
+    if not (0.0 <= rate < 1.0):
+        raise ValueError(f"fault rate must be in [0, 1), got {rate}")
+
+
+@dataclass(frozen=True)
+class TransientTaskFaults:
+    """Each task execution attempt fails with probability ``rate``."""
+
+    rate: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+    def fails(self, task_id: str, attempt: int) -> bool:
+        rng = random.Random(f"{self.seed}:task:{task_id}:{attempt}")
+        return rng.random() < self.rate
+
+
+@dataclass(frozen=True)
+class ReconfFaults:
+    """Each ICAP bitstream load attempt fails with probability ``rate``."""
+
+    rate: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+    def fails(self, outgoing_task: str, attempt: int) -> bool:
+        rng = random.Random(f"{self.seed}:icap:{outgoing_task}:{attempt}")
+        return rng.random() < self.rate
+
+
+@dataclass(frozen=True)
+class RegionDeath:
+    """Region ``region_id`` permanently dies at simulation time ``time``."""
+
+    region_id: str
+    time: float
+
+    def __post_init__(self) -> None:
+        if not self.region_id:
+            raise ValueError("region-death needs a region id")
+        if self.time < 0:
+            raise ValueError("region-death time must be >= 0")
+
+
+FaultModel = Union[TransientTaskFaults, ReconfFaults, RegionDeath]
+
+
+class FaultPlan:
+    """An aggregate of fault models consulted by the executor.
+
+    Empty plans are falsy, so ``simulate`` treats ``FaultPlan([])``
+    exactly like ``faults=None``.
+    """
+
+    def __init__(self, models: Iterable[FaultModel] = ()) -> None:
+        self.task_models: list[TransientTaskFaults] = []
+        self.reconf_models: list[ReconfFaults] = []
+        self.deaths: list[RegionDeath] = []
+        for model in models:
+            if isinstance(model, TransientTaskFaults):
+                self.task_models.append(model)
+            elif isinstance(model, ReconfFaults):
+                self.reconf_models.append(model)
+            elif isinstance(model, RegionDeath):
+                self.deaths.append(model)
+            else:
+                raise TypeError(f"unknown fault model {model!r}")
+        seen: set[str] = set()
+        for death in self.deaths:
+            if death.region_id in seen:
+                raise ValueError(
+                    f"duplicate region-death for {death.region_id!r}"
+                )
+            seen.add(death.region_id)
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[str]) -> "FaultPlan":
+        return cls([parse_fault(spec) for spec in specs])
+
+    def __bool__(self) -> bool:
+        return bool(self.task_models or self.reconf_models or self.deaths)
+
+    def task_fails(self, task_id: str, attempt: int) -> bool:
+        return any(m.fails(task_id, attempt) for m in self.task_models)
+
+    def reconf_fails(self, outgoing_task: str, attempt: int) -> bool:
+        return any(m.fails(outgoing_task, attempt) for m in self.reconf_models)
+
+    def region_deaths(self) -> list[tuple[float, str]]:
+        """Pending deaths as ``(time, region_id)``, earliest first."""
+        return sorted((d.time, d.region_id) for d in self.deaths)
+
+    def __repr__(self) -> str:
+        parts = (
+            [f"transient:{m.rate}@{m.seed}" for m in self.task_models]
+            + [f"reconf:{m.rate}@{m.seed}" for m in self.reconf_models]
+            + [f"region-death:{d.region_id}@{d.time}" for d in self.deaths]
+        )
+        return f"FaultPlan({', '.join(parts)})"
+
+
+def parse_fault(spec: str) -> FaultModel:
+    """Parse one CLI fault spec.
+
+    Grammar::
+
+        transient:<rate>[@<seed>]      e.g.  transient:0.1@7
+        reconf:<rate>[@<seed>]         e.g.  reconf:0.05
+        region-death:<region>@<time>   e.g.  region-death:RR1@50
+    """
+    kind, sep, rest = spec.partition(":")
+    if not sep or not rest:
+        raise ValueError(f"malformed fault spec {spec!r} (expected kind:params)")
+    try:
+        if kind in ("transient", "reconf"):
+            rate_text, sep, seed_text = rest.partition("@")
+            rate = float(rate_text)
+            seed = int(seed_text) if sep else 0
+            model = TransientTaskFaults if kind == "transient" else ReconfFaults
+            return model(rate=rate, seed=seed)
+        if kind == "region-death":
+            region, sep, time_text = rest.partition("@")
+            if not sep:
+                raise ValueError("region-death needs a time: region-death:<id>@<t>")
+            return RegionDeath(region_id=region, time=float(time_text))
+    except ValueError as exc:
+        raise ValueError(f"malformed fault spec {spec!r}: {exc}") from None
+    raise ValueError(
+        f"unknown fault kind {kind!r} (transient | reconf | region-death)"
+    )

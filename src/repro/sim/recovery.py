@@ -1,0 +1,214 @@
+"""Recovery policies and the online repair scheduler.
+
+Three escalation levels, cheapest first (the order a real runtime would
+try them):
+
+1. **bounded retry with exponential backoff** — transient task faults
+   and failed bitstream loads are simply re-attempted
+   (:class:`RecoveryPolicy.max_retries`, :meth:`RecoveryPolicy.retry_delay`);
+2. **software fallback** — when a region dies (or retries are
+   exhausted) a task that also has a SW implementation is re-dispatched
+   to a processor core;
+3. **repair scheduling** — when fallback cannot cover the loss (some
+   affected task is HW-only), :func:`repair_schedule` re-invokes the PA
+   scheduler on the *residual* task graph (everything not yet finished)
+   over the *surviving* architecture (fabric minus the dead regions)
+   and the executor resumes from the repaired plan.
+
+The repair path reuses the paper's own scheduler as the online
+re-planner, which is exactly the role Section V's ``doSchedule`` would
+play in a self-healing runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
+
+from ..core import PAOptions, do_schedule
+from ..model import (
+    Architecture,
+    Instance,
+    Region,
+    RegionPlacement,
+    ResourceVector,
+    Schedule,
+    TaskGraph,
+)
+
+__all__ = [
+    "RecoveryPolicy",
+    "RecoveryError",
+    "RepairResult",
+    "degraded_architecture",
+    "residual_instance",
+    "repair_schedule",
+]
+
+
+class RecoveryError(RuntimeError):
+    """Raised when the repair scheduler cannot produce a viable plan."""
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the runtime recovery ladder.
+
+    ``repair_latency`` charges the online re-scheduling overhead in
+    simulation time: the repaired plan cannot dispatch before
+    ``death_time + repair_latency``.
+    """
+
+    max_retries: int = 3
+    backoff: float = 1.0
+    backoff_factor: float = 2.0
+    sw_fallback: bool = True
+    repair: bool = True
+    repair_latency: float = 0.0
+    max_repairs: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+        if self.repair_latency < 0:
+            raise ValueError("repair_latency must be >= 0")
+        if self.max_repairs < 0:
+            raise ValueError("max_repairs must be >= 0")
+
+    def retry_delay(self, failures: int) -> float:
+        """Idle time before re-attempting after the ``failures``-th failure."""
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        return self.backoff * self.backoff_factor ** (failures - 1)
+
+
+def degraded_architecture(
+    arch: Architecture, dead_regions: Iterable[Region]
+) -> Architecture:
+    """The surviving architecture: fabric minus the dead regions' area.
+
+    Raises :class:`RecoveryError` when no fabric is left at all (the
+    architecture model requires a non-empty fabric; with zero fabric a
+    repair plan could only contain SW tasks anyway, which the fallback
+    path already covers).
+    """
+    lost = ResourceVector.zero()
+    for region in dead_regions:
+        lost = lost + region.resources
+    remaining = {
+        rtype: max(0, arch.max_res[rtype] - lost[rtype])
+        for rtype in arch.max_res
+    }
+    if not any(remaining.values()):
+        raise RecoveryError("no fabric resources survive the dead regions")
+    return arch.with_max_res(ResourceVector(remaining))
+
+
+def residual_instance(
+    instance: Instance,
+    completed: Iterable[str],
+    dead_regions: Iterable[Region],
+) -> Instance:
+    """The re-scheduling problem after a permanent fault.
+
+    Task graph restricted to unfinished tasks (edges among them; edges
+    from completed predecessors are satisfied and drop out) on the
+    degraded architecture.
+    """
+    done = set(completed)
+    graph = instance.taskgraph
+    keep = [tid for tid in graph.task_ids if tid not in done]
+    if not keep:
+        raise RecoveryError("nothing left to repair — all tasks completed")
+    residual = TaskGraph(name=f"{graph.name}~residual")
+    for tid in keep:
+        residual.add_task(graph.task(tid))
+    kept = set(keep)
+    for src, dst in graph.edges():
+        if src in kept and dst in kept:
+            residual.add_dependency(src, dst, comm=graph.comm_cost(src, dst))
+    arch = degraded_architecture(instance.architecture, dead_regions)
+    return Instance(
+        architecture=arch,
+        taskgraph=residual,
+        name=f"{instance.name}~residual",
+        metadata={**instance.metadata, "residual_of": instance.name},
+    )
+
+
+@dataclass
+class RepairResult:
+    """A repaired plan plus the degraded problem it solves.
+
+    ``schedule`` covers exactly the residual tasks, placed on fresh
+    regions (renamed with ``suffix`` so they can never collide with the
+    dead ones) and the surviving processor cores;
+    ``residual_instance`` is what
+    :func:`repro.validate.check_repaired_schedule` validates it against.
+    """
+
+    schedule: Schedule
+    residual_instance: Instance
+    dead_regions: dict[str, Region]
+    completed: frozenset[str]
+
+    @property
+    def dead_region_ids(self) -> frozenset[str]:
+        return frozenset(self.dead_regions)
+
+
+def _rename_regions(schedule: Schedule, suffix: str) -> Schedule:
+    """Rename every region so repaired plans never reuse a dead id."""
+    mapping = {rid: f"{rid}{suffix}" for rid in schedule.regions}
+    tasks = {}
+    for tid, task in schedule.tasks.items():
+        if isinstance(task.placement, RegionPlacement):
+            task = replace(
+                task,
+                placement=RegionPlacement(mapping[task.placement.region_id]),
+            )
+        tasks[tid] = task
+    return Schedule(
+        tasks=tasks,
+        regions={
+            mapping[rid]: replace(region, id=mapping[rid])
+            for rid, region in schedule.regions.items()
+        },
+        reconfigurations=[
+            replace(rc, region_id=mapping[rc.region_id])
+            for rc in schedule.reconfigurations
+        ],
+        scheduler=schedule.scheduler,
+        metadata={**schedule.metadata, "repair": True},
+    )
+
+
+def repair_schedule(
+    instance: Instance,
+    completed: Iterable[str],
+    dead_regions: Iterable[Region],
+    options: PAOptions | None = None,
+    suffix: str = "'",
+) -> RepairResult:
+    """Re-invoke PA on the residual task graph over the surviving fabric.
+
+    Returns the repaired plan with its degraded instance so callers can
+    validate one against the other.  Raises :class:`RecoveryError` when
+    re-scheduling is impossible (no fabric left for a HW-only task, or
+    the residual problem is empty).
+    """
+    completed = frozenset(completed)
+    dead = {region.id: region for region in dead_regions}
+    residual = residual_instance(instance, completed, dead.values())
+    try:
+        schedule = do_schedule(residual, options)
+    except Exception as exc:  # PA failure = unrepairable loss
+        raise RecoveryError(f"repair scheduling failed: {exc}") from exc
+    return RepairResult(
+        schedule=_rename_regions(schedule, suffix),
+        residual_instance=residual,
+        dead_regions=dead,
+        completed=frozenset(completed),
+    )

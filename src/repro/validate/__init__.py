@@ -4,6 +4,7 @@ from .checker import (
     ScheduleInvalidError,
     ValidationReport,
     Violation,
+    check_repaired_schedule,
     check_schedule,
 )
 
@@ -11,5 +12,6 @@ __all__ = [
     "ScheduleInvalidError",
     "ValidationReport",
     "Violation",
+    "check_repaired_schedule",
     "check_schedule",
 ]

@@ -33,7 +33,13 @@ from ..model import (
     Schedule,
 )
 
-__all__ = ["Violation", "ValidationReport", "ScheduleInvalidError", "check_schedule"]
+__all__ = [
+    "Violation",
+    "ValidationReport",
+    "ScheduleInvalidError",
+    "check_schedule",
+    "check_repaired_schedule",
+]
 
 TOL = 1e-6
 
@@ -108,6 +114,47 @@ def check_schedule(
     for rtype in total:
         if rtype not in arch.max_res:
             report.add("capacity", f"regions demand unknown resource {rtype!r}")
+    return report
+
+
+def check_repaired_schedule(
+    repair,
+    communication_overhead: bool = False,
+    allow_module_reuse: bool = False,
+) -> ValidationReport:
+    """Validate an online repair plan against the degraded architecture.
+
+    ``repair`` is a :class:`repro.sim.recovery.RepairResult` (duck-typed:
+    any object with ``schedule``, ``residual_instance`` and
+    ``dead_region_ids``).  Runs the full invariant suite on the residual
+    problem — whose architecture already excludes the dead regions'
+    fabric, so the capacity check proves the repaired region set fits
+    the *surviving* resources — and additionally rejects any placement
+    into (or region reuse of) a dead region.
+    """
+    report = check_schedule(
+        repair.residual_instance,
+        repair.schedule,
+        communication_overhead=communication_overhead,
+        allow_module_reuse=allow_module_reuse,
+    )
+    dead = set(repair.dead_region_ids)
+    for region_id in repair.schedule.regions:
+        if region_id in dead:
+            report.add(
+                "dead-region",
+                f"repaired plan redefines dead region {region_id!r}",
+            )
+    for task in repair.schedule.tasks.values():
+        if (
+            isinstance(task.placement, RegionPlacement)
+            and task.placement.region_id in dead
+        ):
+            report.add(
+                "dead-region",
+                f"task {task.task_id!r} placed in dead region "
+                f"{task.placement.region_id!r}",
+            )
     return report
 
 

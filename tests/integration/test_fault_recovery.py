@@ -1,0 +1,226 @@
+"""End-to-end fault-injection runs: plan with PA, kill fabric mid-run,
+and check the runtime recovers to a validator-clean completed execution
+via software fallback or online repair scheduling."""
+
+import pytest
+
+from repro.analysis import fault_sweep, robustness_metrics
+from repro.benchgen import paper_instance
+from repro.core import do_schedule
+from repro.model import (
+    Architecture,
+    Implementation,
+    Instance,
+    RegionPlacement,
+    ResourceVector,
+    Task,
+    TaskGraph,
+)
+from repro.sim import (
+    FaultPlan,
+    RecoveryPolicy,
+    RegionDeath,
+    TransientTaskFaults,
+    simulate,
+)
+from repro.validate import check_repaired_schedule
+
+
+def _hw_region_of(schedule, task_id: str) -> str:
+    placement = schedule.tasks[task_id].placement
+    assert isinstance(placement, RegionPlacement)
+    return placement.region_id
+
+
+def _assert_execution_consistent(instance, result) -> None:
+    """Dependencies and resource exclusivity hold over *successful*
+    activities, whatever recovery rewrote."""
+    for src, dst in instance.taskgraph.edges():
+        if src in result.task_end and dst in result.task_start:
+            assert result.task_start[dst] >= result.task_end[src] - 1e-9
+    by_resource: dict[str, list] = {}
+    for activity in result.activities:
+        by_resource.setdefault(activity.resource, []).append(activity)
+    for acts in by_resource.values():
+        acts.sort(key=lambda a: (a.start, a.end))
+        for a, b in zip(acts, acts[1:]):
+            assert b.start >= a.end - 1e-9, (a, b)
+
+
+class TestRegionDeathFallback:
+    """paper_instance tasks all carry SW implementations, so a dead
+    region recovers purely through fallback — no repair needed."""
+
+    @pytest.mark.parametrize("seed", [3, 7])
+    def test_mid_run_death_recovers(self, seed):
+        instance = paper_instance(30, seed=seed)
+        schedule = do_schedule(instance)
+        victim = max(
+            schedule.regions,
+            key=lambda rid: len(schedule.region_sequence(rid)),
+        )
+        death_time = schedule.makespan * 0.3
+        result = simulate(
+            instance,
+            schedule,
+            faults=FaultPlan([RegionDeath(victim, death_time)]),
+        )
+        assert result.completed
+        assert not result.failed_tasks
+        assert not result.repairs  # fallback covered everything
+        assert len(result.trace.of("region-death")) == 1
+        _assert_execution_consistent(instance, result)
+        # Nothing executes on the dead region after the death instant.
+        for activity in result.activities:
+            if activity.resource == victim:
+                assert activity.start < death_time + 1e-9
+        # Causality: a fallback execution cannot start before the fault
+        # that triggered it, and no trace event of an aborted execution
+        # survives past the death instant.
+        fallback_at = {e.subject: e.time for e in result.trace.of("fallback")}
+        for activity in result.activities:
+            if activity.name in fallback_at and activity.resource.startswith("P"):
+                assert activity.start >= fallback_at[activity.name] - 1e-9
+        for event in result.trace.of("end"):
+            if event.resource == victim:
+                assert event.time <= death_time + 1e-9
+
+    def test_metrics_reflect_recovery(self):
+        instance = paper_instance(30, seed=3)
+        schedule = do_schedule(instance)
+        victim = next(iter(schedule.regions))
+        result = simulate(
+            instance,
+            schedule,
+            faults=FaultPlan([RegionDeath(victim, schedule.makespan * 0.2)]),
+        )
+        metrics = robustness_metrics(result)
+        assert metrics.completed
+        assert metrics.region_deaths == 1
+        assert metrics.recovery_rate == pytest.approx(1.0)
+        assert metrics.unrecovered_tasks == 0
+
+
+class TestRegionDeathRepair:
+    """A HW-only task forces the repair scheduler: fallback cannot
+    cover the loss, so PA re-plans the residual graph on the surviving
+    fabric."""
+
+    @pytest.fixture
+    def hw_only_instance(self):
+        arch = Architecture(
+            name="repairable",
+            processors=2,
+            max_res=ResourceVector({"CLB": 200}),
+            bit_per_resource={"CLB": 10.0},
+            rec_freq=10.0,
+        )
+        graph = TaskGraph("hwonly")
+        graph.add_task(
+            Task.of(
+                "a",
+                [
+                    Implementation.sw("a_sw", 30.0),
+                    Implementation.hw("a_hw", 10.0, {"CLB": 50}),
+                ],
+            )
+        )
+        graph.add_task(
+            Task.of("b", [Implementation.hw("b_hw", 20.0, {"CLB": 60})])
+        )
+        graph.add_task(
+            Task.of(
+                "c",
+                [
+                    Implementation.sw("c_sw", 25.0),
+                    Implementation.hw("c_hw", 8.0, {"CLB": 40})],
+            )
+        )
+        graph.add_dependency("a", "b")
+        graph.add_dependency("b", "c")
+        return Instance(architecture=arch, taskgraph=graph)
+
+    def test_repair_completes_and_validates(self, hw_only_instance):
+        instance = hw_only_instance
+        schedule = do_schedule(instance)
+        victim = _hw_region_of(schedule, "b")
+        death_time = schedule.tasks["b"].start * 0.5 or 1.0
+        result = simulate(
+            instance,
+            schedule,
+            faults=FaultPlan([RegionDeath(victim, death_time)]),
+            recovery=RecoveryPolicy(repair_latency=5.0),
+        )
+        assert result.completed
+        assert not result.failed_tasks
+        assert len(result.repairs) == 1
+        assert len(result.trace.of("repair")) == 1
+        _assert_execution_consistent(instance, result)
+
+        repair = result.repairs[0]
+        report = check_repaired_schedule(repair)
+        assert report.ok, [str(v) for v in report.violations]
+        # The repaired plan lives on fresh region ids and a degraded fabric.
+        assert victim not in repair.schedule.regions
+        assert victim in repair.dead_region_ids
+        dead_clb = repair.dead_regions[victim].resources["CLB"]
+        assert (
+            repair.residual_instance.architecture.max_res["CLB"]
+            == instance.architecture.max_res["CLB"] - dead_clb
+        )
+        # Repair latency is charged: nothing dispatches in the window.
+        resume = death_time + 5.0
+        for activity in result.activities:
+            assert (
+                activity.start <= death_time + 1e-9
+                or activity.start >= resume - 1e-9
+            )
+
+    def test_repair_disabled_fails_hw_only_task(self, hw_only_instance):
+        instance = hw_only_instance
+        schedule = do_schedule(instance)
+        victim = _hw_region_of(schedule, "b")
+        result = simulate(
+            instance,
+            schedule,
+            faults=FaultPlan([RegionDeath(victim, 1.0)]),
+            recovery=RecoveryPolicy(repair=False),
+        )
+        assert not result.completed
+        assert "b" in result.failed_tasks
+        assert not result.repairs
+
+
+class TestCombinedFaults:
+    def test_transients_plus_death(self):
+        instance = paper_instance(25, seed=5)
+        schedule = do_schedule(instance)
+        victim = next(iter(schedule.regions))
+        faults = FaultPlan(
+            [
+                TransientTaskFaults(rate=0.15, seed=2),
+                RegionDeath(victim, schedule.makespan * 0.4),
+            ]
+        )
+        result = simulate(
+            instance,
+            schedule,
+            faults=faults,
+            recovery=RecoveryPolicy(max_retries=8),
+        )
+        assert result.completed
+        metrics = robustness_metrics(result)
+        assert metrics.recovery_rate == pytest.approx(1.0)
+        assert metrics.region_deaths == 1
+
+    def test_fault_sweep_shape(self):
+        instance = paper_instance(15, seed=4)
+        schedule = do_schedule(instance)
+        points = fault_sweep(
+            instance, schedule, rates=(0.0, 0.2), trials=2, seed=1
+        )
+        assert [p.rate for p in points] == [0.0, 0.2]
+        assert points[0].completed_fraction == 1.0
+        assert points[0].degradation == pytest.approx(0.0)
+        assert points[0].retries == 0.0
+        assert points[1].retries > 0.0

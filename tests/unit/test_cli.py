@@ -121,6 +121,77 @@ class TestExplain:
         assert "[selection]" not in out.split("\n\n", 1)[-1]
 
 
+class TestSimulate:
+    def test_plain_replay(self, instance_file, schedule_file, capsys):
+        assert main(["simulate", str(instance_file), str(schedule_file)]) == 0
+        out = capsys.readouterr().out
+        assert "simulated makespan" in out
+        assert "slippage" in out
+
+    def test_jitter_run(self, instance_file, schedule_file, capsys):
+        code = main(
+            [
+                "simulate", str(instance_file), str(schedule_file),
+                "--jitter", "0.2", "--seed", "5",
+            ]
+        )
+        assert code == 0
+        assert "simulated makespan" in capsys.readouterr().out
+
+    def test_transient_faults_print_metrics(
+        self, instance_file, schedule_file, capsys
+    ):
+        code = main(
+            [
+                "simulate", str(instance_file), str(schedule_file),
+                "--fault", "transient:0.1@2", "--retries", "8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovery rate" in out
+
+    def test_region_death_with_trace(
+        self, instance_file, schedule_file, capsys
+    ):
+        data = json.loads(schedule_file.read_text())
+        region = data["regions"][0]["id"]
+        code = main(
+            [
+                "simulate", str(instance_file), str(schedule_file),
+                "--fault", f"region-death:{region}@1.0", "--trace",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "region deaths: 1" in out
+        assert "[region-death]" in out
+
+    def test_malformed_fault_spec(
+        self, instance_file, schedule_file, capsys
+    ):
+        code = main(
+            [
+                "simulate", str(instance_file), str(schedule_file),
+                "--fault", "bogus",
+            ]
+        )
+        assert code == 2
+        assert "malformed fault spec" in capsys.readouterr().err
+
+    def test_unknown_region_rejected(
+        self, instance_file, schedule_file, capsys
+    ):
+        code = main(
+            [
+                "simulate", str(instance_file), str(schedule_file),
+                "--fault", "region-death:RR99@5",
+            ]
+        )
+        assert code == 2
+        assert "unknown region" in capsys.readouterr().err
+
+
 class TestExperiments:
     def test_tiny_fig3(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SUITE", "tiny")

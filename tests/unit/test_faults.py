@@ -1,0 +1,147 @@
+"""Unit tests for the injectable fault models and the CLI spec grammar."""
+
+import pytest
+
+from repro.sim import (
+    FaultPlan,
+    ReconfFaults,
+    RegionDeath,
+    TransientTaskFaults,
+    parse_fault,
+)
+
+
+class TestTransientTaskFaults:
+    def test_deterministic_per_seed(self):
+        model = TransientTaskFaults(rate=0.5, seed=3)
+        again = TransientTaskFaults(rate=0.5, seed=3)
+        for attempt in range(1, 6):
+            assert model.fails("t0", attempt) == again.fails("t0", attempt)
+
+    def test_varies_with_task_and_attempt(self):
+        model = TransientTaskFaults(rate=0.5, seed=0)
+        outcomes = {
+            (task, attempt): model.fails(task, attempt)
+            for task in ("a", "b", "c", "d", "e", "f")
+            for attempt in range(1, 5)
+        }
+        # A 50% model over 24 independent draws must not be constant.
+        assert len(set(outcomes.values())) == 2
+
+    def test_rate_zero_never_fails(self):
+        model = TransientTaskFaults(rate=0.0, seed=1)
+        assert not any(model.fails(f"t{i}", 1) for i in range(50))
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5])
+    def test_invalid_rate(self, rate):
+        with pytest.raises(ValueError):
+            TransientTaskFaults(rate=rate)
+
+    def test_empirical_rate(self):
+        model = TransientTaskFaults(rate=0.3, seed=7)
+        hits = sum(model.fails(f"t{i}", 1) for i in range(500))
+        assert 0.2 < hits / 500 < 0.4
+
+
+class TestReconfFaults:
+    def test_deterministic(self):
+        model = ReconfFaults(rate=0.4, seed=5)
+        assert model.fails("x", 2) == ReconfFaults(rate=0.4, seed=5).fails("x", 2)
+
+    def test_independent_of_task_model(self):
+        # Same seed, same subject: the two model classes draw from
+        # different streams.
+        task = TransientTaskFaults(rate=0.5, seed=9)
+        reconf = ReconfFaults(rate=0.5, seed=9)
+        outcomes = [
+            task.fails(f"t{i}", 1) == reconf.fails(f"t{i}", 1) for i in range(40)
+        ]
+        assert not all(outcomes)
+
+
+class TestRegionDeath:
+    def test_fields(self):
+        death = RegionDeath("RR1", 50.0)
+        assert death.region_id == "RR1"
+        assert death.time == 50.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            RegionDeath("RR1", -1.0)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            RegionDeath("", 5.0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert not FaultPlan([])
+
+    def test_sorting_and_aggregation(self):
+        plan = FaultPlan(
+            [
+                RegionDeath("RR2", 80.0),
+                TransientTaskFaults(rate=0.1),
+                RegionDeath("RR1", 20.0),
+                ReconfFaults(rate=0.05),
+            ]
+        )
+        assert plan
+        assert plan.region_deaths() == [(20.0, "RR1"), (80.0, "RR2")]
+        assert len(plan.task_models) == 1
+        assert len(plan.reconf_models) == 1
+
+    def test_any_model_triggers(self):
+        always = TransientTaskFaults(rate=0.999999, seed=1)
+        never = TransientTaskFaults(rate=0.0, seed=2)
+        plan = FaultPlan([never, always])
+        assert plan.task_fails("t", 1)
+
+    def test_duplicate_region_death_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan([RegionDeath("RR1", 10.0), RegionDeath("RR1", 20.0)])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan([object()])
+
+
+class TestParseFault:
+    def test_transient(self):
+        model = parse_fault("transient:0.1@7")
+        assert model == TransientTaskFaults(rate=0.1, seed=7)
+
+    def test_transient_default_seed(self):
+        assert parse_fault("transient:0.25") == TransientTaskFaults(rate=0.25)
+
+    def test_reconf(self):
+        assert parse_fault("reconf:0.05@2") == ReconfFaults(rate=0.05, seed=2)
+
+    def test_region_death(self):
+        assert parse_fault("region-death:RR1@50") == RegionDeath("RR1", 50.0)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bogus",
+            "transient",
+            "transient:",
+            "transient:abc",
+            "transient:0.1@x",
+            "region-death:RR1",
+            "region-death:RR1@soon",
+            "meteor:0.1",
+        ],
+    )
+    def test_malformed_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_fault(spec)
+
+    def test_from_specs_round_trip(self):
+        plan = FaultPlan.from_specs(
+            ["transient:0.1@3", "region-death:RR0@15"]
+        )
+        assert plan.task_models == [TransientTaskFaults(rate=0.1, seed=3)]
+        assert plan.region_deaths() == [(15.0, "RR0")]

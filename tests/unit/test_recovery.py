@@ -1,0 +1,155 @@
+"""Unit tests for the recovery policy and the online repair scheduler."""
+
+import pytest
+
+from repro.core import do_schedule
+from repro.model import (
+    Instance,
+    Region,
+    ResourceVector,
+    TaskGraph,
+)
+from repro.sim import (
+    RecoveryError,
+    RecoveryPolicy,
+    degraded_architecture,
+    repair_schedule,
+    residual_instance,
+)
+from repro.validate import check_repaired_schedule
+
+from ..conftest import make_task
+
+
+class TestRecoveryPolicy:
+    def test_defaults(self):
+        policy = RecoveryPolicy()
+        assert policy.max_retries == 3
+        assert policy.sw_fallback and policy.repair
+
+    def test_retry_delay_grows_exponentially(self):
+        policy = RecoveryPolicy(backoff=2.0, backoff_factor=3.0)
+        assert policy.retry_delay(1) == pytest.approx(2.0)
+        assert policy.retry_delay(2) == pytest.approx(6.0)
+        assert policy.retry_delay(3) == pytest.approx(18.0)
+
+    def test_retry_delay_needs_positive_failures(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy().retry_delay(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff": -0.5},
+            {"backoff_factor": 0.5},
+            {"repair_latency": -1.0},
+            {"max_repairs": -2},
+        ],
+    )
+    def test_invalid_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(**kwargs)
+
+
+class TestDegradedArchitecture:
+    def test_subtracts_dead_fabric(self, dual_arch):
+        dead = [Region("RR0", ResourceVector({"CLB": 300, "DSP": 10}))]
+        degraded = degraded_architecture(dual_arch, dead)
+        assert degraded.max_res["CLB"] == 700
+        assert degraded.max_res["DSP"] == 30
+        assert degraded.max_res["BRAM"] == 20
+        assert degraded.processors == dual_arch.processors
+
+    def test_clamps_at_zero(self, simple_arch):
+        # Dying region larger than the fabric model (over-provisioned
+        # floorplans can do this transiently): clamp, don't go negative.
+        dead = [
+            Region("RR0", ResourceVector({"CLB": 80})),
+            Region("RR1", ResourceVector({"CLB": 90, "BRAM": 5})),
+        ]
+        with pytest.raises(RecoveryError):
+            degraded_architecture(simple_arch, dead)
+
+    def test_nothing_left_raises(self, simple_arch):
+        dead = [Region("RR0", ResourceVector({"CLB": 100}))]
+        with pytest.raises(RecoveryError, match="no fabric"):
+            degraded_architecture(simple_arch, dead)
+
+
+class TestResidualInstance:
+    def test_subgraph_and_edges(self, chain_instance):
+        residual = residual_instance(chain_instance, completed=["a"], dead_regions=[])
+        graph = residual.taskgraph
+        assert set(graph.task_ids) == {"b", "c"}
+        assert list(graph.edges()) == [("b", "c")]
+        assert residual.metadata["residual_of"] == chain_instance.name
+
+    def test_all_completed_raises(self, chain_instance):
+        with pytest.raises(RecoveryError, match="all tasks completed"):
+            residual_instance(
+                chain_instance, completed=["a", "b", "c"], dead_regions=[]
+            )
+
+    def test_degraded_arch_applied(self, chain_instance):
+        dead = [Region("RRx", ResourceVector({"CLB": 40}))]
+        residual = residual_instance(chain_instance, completed=[], dead_regions=dead)
+        assert residual.architecture.max_res["CLB"] == 60
+
+
+class TestRepairSchedule:
+    def _hw_only_instance(self, dual_arch) -> Instance:
+        graph = TaskGraph("hwonly")
+        graph.add_task(make_task("a", hw=[("a_hw", 10.0, {"CLB": 100})], sw=[("a_sw", 40.0)]))
+        graph.add_task(make_task("b", hw=[("b_hw", 20.0, {"CLB": 150})]))
+        graph.add_task(make_task("c", hw=[("c_hw", 8.0, {"CLB": 80})], sw=[("c_sw", 30.0)]))
+        graph.add_dependency("a", "b")
+        graph.add_dependency("b", "c")
+        return Instance(architecture=dual_arch, taskgraph=graph)
+
+    def test_repair_passes_validator(self, dual_arch):
+        instance = self._hw_only_instance(dual_arch)
+        dead = [Region("RR0", ResourceVector({"CLB": 150}))]
+        repair = repair_schedule(instance, completed=["a"], dead_regions=dead)
+        report = check_repaired_schedule(repair)
+        assert report.ok, [str(v) for v in report.violations]
+        assert set(repair.schedule.tasks) == {"b", "c"}
+
+    def test_regions_renamed_away_from_dead_ids(self, dual_arch):
+        instance = self._hw_only_instance(dual_arch)
+        dead = [Region("RR0", ResourceVector({"CLB": 100}))]
+        repair = repair_schedule(
+            instance, completed=[], dead_regions=dead, suffix="*1"
+        )
+        assert repair.schedule.regions
+        assert all(rid.endswith("*1") for rid in repair.schedule.regions)
+        assert "RR0" not in repair.schedule.regions
+        for rc in repair.schedule.reconfigurations:
+            assert rc.region_id in repair.schedule.regions
+
+    def test_repair_metadata_flag(self, dual_arch):
+        instance = self._hw_only_instance(dual_arch)
+        repair = repair_schedule(
+            instance,
+            completed=[],
+            dead_regions=[Region("RRz", ResourceVector({"CLB": 50}))],
+        )
+        assert repair.schedule.metadata["repair"] is True
+        assert repair.dead_region_ids == frozenset({"RRz"})
+
+    def test_unrepairable_hw_only_task(self, dual_arch):
+        # Kill so much fabric the HW-only task b can no longer fit.
+        instance = self._hw_only_instance(dual_arch)
+        dead = [Region("RR0", ResourceVector({"CLB": 901}))]
+        with pytest.raises(RecoveryError):
+            repair_schedule(instance, completed=[], dead_regions=dead)
+
+    def test_repair_equivalent_to_fresh_schedule(self, dual_arch):
+        # With nothing completed and nothing dead-but-small, the repair
+        # is just PA on the residual problem: same makespan as PA on an
+        # identical standalone instance.
+        instance = self._hw_only_instance(dual_arch)
+        dead = [Region("RRz", ResourceVector({"CLB": 10}))]
+        repair = repair_schedule(instance, completed=[], dead_regions=dead)
+        fresh = do_schedule(repair.residual_instance)
+        assert repair.schedule.makespan == pytest.approx(fresh.makespan)

@@ -1,0 +1,333 @@
+"""Unit tests for the executor's fault-injection runtime.
+
+Covers the recovery ladder attempt by attempt: bounded retry with
+backoff, software fallback exactly when a processor implementation
+exists, and the deadlock diagnostics raised when a dispatch plan cannot
+make progress.
+"""
+
+import pytest
+
+from repro.benchgen import paper_instance
+from repro.core import do_schedule
+from repro.model import (
+    Instance,
+    Region,
+    RegionPlacement,
+    ResourceVector,
+    Schedule,
+    ScheduledTask,
+    TaskGraph,
+)
+from repro.sim import (
+    DeadlockError,
+    FaultPlan,
+    RecoveryPolicy,
+    TransientTaskFaults,
+    simulate,
+)
+
+from ..conftest import make_task
+
+
+class AlwaysFail(FaultPlan):
+    """Deterministically fail every attempt of the targeted tasks."""
+
+    def __init__(self, *tasks: str) -> None:
+        super().__init__([])
+        self._targets = set(tasks)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def task_fails(self, task_id: str, attempt: int) -> bool:
+        return task_id in self._targets
+
+
+class FlakyReconf(FaultPlan):
+    """Fail the first ``failures`` bitstream loads of the targeted task."""
+
+    def __init__(self, task: str, failures: int) -> None:
+        super().__init__([])
+        self._target = task
+        self._failures = failures
+
+    def __bool__(self) -> bool:
+        return True
+
+    def reconf_fails(self, outgoing_task: str, attempt: int) -> bool:
+        return outgoing_task == self._target and attempt <= self._failures
+
+
+class TestTransientRetry:
+    def test_converges_under_fixed_seed(self):
+        instance = paper_instance(25, seed=3)
+        schedule = do_schedule(instance)
+        faults = FaultPlan([TransientTaskFaults(rate=0.3, seed=42)])
+        policy = RecoveryPolicy(max_retries=6)
+        result = simulate(instance, schedule, faults=faults, recovery=policy)
+        assert result.completed
+        assert not result.failed_tasks
+        assert len(result.trace.of("retry")) > 0
+        # Reproducible: an identical run yields the identical execution.
+        again = simulate(instance, schedule, faults=faults, recovery=policy)
+        assert again.makespan == result.makespan
+        assert again.activities == result.activities
+        assert len(again.trace) == len(result.trace)
+
+    def test_retries_respect_backoff(self, chain_instance):
+        schedule = do_schedule(chain_instance)
+        hw_tasks = [
+            t.task_id
+            for t in schedule.tasks.values()
+            if isinstance(t.placement, RegionPlacement)
+        ]
+        assert hw_tasks, "chain instance should place tasks in hardware"
+        target = hw_tasks[0]
+        policy = RecoveryPolicy(max_retries=5, backoff=3.0, backoff_factor=2.0)
+
+        class FailTwice(FaultPlan):
+            def __bool__(self):
+                return True
+
+            def task_fails(self, task_id, attempt):
+                return task_id == target and attempt <= 2
+
+        result = simulate(
+            chain_instance, schedule, faults=FailTwice(), recovery=policy
+        )
+        attempts = [a for a in result.activities if a.name == target]
+        assert [a.attempt for a in attempts] == [1, 2, 3]
+        assert not attempts[0].ok and not attempts[1].ok and attempts[2].ok
+        assert attempts[1].start == pytest.approx(attempts[0].end + 3.0)
+        assert attempts[2].start == pytest.approx(attempts[1].end + 6.0)
+        assert result.completed
+
+    def test_slower_but_complete_under_faults(self):
+        instance = paper_instance(20, seed=5)
+        schedule = do_schedule(instance)
+        faults = FaultPlan([TransientTaskFaults(rate=0.25, seed=1)])
+        result = simulate(
+            instance, schedule, faults=faults, recovery=RecoveryPolicy(max_retries=8)
+        )
+        assert result.completed
+        assert result.makespan > schedule.makespan
+
+
+class TestFallbackExactness:
+    """Retries exhausted on a HW task: SW fallback happens exactly when
+    a processor implementation exists."""
+
+    def _schedule_with_hw(self, instance):
+        schedule = do_schedule(instance)
+        hw = [
+            t.task_id
+            for t in schedule.tasks.values()
+            if isinstance(t.placement, RegionPlacement)
+        ]
+        assert hw
+        return schedule, hw
+
+    def test_fallback_when_sw_exists(self, chain_instance):
+        schedule, hw = self._schedule_with_hw(chain_instance)
+        target = hw[0]
+
+        class FailHwAttempts(FaultPlan):
+            """Fail the 3 HW attempts (1 + 2 retries); the SW fallback
+            execution then succeeds."""
+
+            calls = 0
+
+            def __bool__(self):
+                return True
+
+            def task_fails(self, task_id, attempt):
+                if task_id != target:
+                    return False
+                FailHwAttempts.calls += 1
+                return FailHwAttempts.calls <= 3
+
+        result = simulate(
+            chain_instance,
+            schedule,
+            faults=FailHwAttempts(),
+            recovery=RecoveryPolicy(max_retries=2),
+        )
+        assert result.completed
+        fallbacks = result.trace.of("fallback")
+        assert [e.subject for e in fallbacks] == [target]
+        # The fallback execution runs on a core with the SW duration.
+        final = [a for a in result.activities if a.name == target and a.ok]
+        assert len(final) == 1
+        assert final[0].resource.startswith("P")
+        sw_time = chain_instance.taskgraph.task(target).fastest_sw().time
+        assert final[0].duration == pytest.approx(sw_time)
+
+    def test_failure_when_no_sw(self, dual_arch):
+        graph = TaskGraph("hwonly")
+        graph.add_task(make_task("a", sw=[("a_sw", 10.0)]))
+        graph.add_task(make_task("b", hw=[("b_hw", 20.0, {"CLB": 100})]))
+        graph.add_task(make_task("c", sw=[("c_sw", 10.0)]))
+        graph.add_dependency("a", "b")
+        graph.add_dependency("b", "c")
+        instance = Instance(architecture=dual_arch, taskgraph=graph)
+        schedule = do_schedule(instance)
+        result = simulate(
+            instance,
+            schedule,
+            faults=AlwaysFail("b"),
+            recovery=RecoveryPolicy(max_retries=1),
+        )
+        assert not result.completed
+        assert "b" in result.failed_tasks
+        # c is abandoned (failed ancestor), recorded as a skip.
+        assert [e.subject for e in result.trace.of("skip")] == ["c"]
+        assert "c" in result.failed_tasks
+        assert not result.trace.of("fallback")
+
+    def test_no_fallback_when_policy_disables_it(self, chain_instance):
+        schedule, hw = self._schedule_with_hw(chain_instance)
+        result = simulate(
+            chain_instance,
+            schedule,
+            faults=AlwaysFail(hw[0]),
+            recovery=RecoveryPolicy(max_retries=1, sw_fallback=False),
+        )
+        assert not result.completed
+        assert hw[0] in result.failed_tasks
+        assert not result.trace.of("fallback")
+
+
+class TestReconfFaults:
+    @pytest.fixture
+    def shared_region_instance(self, simple_arch) -> Instance:
+        """HW tasks at 60 CLB on a 100 CLB fabric: they must share a
+        region, so the plan contains reconfigurations."""
+        graph = TaskGraph("shared")
+        for tid in ("a", "b", "c"):
+            graph.add_task(
+                make_task(
+                    tid,
+                    hw=[(f"{tid}_hw", 10.0, {"CLB": 60})],
+                    sw=[(f"{tid}_sw", 100.0)],
+                )
+            )
+        graph.add_dependency("a", "b")
+        graph.add_dependency("b", "c")
+        return Instance(architecture=simple_arch, taskgraph=graph)
+
+    def test_flaky_bitstream_load_retries(self, shared_region_instance):
+        instance = shared_region_instance
+        schedule = do_schedule(instance)
+        loads = [rc.outgoing_task for rc in schedule.reconfigurations]
+        assert loads, "shared-region schedule should contain reconfigurations"
+        target = loads[0]
+        result = simulate(
+            instance,
+            schedule,
+            faults=FlakyReconf(target, failures=2),
+            recovery=RecoveryPolicy(max_retries=4, backoff=0.5),
+        )
+        assert result.completed
+        name = f"reconf:{target}"
+        attempts = [a for a in result.activities if a.name == name]
+        assert [a.attempt for a in attempts] == [1, 2, 3]
+        assert attempts[-1].ok
+        faults = [e for e in result.trace.of("fault") if e.subject == name]
+        assert len(faults) == 2
+
+    def test_exhausted_load_falls_back(self, shared_region_instance):
+        instance = shared_region_instance
+        schedule = do_schedule(instance)
+        target = schedule.reconfigurations[0].outgoing_task
+        result = simulate(
+            instance,
+            schedule,
+            faults=FlakyReconf(target, failures=99),
+            recovery=RecoveryPolicy(max_retries=2),
+        )
+        assert result.completed
+        assert [e.subject for e in result.trace.of("fallback")] == [target]
+
+
+class TestNoFaultPath:
+    def test_trace_present_without_faults(self, chain_instance):
+        schedule = do_schedule(chain_instance)
+        result = simulate(chain_instance, schedule)
+        assert result.completed
+        assert not result.failed_tasks and not result.repairs
+        counts = result.trace.counts()
+        assert counts["start"] == len(schedule.tasks) + len(
+            schedule.reconfigurations
+        )
+        assert counts["end"] == counts["start"]
+        assert set(counts) == {"start", "end"}
+
+    def test_empty_fault_plan_is_inert(self):
+        instance = paper_instance(20, seed=9)
+        schedule = do_schedule(instance)
+        plain = simulate(instance, schedule)
+        empty = simulate(instance, schedule, faults=FaultPlan([]))
+        assert empty.makespan == plain.makespan
+        assert empty.task_start == plain.task_start
+        assert empty.task_end == plain.task_end
+
+    def test_unknown_region_death_rejected(self, chain_instance):
+        from repro.sim import RegionDeath
+
+        schedule = do_schedule(chain_instance)
+        with pytest.raises(ValueError, match="unknown region"):
+            simulate(
+                chain_instance,
+                schedule,
+                faults=FaultPlan([RegionDeath("RR99", 5.0)]),
+            )
+
+
+class TestDeadlockDetection:
+    def _inverted_plan(self, simple_arch) -> tuple[Instance, Schedule]:
+        """a -> b, but the plan orders b before a in the same region:
+        b waits on a's data, a waits behind b in the queue."""
+        graph = TaskGraph("inv")
+        graph.add_task(make_task("a", hw=[("a_hw", 10.0, {"CLB": 20})], sw=[("a_sw", 50.0)]))
+        graph.add_task(make_task("b", hw=[("b_hw", 10.0, {"CLB": 20})], sw=[("b_sw", 50.0)]))
+        graph.add_dependency("a", "b")
+        instance = Instance(architecture=simple_arch, taskgraph=graph)
+        region = Region("RR1", ResourceVector({"CLB": 20}))
+        schedule = Schedule(
+            tasks={
+                "b": ScheduledTask(
+                    task_id="b",
+                    implementation=graph.task("b").implementations[0],
+                    placement=RegionPlacement("RR1"),
+                    start=0.0,
+                    end=10.0,
+                ),
+                "a": ScheduledTask(
+                    task_id="a",
+                    implementation=graph.task("a").implementations[0],
+                    placement=RegionPlacement("RR1"),
+                    start=10.0,
+                    end=20.0,
+                ),
+            },
+            regions={"RR1": region},
+            scheduler="handmade",
+        )
+        return instance, schedule
+
+    def test_inverted_order_deadlocks(self, simple_arch):
+        instance, schedule = self._inverted_plan(simple_arch)
+        with pytest.raises(DeadlockError) as excinfo:
+            simulate(instance, schedule)
+        err = excinfo.value
+        assert err.stuck_tasks == ["a", "b"]
+        assert "RR1" in err.blocked
+        assert "'a'" in err.blocked["RR1"]  # names the missing predecessor
+        assert "deadlock" in str(err)
+
+    def test_valid_plans_never_deadlock(self):
+        instance = paper_instance(30, seed=13)
+        schedule = do_schedule(instance)
+        result = simulate(instance, schedule)
+        assert result.completed
