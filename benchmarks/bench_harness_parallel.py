@@ -1,0 +1,93 @@
+"""Parallel harness + incremental timing benchmarks.
+
+Two claims to measure:
+
+* ``run_quality(jobs=N)`` beats the serial run wall-clock on a
+  multi-core host while producing the identical record stream, and
+* incremental earliest-start propagation in the Section V-G phase
+  (``PAOptions.incremental_timing``) beats the full-CPM-pass-per-
+  reconfiguration baseline while producing bit-identical schedules.
+
+Agreement is asserted unconditionally; speedup assertions engage only
+where they are meaningful (pool speedup needs >1 core — on a 1-core
+runner the pool adds pure overhead and the test reports instead of
+asserting).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.runner import ExperimentConfig, run_quality
+from repro.benchgen import paper_instance
+from repro.core import PAOptions, do_schedule
+
+from _suite import profile, timing_sizes
+
+
+def _config(jobs: int) -> ExperimentConfig:
+    config = ExperimentConfig(profile=profile(), jobs=jobs)
+    # Pin PA-R to a fixed restart count: identical work in both runs,
+    # and the record streams become comparable field by field.
+    config.pa_r_iteration_cap = 3
+    return config
+
+
+def _deterministic(records):
+    return [
+        (r.group, r.name, r.pa_makespan, r.pa_feasible, r.is1_makespan,
+         r.is5_makespan, r.pa_r_makespan, r.pa_r_iterations)
+        for r in records
+    ]
+
+
+def test_parallel_run_quality_agrees_and_speeds_up():
+    t0 = time.perf_counter()
+    serial = run_quality(_config(jobs=1))
+    serial_s = time.perf_counter() - t0
+
+    jobs = min(4, max(2, os.cpu_count() or 1))
+    t0 = time.perf_counter()
+    parallel = run_quality(_config(jobs=jobs))
+    parallel_s = time.perf_counter() - t0
+
+    assert _deterministic(serial.records) == _deterministic(parallel.records)
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(
+        f"\nrun_quality[{profile()}]: serial {serial_s:.2f}s, "
+        f"jobs={jobs} {parallel_s:.2f}s, speedup x{speedup:.2f}"
+    )
+    if (os.cpu_count() or 1) >= 2:
+        # Pool overhead must at least be amortized on a real multi-core
+        # host; the margin is deliberately lax for noisy CI boxes.
+        assert speedup > 1.1, f"expected wall-clock speedup, got x{speedup:.2f}"
+
+
+@pytest.mark.parametrize("incremental", [False, True], ids=["full", "incremental"])
+def test_reconf_timing_modes(benchmark, incremental):
+    """Wall-clock of doSchedule under full vs incremental V-G timing."""
+    size = timing_sizes()[-1]
+    instance = paper_instance(size, seed=1)
+    options = PAOptions(incremental_timing=incremental)
+    result = benchmark(lambda: do_schedule(instance, options))
+    benchmark.extra_info["makespan"] = result.makespan
+    benchmark.extra_info["tasks"] = size
+
+
+def test_incremental_timing_agrees_with_full():
+    """Starts must match full recomputation to 1e-9 on every node —
+    here via whole-schedule equality plus the verify mode's per-snapshot
+    cross-check."""
+    for size in timing_sizes():
+        instance = paper_instance(size, seed=7)
+        fast = do_schedule(
+            instance,
+            PAOptions(incremental_timing=True, verify_incremental_timing=True),
+        )
+        slow = do_schedule(instance, PAOptions(incremental_timing=False))
+        assert fast.makespan == pytest.approx(slow.makespan, abs=1e-9)
+        for task_id, planned in fast.tasks.items():
+            other = slow.tasks[task_id]
+            assert planned.start == pytest.approx(other.start, abs=1e-9)
+            assert planned.end == pytest.approx(other.end, abs=1e-9)

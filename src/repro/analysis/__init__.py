@@ -8,6 +8,7 @@ from .export import (
 )
 from .gantt import render_gantt
 from .metrics import Improvement, group_improvement, improvement_percent
+from .parallel import parallel_map, resolve_jobs
 from .robustness import (
     RobustnessMetrics,
     SweepPoint,
@@ -35,6 +36,8 @@ __all__ = [
     "Improvement",
     "group_improvement",
     "improvement_percent",
+    "parallel_map",
+    "resolve_jobs",
     "RobustnessMetrics",
     "SweepPoint",
     "fault_sweep",

@@ -20,6 +20,7 @@ from ..sim import (
     TransientTaskFaults,
     simulate,
 )
+from .parallel import parallel_map
 from .tables import render_table
 
 __all__ = [
@@ -125,6 +126,28 @@ class SweepPoint:
     retries: float  # mean per trial
 
 
+def _evaluate_sweep_rate(item) -> SweepPoint:
+    """Pool worker: all trials at one fault rate (deterministic seeds)."""
+    instance, schedule, rate, trials, seed, policy = item
+    metrics = []
+    for trial in range(trials):
+        faults = (
+            FaultPlan([TransientTaskFaults(rate=rate, seed=seed + trial)])
+            if rate > 0
+            else None
+        )
+        result = simulate(instance, schedule, faults=faults, recovery=policy)
+        metrics.append(robustness_metrics(result))
+    return SweepPoint(
+        rate=rate,
+        trials=trials,
+        completed_fraction=sum(m.completed for m in metrics) / trials,
+        recovery_rate=sum(m.recovery_rate for m in metrics) / trials,
+        degradation=sum(m.degradation for m in metrics) / trials,
+        retries=sum(m.retries for m in metrics) / trials,
+    )
+
+
 def fault_sweep(
     instance: Instance,
     schedule: Schedule,
@@ -132,31 +155,19 @@ def fault_sweep(
     trials: int = 5,
     seed: int = 0,
     policy: RecoveryPolicy | None = None,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
-    """Makespan degradation and recovery rate vs transient fault rate."""
+    """Makespan degradation and recovery rate vs transient fault rate.
+
+    Each rate point is an independent, seeded batch of trials, so
+    ``jobs`` fans the rates out over a process pool without changing
+    any number in the result (points stay in ``rates`` order).
+    """
     policy = policy or RecoveryPolicy()
-    points = []
-    for rate in rates:
-        metrics = []
-        for trial in range(trials):
-            faults = (
-                FaultPlan([TransientTaskFaults(rate=rate, seed=seed + trial)])
-                if rate > 0
-                else None
-            )
-            result = simulate(instance, schedule, faults=faults, recovery=policy)
-            metrics.append(robustness_metrics(result))
-        points.append(
-            SweepPoint(
-                rate=rate,
-                trials=trials,
-                completed_fraction=sum(m.completed for m in metrics) / trials,
-                recovery_rate=sum(m.recovery_rate for m in metrics) / trials,
-                degradation=sum(m.degradation for m in metrics) / trials,
-                retries=sum(m.retries for m in metrics) / trials,
-            )
-        )
-    return points
+    items = [
+        (instance, schedule, rate, trials, seed, policy) for rate in rates
+    ]
+    return parallel_map(_evaluate_sweep_rate, items, jobs=jobs)
 
 
 def render_fault_sweep(points: Sequence[SweepPoint]) -> str:

@@ -29,6 +29,7 @@ from ..floorplan import Floorplanner
 from ..model import Instance
 from ..validate import check_schedule
 from .metrics import Improvement, group_improvement
+from .parallel import parallel_map
 from .tables import render_table
 
 __all__ = [
@@ -52,7 +53,16 @@ _PROFILES = {
 
 @dataclass
 class ExperimentConfig:
-    """Knobs for one harness run."""
+    """Knobs for one harness run.
+
+    ``jobs`` fans the per-instance evaluations out over a process pool
+    (1 = serial); results are ordered by ``(group, name)`` either way,
+    so the record stream is independent of worker scheduling.
+    ``pa_r_iteration_cap`` replaces PA-R's wall-clock budget with a
+    fixed restart count, which makes a run's records deterministic
+    (modulo the measured wall-clock fields) — the knob behind the
+    serial-vs-parallel identity test.
+    """
 
     profile: str = ""
     seed: int = 2016
@@ -62,8 +72,10 @@ class ExperimentConfig:
     is5_node_limit: int = 0
     pa_r_min_budget: float = 0.25  # seconds; floor for tiny IS-5 runtimes
     pa_r_max_budget: float = 60.0
+    pa_r_iteration_cap: int | None = None
     validate: bool = True
     use_floorplanner: bool = True
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         profile = self.profile or os.environ.get("REPRO_SUITE", "small")
@@ -126,6 +138,8 @@ class QualityResults:
         out = []
         for size in self.groups():
             rows = self._group(size)
+            if not rows:  # defensively skip filtered-out groups
+                continue
             out.append((size, sum(getattr(r, attr) for r in rows) / len(rows)))
         return out
 
@@ -135,6 +149,8 @@ class QualityResults:
         out = []
         for size in self.groups():
             rows = self._group(size)
+            if not rows:
+                continue
             out.append(
                 (
                     size,
@@ -149,10 +165,15 @@ class QualityResults:
     # -- renders (one per paper exhibit) -------------------------------------
 
     def render_table1(self) -> str:
+        # The last column is the paper's shared PA-R / IS-5 budget (PA-R
+        # is granted IS-5's measured runtime), not IS-5's runtime again —
+        # a header/cell mismatch in an earlier revision.
         rows = []
         for size in self.groups():
             group = self._group(size)
             n = len(group)
+            if not n:
+                continue
             rows.append(
                 (
                     size,
@@ -162,11 +183,12 @@ class QualityResults:
                     / n,
                     sum(r.is1_time for r in group) / n,
                     sum(r.is5_time for r in group) / n,
+                    sum(r.pa_r_budget for r in group) / n,
                 )
             )
         return render_table(
             ["# Tasks", "PA sched [s]", "PA floorp [s]", "PA total [s]",
-             "IS-1 [s]", "PA-R / IS-5 [s]"],
+             "IS-1 [s]", "IS-5 [s]", "PA-R/IS-5 budget [s]"],
             rows,
             title="Table I — algorithm execution times (averaged per group)",
         )
@@ -199,12 +221,14 @@ class QualityResults:
         for size, imp in self.improvement(baseline_attr, candidate_attr):
             rows.append((size, imp.mean, imp.std, imp.minimum, imp.maximum))
             total_mean.append(imp.mean)
-        overall = sum(total_mean) / len(total_mean)
         table = render_table(
             ["# Tasks", "mean impr [%]", "std [%]", "min [%]", "max [%]"],
             rows,
             title=title,
         )
+        if not total_mean:
+            return f"{table}\noverall average improvement: n/a (no records)"
+        overall = sum(total_mean) / len(total_mean)
         return f"{table}\noverall average improvement: {overall:+.1f}%"
 
     def render_fig3(self) -> str:
@@ -257,72 +281,116 @@ class QualityResults:
         )
 
 
+@dataclass(frozen=True)
+class _QualityItem:
+    """One picklable unit of harness work: evaluate one instance."""
+
+    group: int
+    instance: Instance
+    config: ExperimentConfig
+
+
+def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
+    """Run PA / IS-1 / IS-5 / PA-R on one instance (pool worker)."""
+    config, instance, size = item.config, item.instance, item.group
+    is1 = ISKScheduler(ISKOptions(k=1, node_limit=config.is1_node_limit))
+    is5 = ISKScheduler(ISKOptions(k=5, node_limit=config.is5_node_limit))
+    floorplanner = (
+        Floorplanner.for_architecture(instance.architecture)
+        if config.use_floorplanner
+        else None
+    )
+    pa = pa_schedule(instance, PAOptions(), floorplanner=floorplanner)
+    r1 = is1.schedule(instance)
+    r5 = is5.schedule(instance)
+    if config.pa_r_iteration_cap is not None:
+        budget = 0.0
+        par = pa_r_schedule(
+            instance,
+            iterations=config.pa_r_iteration_cap,
+            seed=config.seed,
+            floorplanner=floorplanner,
+        )
+    else:
+        budget = min(
+            max(r5.elapsed, config.pa_r_min_budget), config.pa_r_max_budget
+        )
+        par = pa_r_schedule(
+            instance,
+            time_budget=budget,
+            seed=config.seed,
+            floorplanner=floorplanner,
+        )
+    if config.validate:
+        check_schedule(instance, pa.schedule).raise_if_invalid()
+        check_schedule(
+            instance, r1.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+        check_schedule(
+            instance, r5.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+        check_schedule(instance, par.schedule).raise_if_invalid()
+    return InstanceRecord(
+        group=size,
+        name=instance.name,
+        pa_makespan=pa.makespan,
+        pa_scheduling_time=pa.scheduling_time,
+        pa_floorplanning_time=pa.floorplanning_time,
+        pa_feasible=pa.feasible,
+        is1_makespan=r1.makespan,
+        is1_time=r1.elapsed,
+        is5_makespan=r5.makespan,
+        is5_time=r5.elapsed,
+        pa_r_makespan=par.makespan,
+        pa_r_budget=budget,
+        pa_r_iterations=par.iterations,
+    )
+
+
 def run_quality(
     config: ExperimentConfig | None = None,
     progress=None,
+    jobs: int | None = None,
 ) -> QualityResults:
     """Run PA, PA-R, IS-1 and IS-5 over the suite (Table I, Figs 2-5).
 
     PA-R's time budget equals IS-5's measured runtime on the same
     instance (clamped to ``[pa_r_min_budget, pa_r_max_budget]``), the
-    paper's fairness rule.
+    paper's fairness rule — unless ``config.pa_r_iteration_cap`` pins a
+    deterministic restart count instead.
+
+    ``jobs`` (default: ``config.jobs``) fans instances out over a
+    process pool; records come back ordered by ``(group, name)`` in
+    both the serial and the parallel path, so downstream aggregation
+    and exports never depend on worker completion order.
     """
     config = config or ExperimentConfig()
-    results = QualityResults(config_profile=config.profile)
-    is1 = ISKScheduler(ISKOptions(k=1, node_limit=config.is1_node_limit))
-    is5 = ISKScheduler(ISKOptions(k=5, node_limit=config.is5_node_limit))
+    if jobs is None:
+        jobs = config.jobs
+    items = [
+        _QualityItem(group=size, instance=instance, config=config)
+        for size, instances in sorted(config.suite().items())
+        for instance in instances
+    ]
+    items.sort(key=lambda item: (item.group, item.instance.name))
 
-    for size, instances in sorted(config.suite().items()):
-        for instance in instances:
-            floorplanner = (
-                Floorplanner.for_architecture(instance.architecture)
-                if config.use_floorplanner
-                else None
+    reporter = None
+    if progress:
+
+        def reporter(record: InstanceRecord) -> None:
+            progress(
+                f"[{record.group:3d}] {record.name}: "
+                f"PA {record.pa_makespan:.0f} | "
+                f"IS-1 {record.is1_makespan:.0f} | "
+                f"IS-5 {record.is5_makespan:.0f} | "
+                f"PA-R {record.pa_r_makespan:.0f} "
+                f"({record.pa_r_iterations} iters)"
             )
-            pa = pa_schedule(instance, PAOptions(), floorplanner=floorplanner)
-            r1 = is1.schedule(instance)
-            r5 = is5.schedule(instance)
-            budget = min(
-                max(r5.elapsed, config.pa_r_min_budget), config.pa_r_max_budget
-            )
-            par = pa_r_schedule(
-                instance,
-                time_budget=budget,
-                seed=config.seed,
-                floorplanner=floorplanner,
-            )
-            if config.validate:
-                check_schedule(instance, pa.schedule).raise_if_invalid()
-                check_schedule(
-                    instance, r1.schedule, allow_module_reuse=True
-                ).raise_if_invalid()
-                check_schedule(
-                    instance, r5.schedule, allow_module_reuse=True
-                ).raise_if_invalid()
-                check_schedule(instance, par.schedule).raise_if_invalid()
-            record = InstanceRecord(
-                group=size,
-                name=instance.name,
-                pa_makespan=pa.makespan,
-                pa_scheduling_time=pa.scheduling_time,
-                pa_floorplanning_time=pa.floorplanning_time,
-                pa_feasible=pa.feasible,
-                is1_makespan=r1.makespan,
-                is1_time=r1.elapsed,
-                is5_makespan=r5.makespan,
-                is5_time=r5.elapsed,
-                pa_r_makespan=par.makespan,
-                pa_r_budget=budget,
-                pa_r_iterations=par.iterations,
-            )
-            results.records.append(record)
-            if progress:
-                progress(
-                    f"[{size:3d}] {instance.name}: PA {pa.makespan:.0f} | "
-                    f"IS-1 {r1.makespan:.0f} | IS-5 {r5.makespan:.0f} | "
-                    f"PA-R {par.makespan:.0f} ({par.iterations} iters)"
-                )
-    return results
+
+    records = parallel_map(
+        _evaluate_quality_item, items, jobs=jobs, progress=reporter
+    )
+    return QualityResults(config_profile=config.profile, records=records)
 
 
 @dataclass
@@ -350,35 +418,73 @@ class ConvergenceResults:
         )
 
 
+@dataclass(frozen=True)
+class _ConvergenceItem:
+    """Pool work item for one Figure 6 series."""
+
+    size: int
+    budget: float
+    seed: int
+    use_floorplanner: bool
+
+
+def _evaluate_convergence_item(
+    item: _ConvergenceItem,
+) -> tuple[int, list[tuple[float, float]], float, int]:
+    from ..benchgen import paper_instance
+
+    instance = paper_instance(item.size, seed=item.seed * 1000 + item.size * 10)
+    floorplanner = (
+        Floorplanner.for_architecture(instance.architecture)
+        if item.use_floorplanner
+        else None
+    )
+    par = pa_r_schedule(
+        instance,
+        time_budget=item.budget,
+        seed=item.seed,
+        floorplanner=floorplanner,
+    )
+    return (item.size, par.history, par.makespan, par.iterations)
+
+
 def run_convergence(
     sizes: tuple[int, ...] = (20, 40, 60, 80, 100),
     budget: float = 10.0,
     seed: int = 2016,
     use_floorplanner: bool = True,
     progress=None,
+    jobs: int = 1,
 ) -> ConvergenceResults:
     """Run PA-R with an extended budget on one graph per size (Fig. 6).
 
     The paper uses 1200 s; the committed default keeps the run short —
-    pass ``budget=1200`` to replicate the original protocol.
+    pass ``budget=1200`` to replicate the original protocol.  ``jobs``
+    runs the per-size series concurrently (each series is an
+    independent PA-R run); note that concurrent series contend for
+    CPU, so per-series wall-clock budgets remain honest only while
+    ``jobs`` stays at or below the machine's core count.
     """
-    from ..benchgen import paper_instance
+    items = [
+        _ConvergenceItem(
+            size=size, budget=budget, seed=seed, use_floorplanner=use_floorplanner
+        )
+        for size in sorted(sizes)
+    ]
 
-    results = ConvergenceResults()
-    for size in sizes:
-        instance = paper_instance(size, seed=seed * 1000 + size * 10)
-        floorplanner = (
-            Floorplanner.for_architecture(instance.architecture)
-            if use_floorplanner
-            else None
-        )
-        par = pa_r_schedule(
-            instance, time_budget=budget, seed=seed, floorplanner=floorplanner
-        )
-        results.series[size] = par.history
-        if progress:
+    reporter = None
+    if progress:
+
+        def reporter(result) -> None:
+            size, _history, makespan, iterations = result
             progress(
-                f"[{size:3d}] best {par.makespan:.0f} after "
-                f"{par.iterations} iterations"
+                f"[{size:3d}] best {makespan:.0f} after {iterations} iterations"
             )
+
+    outcomes = parallel_map(
+        _evaluate_convergence_item, items, jobs=jobs, progress=reporter
+    )
+    results = ConvergenceResults()
+    for size, history, _makespan, _iterations in outcomes:
+        results.series[size] = history
     return results

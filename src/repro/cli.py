@@ -9,8 +9,9 @@
     repro floorplan instance.json schedule.json
     repro simulate instance.json schedule.json --jitter 0.2
     repro simulate instance.json schedule.json --fault region-death:RR1@50
+    repro simulate instance.json schedule.json --sweep 0,0.05,0.1 --jobs 2
     repro experiments table1 fig3 --profile tiny
-    repro experiments all --profile small -o results/
+    repro experiments all --profile small -o results/ --jobs 4
 
 (Installed as ``repro``; also runnable as ``python -m repro``.)
 """
@@ -171,7 +172,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .analysis.robustness import robustness_metrics
+    from .analysis.robustness import (
+        fault_sweep,
+        render_fault_sweep,
+        robustness_metrics,
+    )
     from .sim import FaultPlan, RecoveryPolicy, jitter_model, simulate
 
     instance = _load_instance(args.instance)
@@ -188,6 +193,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             repair=not args.no_repair,
             repair_latency=args.repair_latency,
         )
+        if args.sweep:
+            rates = tuple(float(r) for r in args.sweep.split(","))
+            points = fault_sweep(
+                instance,
+                schedule,
+                rates=rates,
+                trials=args.trials,
+                seed=args.seed,
+                policy=policy,
+                jobs=args.jobs,
+            )
+            print(render_fault_sweep(points))
+            return 0
         result = simulate(
             instance,
             schedule,
@@ -215,7 +233,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(profile=args.profile)
+    from .analysis.parallel import resolve_jobs
+
+    config = ExperimentConfig(profile=args.profile, jobs=resolve_jobs(args.jobs))
     wanted = set(args.exhibits) or {"all"}
     if "all" in wanted:
         wanted = {"table1", "fig2", "fig3", "fig4", "fig5", "fig6"}
@@ -242,7 +262,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             results.to_json(outdir / "quality.json")
     if "fig6" in wanted:
         convergence = run_convergence(
-            budget=args.budget, progress=print if args.verbose else None
+            budget=args.budget,
+            progress=print if args.verbose else None,
+            jobs=config.jobs,
         )
         print()
         print(convergence.render())
@@ -361,6 +383,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", action="store_true", help="print the full event trace"
     )
+    p.add_argument(
+        "--sweep",
+        default=None,
+        metavar="RATES",
+        help="run a transient-fault sweep over comma-separated rates "
+        "(e.g. 0,0.05,0.1) instead of a single simulation",
+    )
+    p.add_argument(
+        "--trials", type=int, default=5, help="trials per sweep rate"
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --sweep (1 = serial, -1 = all cores)",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("experiments", help="regenerate paper tables/figures")
@@ -372,6 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--profile", default=None, help="tiny | small | full")
     p.add_argument("--budget", type=float, default=10.0, help="fig6 PA-R seconds")
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the per-instance evaluations "
+        "(1 = serial, -1 = all cores); record order is deterministic "
+        "either way",
+    )
     p.add_argument("-o", "--output", default=None, help="results directory")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_experiments)

@@ -15,7 +15,7 @@ from .regions import define_regions, order_noncritical
 from .scheduler import FloorplanChecker, PAResult, do_schedule, pa_schedule
 from .selection import select_implementations
 from .state import PAState
-from .timing import CycleError, PrecedenceGraph, TimingResult
+from .timing import CycleError, IncrementalStarts, PrecedenceGraph, TimingResult
 from .trace import SchedulerTrace, TraceEvent
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "select_implementations",
     "PAState",
     "CycleError",
+    "IncrementalStarts",
     "PrecedenceGraph",
     "TimingResult",
     "SchedulerTrace",

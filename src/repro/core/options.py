@@ -67,6 +67,15 @@ class PAOptions:
         times.
     critical_tolerance:
         Slack below which a task counts as critical.
+    incremental_timing:
+        Use dirty-frontier incremental earliest-start propagation in
+        the reconfiguration-scheduling phase (Section V-G) instead of a
+        full CPM forward pass per reconfiguration.  Bit-identical
+        results; ``False`` is the escape hatch for debugging and for
+        the equivalence benchmarks.
+    verify_incremental_timing:
+        Cross-check every incremental earliest-start snapshot against a
+        full recomputation (slow; used by tests).
     selection_policy:
         Step V-A policy: ``"cost"`` is the paper's Eq. 3 metric;
         ``"fastest"`` always picks the fastest HW candidate (an
@@ -89,6 +98,8 @@ class PAOptions:
     shrink_factor: float = 0.9
     max_shrink_iterations: int = 12
     critical_tolerance: float = 1e-6
+    incremental_timing: bool = True
+    verify_incremental_timing: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.ordering, str):

@@ -71,7 +71,10 @@ def pa_r_schedule(
         if iterations is None and count > 0 and deadline is not None:
             # Don't start an iteration that cannot finish in budget:
             # assume the next run costs about the mean of the past ones.
-            mean_cost = scheduling_time / count
+            # Floorplanning is part of that cost — an improving candidate
+            # triggers the (often dominant) floorplan check, so ignoring
+            # it here would routinely overshoot the budget.
+            mean_cost = (scheduling_time + floorplanning_time) / count
             if _time.perf_counter() + mean_cost > deadline:
                 break
 
@@ -96,10 +99,21 @@ def pa_r_schedule(
                 best_makespan = makespan
                 history.append((_time.perf_counter() - start, makespan))
 
+    feasible = True
     if best is None:
         # No feasible randomized schedule in budget: fall back to the
-        # deterministic PA run so callers always get *a* schedule.
+        # deterministic PA run so callers always get *a* schedule — but
+        # its feasibility still has to come from the floorplanner, not
+        # be asserted blindly.
+        t0 = _time.perf_counter()
         fallback = do_schedule(instance, base)
+        scheduling_time += _time.perf_counter() - t0
+        if floorplanner is not None:
+            t0 = _time.perf_counter()
+            result = floorplanner.check(list(fallback.regions.values()))
+            floorplanning_time += _time.perf_counter() - t0
+            feasible = bool(result.feasible)
+            best_floorplan = result
         best = fallback
         best_makespan = fallback.makespan
         history.append((_time.perf_counter() - start, best_makespan))
@@ -108,7 +122,7 @@ def pa_r_schedule(
     best.metadata["iterations"] = count
     return PAResult(
         schedule=best,
-        feasible=True,
+        feasible=feasible,
         scheduling_time=scheduling_time,
         floorplanning_time=floorplanning_time,
         floorplan=best_floorplan,

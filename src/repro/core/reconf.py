@@ -95,10 +95,27 @@ def _build_reconf_tasks(state: PAState, critical: set[str]) -> list[ReconfTask]:
     return tasks
 
 
-def schedule_reconfigurations(state: PAState) -> ReconfPlan:
-    """Run the phase and return the final augmented timing."""
+def schedule_reconfigurations(
+    state: PAState,
+    incremental: bool | None = None,
+    verify: bool | None = None,
+) -> ReconfPlan:
+    """Run the phase and return the final augmented timing.
+
+    With ``incremental`` (the :class:`PAOptions` default) the phase
+    seeds one forward pass and lets every controller-serialization arc
+    propagate only its dirty frontier, instead of recomputing a full
+    CPM pass per reconfiguration — O(R·(V+E)) → one pass plus frontier
+    updates.  ``verify`` cross-checks every snapshot against the full
+    pass (tests / debugging).
+    """
+    options = state.options
+    if incremental is None:
+        incremental = options.incremental_timing
+    if verify is None:
+        verify = options.verify_incremental_timing
     timing = state.timing
-    critical = timing.critical_set(state.options.critical_tolerance)
+    critical = timing.critical_set(options.critical_tolerance)
     reconf_tasks = _build_reconf_tasks(state, critical)
 
     graph = PrecedenceGraph(
@@ -119,8 +136,25 @@ def schedule_reconfigurations(state: PAState) -> ReconfPlan:
     chains: list[list[str]] = [[] for _ in range(n_controllers)]
     controller_of: dict[str, int] = {}
 
-    def starts() -> dict[str, float]:
-        return graph.earliest_starts(exe)
+    if incremental:
+        live = graph.begin_incremental(exe)
+
+        def starts() -> dict[str, float]:
+            if verify:
+                full = graph.earliest_starts(exe)
+                drift = max(
+                    (abs(live.est[n] - full[n]) for n in full), default=0.0
+                )
+                if drift > 1e-9:
+                    raise AssertionError(
+                        f"incremental starts drifted from full CPM by {drift}"
+                    )
+            return live.snapshot()
+
+    else:
+
+        def starts() -> dict[str, float]:
+            return graph.earliest_starts(exe)
 
     # -- critical reconfigurations: chain in T_MIN order -----------------
     current = starts()
@@ -195,6 +229,8 @@ def schedule_reconfigurations(state: PAState) -> ReconfPlan:
         )
 
     final = starts()
+    if incremental:
+        graph.end_incremental()
     return ReconfPlan(
         graph=graph,
         exe=exe,

@@ -12,14 +12,26 @@ use: cheap edge insertion, deterministic topological order, forward
 lower bounds so already-committed decisions act as constraints.  Delay
 propagation in Sections V-F/V-G is exactly a forward pass with updated
 lower bounds, which keeps the heuristic's behaviour well-defined.
+
+Two incremental mechanisms keep repeated edge insertion cheap:
+
+* the cached topological order is repaired in place with the
+  Pearce-Kelly affected-region algorithm (which doubles as the cycle
+  check), instead of re-running Kahn's algorithm per arc, and
+* :meth:`PrecedenceGraph.begin_incremental` attaches an
+  :class:`IncrementalStarts` view whose earliest starts are updated by
+  dirty-frontier forward propagation on every arc insertion — arcs are
+  only ever added and weights only ever grow during a scheduling phase,
+  so starts grow monotonically and the frontier update is exact.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Iterable, Mapping
 
-__all__ = ["PrecedenceGraph", "CycleError", "TimingResult"]
+__all__ = ["PrecedenceGraph", "CycleError", "TimingResult", "IncrementalStarts"]
 
 EPS = 1e-9
 
@@ -87,6 +99,8 @@ class PrecedenceGraph:
         self._succ: dict[str, dict[str, float]] = {n: {} for n in self._nodes}
         self._pred: dict[str, dict[str, float]] = {n: {} for n in self._nodes}
         self._order_cache: list[str] | None = None
+        self._pos: dict[str, int] | None = None
+        self._inc: "IncrementalStarts | None" = None
 
     # -- construction ------------------------------------------------------
 
@@ -111,15 +125,19 @@ class PrecedenceGraph:
             if weight > existing:
                 self._succ[src][dst] = weight
                 self._pred[dst][src] = weight
+                if self._inc is not None:
+                    self._inc.propagate(dst)
             return
         self._succ[src][dst] = weight
         self._pred[dst][src] = weight
-        self._order_cache = None
-        if self._topological_order() is None:
+        try:
+            self._restore_order(src, dst)
+        except CycleError:
             del self._succ[src][dst]
             del self._pred[dst][src]
-            self._order_cache = None
-            raise CycleError(f"edge {src!r} -> {dst!r} creates a cycle")
+            raise CycleError(f"edge {src!r} -> {dst!r} creates a cycle") from None
+        if self._inc is not None:
+            self._inc.propagate(dst)
 
     def has_edge(self, src: str, dst: str) -> bool:
         return dst in self._succ.get(src, {})
@@ -134,11 +152,17 @@ class PrecedenceGraph:
         return sum(len(s) for s in self._succ.values())
 
     def copy(self) -> "PrecedenceGraph":
+        """Structural copy; the cached topological order carries over so
+        the copy keeps inserting edges at incremental cost (the
+        incremental-starts view, if any, does not transfer)."""
         dup = PrecedenceGraph(self._nodes)
         for src, outs in self._succ.items():
             for dst, w in outs.items():
                 dup._succ[src][dst] = w
                 dup._pred[dst][src] = w
+        if self._order_cache is not None:
+            dup._order_cache = list(self._order_cache)
+            dup._pos = dict(self._pos)
         return dup
 
     # -- topological order ----------------------------------------------------
@@ -170,6 +194,7 @@ class PrecedenceGraph:
         if len(order) != len(self._nodes):
             return None
         self._order_cache = order
+        self._pos = {n: i for i, n in enumerate(order)}
         return order
 
     def topological_order(self) -> list[str]:
@@ -177,6 +202,80 @@ class PrecedenceGraph:
         if order is None:  # pragma: no cover - add_edge guards against this
             raise CycleError("graph has a cycle")
         return order
+
+    def _restore_order(self, src: str, dst: str) -> None:
+        """Repair the cached order after inserting ``src -> dst``.
+
+        Pearce-Kelly: only the "affected region" between ``dst`` and
+        ``src`` in the cached order can be out of place, so the nodes
+        backward-reachable from ``src`` are slotted before the nodes
+        forward-reachable from ``dst`` within the very same index set.
+        Raises :class:`CycleError` — before touching the order — when
+        the forward search from ``dst`` reaches ``src``.  Without a
+        cached order this falls back to one full Kahn pass.
+        """
+        if self._order_cache is None:
+            if self._topological_order() is None:
+                raise CycleError("cycle")
+            return
+        pos = self._pos
+        if pos[src] < pos[dst]:
+            return  # cached order still valid
+        lb, ub = pos[dst], pos[src]
+        forward: list[str] = []
+        seen = {dst}
+        stack = [dst]
+        while stack:
+            node = stack.pop()
+            forward.append(node)
+            for succ in self._succ[node]:
+                if succ == src:
+                    raise CycleError("cycle")
+                if succ not in seen and pos[succ] <= ub:
+                    seen.add(succ)
+                    stack.append(succ)
+        backward: list[str] = []
+        seen = {src}
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            backward.append(node)
+            for pred in self._pred[node]:
+                if pred not in seen and pos[pred] >= lb:
+                    seen.add(pred)
+                    stack.append(pred)
+        slots = sorted(pos[n] for n in backward + forward)
+        nodes = sorted(backward, key=pos.__getitem__)
+        nodes += sorted(forward, key=pos.__getitem__)
+        order = self._order_cache
+        for slot, node in zip(slots, nodes):
+            order[slot] = node
+            pos[node] = slot
+
+    # -- incremental earliest starts -------------------------------------
+
+    def begin_incremental(
+        self,
+        exe: Mapping[str, float],
+        lower_bounds: Mapping[str, float] | None = None,
+    ) -> "IncrementalStarts":
+        """Attach a live earliest-start view updated on edge insertion.
+
+        One full forward pass seeds the view; afterwards every
+        :meth:`add_edge` propagates only from the dirty frontier.  The
+        caller must not change ``exe`` entries of existing nodes while
+        the view is active (weights and arcs may only be added — the
+        invariant of the scheduling phases that use this).
+        """
+        if self._inc is not None:
+            raise RuntimeError("incremental starts already active")
+        self.topological_order()  # materialize the order cache
+        self._inc = IncrementalStarts(self, exe, lower_bounds)
+        return self._inc
+
+    def end_incremental(self) -> None:
+        """Detach the incremental view (further edits stop updating it)."""
+        self._inc = None
 
     # -- timing passes ------------------------------------------------------------
 
@@ -235,3 +334,58 @@ class PrecedenceGraph:
         horizon = implied if makespan is None else max(makespan, implied)
         lft = self.latest_ends(exe, horizon)
         return TimingResult(est=est, lft=lft, exe=dict(exe), makespan=horizon)
+
+
+class IncrementalStarts:
+    """Earliest starts kept current across edge insertions.
+
+    ``est`` always equals what :meth:`PrecedenceGraph.earliest_starts`
+    would return on the graph's current arcs: a node's start is a pure
+    ``max`` over its predecessors' finish times, so re-deriving exactly
+    the nodes whose inputs grew (in topological-position order, via a
+    heap) reproduces the full pass bit for bit.  Only valid while arcs
+    are added and weights grow — the monotone regime of the scheduling
+    phases (Sections V-C..V-G).
+    """
+
+    __slots__ = ("_graph", "exe", "lower_bounds", "est")
+
+    def __init__(
+        self,
+        graph: PrecedenceGraph,
+        exe: Mapping[str, float],
+        lower_bounds: Mapping[str, float] | None = None,
+    ) -> None:
+        self._graph = graph
+        self.exe = exe
+        self.lower_bounds = dict(lower_bounds or {})
+        self.est = graph.earliest_starts(exe, self.lower_bounds)
+
+    def _derive(self, node: str) -> float:
+        start = self.lower_bounds.get(node, 0.0)
+        est, exe = self.est, self.exe
+        for pred, comm in self._graph._pred[node].items():
+            candidate = est[pred] + exe[pred] + comm
+            if candidate > start:
+                start = candidate
+        return start
+
+    def propagate(self, root: str) -> None:
+        """Push the effect of a new/heavier arc into ``root`` forward."""
+        pos = self._graph._pos
+        assert pos is not None
+        heap = [(pos[root], root)]
+        queued = {root}
+        while heap:
+            _, node = heapq.heappop(heap)
+            queued.discard(node)
+            start = self._derive(node)
+            if start > self.est[node]:
+                self.est[node] = start
+                for succ in self._graph._succ[node]:
+                    if succ not in queued:
+                        queued.add(succ)
+                        heapq.heappush(heap, (pos[succ], succ))
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self.est)

@@ -76,6 +76,66 @@ class TestQualityRun:
         assert len(clone.records) == len(results.records)
         assert clone.render_fig3() == results.render_fig3()
 
+    def test_table1_reports_both_is5_and_budget_columns(self, results):
+        table = results.render_table1()
+        assert "IS-5 [s]" in table
+        assert "PA-R/IS-5 budget [s]" in table
+        # The old header fused the two into one mislabeled column.
+        assert "PA-R / IS-5 [s]" not in table
+
+
+def _deterministic_fields(records):
+    return [
+        (r.group, r.name, r.pa_makespan, r.pa_feasible, r.is1_makespan,
+         r.is5_makespan, r.pa_r_makespan, r.pa_r_iterations)
+        for r in records
+    ]
+
+
+class TestParallelQualityRun:
+    def _config(self, jobs):
+        config = ExperimentConfig(
+            profile="tiny", group_sizes=(10, 20), per_group=2,
+            is5_node_limit=500, jobs=jobs,
+        )
+        # Fixed restart count instead of a wall-clock budget: the two
+        # runs then do identical work and the records are comparable.
+        config.pa_r_iteration_cap = 2
+        return config
+
+    def test_parallel_records_identical_to_serial(self):
+        serial = run_quality(self._config(jobs=1))
+        pooled = run_quality(self._config(jobs=2))
+        assert _deterministic_fields(serial.records) == _deterministic_fields(
+            pooled.records
+        )
+        # Ordering contract: records sorted by (group, name).
+        keys = [(r.group, r.name) for r in pooled.records]
+        assert keys == sorted(keys)
+
+    def test_jobs_override_argument(self):
+        config = self._config(jobs=1)
+        pooled = run_quality(config, jobs=2)
+        assert len(pooled.records) == 4
+
+    def test_progress_reported_in_record_order(self):
+        seen = []
+        run_quality(self._config(jobs=2), progress=seen.append)
+        assert len(seen) == 4
+        assert seen == sorted(seen)  # "[group ..." prefixes sort by group
+
+
+class TestEmptyResults:
+    def test_renders_do_not_raise_on_empty_records(self):
+        empty = QualityResults(config_profile="tiny", records=[])
+        assert "Table I" in empty.render_table1()
+        assert "Figure 2" in empty.render_fig2()
+        assert "no records" in empty.render_fig3()
+        assert "no records" in empty.render_fig4()
+        assert "Figure 5" in empty.render_fig5()
+        assert empty.group_means("pa_makespan") == []
+        assert empty.improvement("is1_makespan", "pa_makespan") == []
+
 
 class TestConvergenceRun:
     def test_series_and_render(self):

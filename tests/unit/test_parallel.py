@@ -1,0 +1,77 @@
+"""Unit tests for the harness worker-pool layer."""
+
+import pytest
+
+from repro.analysis.parallel import parallel_map, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+def _tag(item):
+    group, name = item
+    return (group, name, group * 10)
+
+
+class TestResolveJobs:
+    def test_defaults(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(3) == 3
+
+    def test_all_cores(self):
+        assert resolve_jobs(-1) >= 1
+
+
+class TestSerialPath:
+    def test_jobs_one_is_serial(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [5], jobs=8) == [25]
+
+    def test_unpicklable_worker_falls_back(self):
+        # Lambdas cannot cross a process boundary; the pool must be
+        # skipped, not crash.
+        assert parallel_map(lambda x: x + 1, [1, 2], jobs=4) == [2, 3]
+
+    def test_unpicklable_item_falls_back(self):
+        items = [lambda: 1, lambda: 2]  # unpicklable payloads
+        out = parallel_map(_probe_callable, items, jobs=4)
+        assert out == [1, 2]
+
+    def test_progress_called_in_order(self):
+        seen = []
+        parallel_map(_square, [1, 2, 3], jobs=1, progress=seen.append)
+        assert seen == [1, 4, 9]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_boom, [1, 2], jobs=1)
+
+
+def _probe_callable(fn):
+    return fn()
+
+
+class TestPoolPath:
+    def test_results_match_serial_and_preserve_order(self):
+        items = [(2, "b"), (1, "a"), (3, "c")]
+        serial = parallel_map(_tag, items, jobs=1)
+        pooled = parallel_map(_tag, items, jobs=2)
+        assert pooled == serial
+        assert [r[:2] for r in pooled] == items
+
+    def test_pool_progress_in_item_order(self):
+        seen = []
+        parallel_map(_square, [3, 1, 2], jobs=2, progress=seen.append)
+        assert seen == [9, 1, 4]
+
+    def test_worker_exception_propagates_from_pool(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_boom, [1, 2], jobs=2)

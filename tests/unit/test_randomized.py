@@ -1,5 +1,7 @@
 """Unit tests for PA-R (Section VI, Algorithm 1)."""
 
+import time
+
 import pytest
 
 from repro.core import PAOptions, pa_r_schedule, pa_schedule
@@ -21,6 +23,19 @@ class CountingFloorplanner:
         return R()
 
 
+class SleepyFloorplanner(CountingFloorplanner):
+    """Rejects everything, slowly — models a fabric where floorplanning
+    dominates the per-iteration cost."""
+
+    def __init__(self, delay):
+        super().__init__(feasible=False)
+        self.delay = delay
+
+    def check(self, regions):
+        time.sleep(self.delay)
+        return super().check(regions)
+
+
 class TestBudget:
     def test_requires_some_budget(self, chain_instance):
         with pytest.raises(ValueError):
@@ -36,6 +51,23 @@ class TestBudget:
         t0 = time.perf_counter()
         pa_r_schedule(medium_instance, time_budget=0.3, seed=1)
         assert time.perf_counter() - t0 < 3.0  # generous slack for CI
+
+    def test_budget_holds_when_floorplanner_dominates(self, medium_instance):
+        # Always-infeasible planner: the incumbent never settles, so every
+        # candidate triggers the 0.2 s check.  The mean-cost lookahead must
+        # count that time — otherwise the loop keeps starting iterations it
+        # cannot finish, overshooting by check-time multiples.
+        sleep, budget = 0.2, 0.5
+        planner = SleepyFloorplanner(delay=sleep)
+        t0 = time.perf_counter()
+        result = pa_r_schedule(
+            medium_instance, time_budget=budget, seed=1, floorplanner=planner
+        )
+        elapsed = time.perf_counter() - t0
+        # Overshoot allowance: about one mean iteration (the fallback PA
+        # run also consults the planner once).
+        assert elapsed <= budget + 1.25 * sleep
+        assert result.schedule is not None
 
 
 class TestSemantics:
@@ -73,6 +105,37 @@ class TestSemantics:
         # caller still gets a schedule.
         assert result.schedule is not None
         check_schedule(medium_instance, result.schedule).raise_if_invalid()
+
+    def test_fallback_reports_floorplanner_verdict(self, medium_instance):
+        # The fallback schedule must be vetted like any other candidate:
+        # with an infeasible-only planner the result cannot claim
+        # feasible=True, and the planner's verdict must be surfaced.
+        planner = CountingFloorplanner(feasible=False)
+        result = pa_r_schedule(
+            medium_instance, iterations=5, seed=5, floorplanner=planner
+        )
+        assert result.feasible is False
+        assert result.floorplan is not None
+        assert result.floorplan.feasible is False
+        # ... and the check itself must have been billed.
+        assert result.floorplanning_time >= 0.0
+        assert planner.calls >= 6  # 5 rejected candidates + the fallback
+
+    def test_fallback_feasible_when_planner_accepts(self, chain_instance):
+        # Zero iterations: straight to the fallback path.  A permissive
+        # planner keeps feasible=True and hands back its floorplan.
+        planner = CountingFloorplanner(feasible=True)
+        result = pa_r_schedule(
+            chain_instance, iterations=0, seed=1, floorplanner=planner
+        )
+        assert result.feasible is True
+        assert result.floorplan is not None
+        assert planner.calls == 1
+
+    def test_fallback_without_planner_stays_feasible(self, chain_instance):
+        result = pa_r_schedule(chain_instance, iterations=0, seed=1)
+        assert result.feasible is True
+        assert result.floorplan is None
 
     def test_history_timestamps_increase(self, medium_instance):
         result = pa_r_schedule(medium_instance, iterations=30, seed=2)
