@@ -26,7 +26,9 @@ def quality_records_csv(results: QualityResults, path: str | Path | None = None)
 
     Columns: group, name, pa_makespan, pa_r_makespan, is1_makespan,
     is5_makespan, pa_scheduling_time, pa_floorplanning_time, is1_time,
-    is5_time, pa_r_budget, pa_r_iterations, pa_feasible.
+    is5_time, pa_r_budget, pa_r_iterations, pa_feasible, plus the
+    floorplanner cache counters (queries / exact / dominance /
+    candidate-memo hits and engine vs query wall-clock).
     """
     buffer = io.StringIO()
     writer = csv.writer(buffer)
@@ -36,6 +38,9 @@ def quality_records_csv(results: QualityResults, path: str | Path | None = None)
             "is1_makespan", "is5_makespan", "pa_scheduling_time",
             "pa_floorplanning_time", "is1_time", "is5_time",
             "pa_r_budget", "pa_r_iterations", "pa_feasible",
+            "floorplan_queries", "floorplan_exact_hits",
+            "floorplan_dominance_hits", "floorplan_candidate_memo_hits",
+            "floorplan_engine_time", "floorplan_query_time",
         ]
     )
     for r in sorted(results.records, key=lambda r: (r.group, r.name)):
@@ -45,6 +50,9 @@ def quality_records_csv(results: QualityResults, path: str | Path | None = None)
                 r.is1_makespan, r.is5_makespan, r.pa_scheduling_time,
                 r.pa_floorplanning_time, r.is1_time, r.is5_time,
                 r.pa_r_budget, r.pa_r_iterations, int(r.pa_feasible),
+                r.floorplan_queries, r.floorplan_exact_hits,
+                r.floorplan_dominance_hits, r.floorplan_candidate_memo_hits,
+                r.floorplan_engine_time, r.floorplan_query_time,
             ]
         )
     text = buffer.getvalue()

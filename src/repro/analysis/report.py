@@ -268,6 +268,7 @@ def render_html_report(
         )
     body = "\n".join(f"<div class='chart'>{svg}</div>" for svg in sections)
     table = html.escape(quality.render_table1())
+    cache_stats = html.escape(quality.render_cache_stats())
     return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
 <style>
@@ -281,6 +282,8 @@ def render_html_report(
 <h2>Table I — runtimes</h2>
 <pre>{table}</pre>
 {body}
+<h2>Floorplanner cache statistics</h2>
+<pre>{cache_stats}</pre>
 </body></html>
 """
 

@@ -24,7 +24,7 @@ from pathlib import Path
 
 from ..baselines import ISKOptions, ISKScheduler
 from ..benchgen import paper_suite
-from ..core import PAOptions, pa_r_schedule, pa_schedule
+from ..core import PAOptions, pa_r_schedule, pa_r_schedule_parallel, pa_schedule
 from ..floorplan import Floorplanner
 from ..model import Instance
 from ..validate import check_schedule
@@ -61,7 +61,11 @@ class ExperimentConfig:
     ``pa_r_iteration_cap`` replaces PA-R's wall-clock budget with a
     fixed restart count, which makes a run's records deterministic
     (modulo the measured wall-clock fields) — the knob behind the
-    serial-vs-parallel identity test.
+    serial-vs-parallel identity test.  Capped PA-R runs always go
+    through :func:`~repro.core.randomized.pa_r_schedule_parallel`
+    (with ``pa_r_jobs`` workers, default 1 = in-process), whose
+    per-restart derived seeds make the winning schedule independent
+    of the worker count.
     """
 
     profile: str = ""
@@ -76,6 +80,7 @@ class ExperimentConfig:
     validate: bool = True
     use_floorplanner: bool = True
     jobs: int = 1
+    pa_r_jobs: int = 1
 
     def __post_init__(self) -> None:
         profile = self.profile or os.environ.get("REPRO_SUITE", "small")
@@ -117,6 +122,14 @@ class InstanceRecord:
     pa_r_makespan: float
     pa_r_budget: float
     pa_r_iterations: int
+    # Floorplanner cache observability (PR "fast path"); defaults keep
+    # pre-existing quality.json files loadable via from_json.
+    floorplan_queries: int = 0
+    floorplan_exact_hits: int = 0
+    floorplan_dominance_hits: int = 0
+    floorplan_candidate_memo_hits: int = 0
+    floorplan_engine_time: float = 0.0
+    floorplan_query_time: float = 0.0
 
 
 @dataclass
@@ -252,6 +265,37 @@ class QualityResults:
             "pa_r_makespan",
         )
 
+    def render_cache_stats(self) -> str:
+        """Floorplanner fast-path effectiveness, aggregated per group.
+
+        ``hit %`` counts every query answered without an engine run
+        (exact-key plus dominance-lattice hits); ``engine [s]`` is the
+        summed time actually spent in backtracking / MILP, versus the
+        total wall-clock of all feasibility queries in ``query [s]``.
+        """
+        rows = []
+        for size in self.groups():
+            group = self._group(size)
+            if not group:
+                continue
+            queries = sum(r.floorplan_queries for r in group)
+            exact = sum(r.floorplan_exact_hits for r in group)
+            dom = sum(r.floorplan_dominance_hits for r in group)
+            memo = sum(r.floorplan_candidate_memo_hits for r in group)
+            engine = sum(r.floorplan_engine_time for r in group)
+            query = sum(r.floorplan_query_time for r in group)
+            hit_pct = 100.0 * (exact + dom) / queries if queries else 0.0
+            rows.append(
+                (size, queries, exact, dom, f"{hit_pct:.1f}", memo,
+                 f"{engine:.3f}", f"{query:.3f}")
+            )
+        return render_table(
+            ["# Tasks", "queries", "exact hits", "dom hits", "hit %",
+             "cand memo", "engine [s]", "query [s]"],
+            rows,
+            title="Floorplanner cache statistics (summed per group)",
+        )
+
     def render_all(self) -> str:
         return "\n\n".join(
             [
@@ -260,6 +304,7 @@ class QualityResults:
                 self.render_fig3(),
                 self.render_fig4(),
                 self.render_fig5(),
+                self.render_cache_stats(),
             ]
         )
 
@@ -304,12 +349,28 @@ def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
     r1 = is1.schedule(instance)
     r5 = is5.schedule(instance)
     if config.pa_r_iteration_cap is not None:
+        # Capped runs go through the parallel entry point even with
+        # pa_r_jobs=1: its derived per-restart seeds make the result
+        # identical for every worker count, which is the property the
+        # serial-vs-parallel identity test checks.
         budget = 0.0
-        par = pa_r_schedule(
+        par = pa_r_schedule_parallel(
             instance,
             iterations=config.pa_r_iteration_cap,
             seed=config.seed,
             floorplanner=floorplanner,
+            jobs=config.pa_r_jobs,
+        )
+    elif config.pa_r_jobs > 1:
+        budget = min(
+            max(r5.elapsed, config.pa_r_min_budget), config.pa_r_max_budget
+        )
+        par = pa_r_schedule_parallel(
+            instance,
+            time_budget=budget,
+            seed=config.seed,
+            floorplanner=floorplanner,
+            jobs=config.pa_r_jobs,
         )
     else:
         budget = min(
@@ -330,6 +391,7 @@ def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
             instance, r5.schedule, allow_module_reuse=True
         ).raise_if_invalid()
         check_schedule(instance, par.schedule).raise_if_invalid()
+    fp_stats = floorplanner.stats if floorplanner is not None else {}
     return InstanceRecord(
         group=size,
         name=instance.name,
@@ -344,6 +406,12 @@ def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
         pa_r_makespan=par.makespan,
         pa_r_budget=budget,
         pa_r_iterations=par.iterations,
+        floorplan_queries=fp_stats.get("queries", 0),
+        floorplan_exact_hits=fp_stats.get("cache_hits", 0),
+        floorplan_dominance_hits=fp_stats.get("dominance_hits", 0),
+        floorplan_candidate_memo_hits=fp_stats.get("candidate_memo_hits", 0),
+        floorplan_engine_time=fp_stats.get("engine_time", 0.0),
+        floorplan_query_time=fp_stats.get("query_time", 0.0),
     )
 
 
@@ -426,6 +494,7 @@ class _ConvergenceItem:
     budget: float
     seed: int
     use_floorplanner: bool
+    pa_r_jobs: int = 1
 
 
 def _evaluate_convergence_item(
@@ -439,12 +508,21 @@ def _evaluate_convergence_item(
         if item.use_floorplanner
         else None
     )
-    par = pa_r_schedule(
-        instance,
-        time_budget=item.budget,
-        seed=item.seed,
-        floorplanner=floorplanner,
-    )
+    if item.pa_r_jobs > 1:
+        par = pa_r_schedule_parallel(
+            instance,
+            time_budget=item.budget,
+            seed=item.seed,
+            floorplanner=floorplanner,
+            jobs=item.pa_r_jobs,
+        )
+    else:
+        par = pa_r_schedule(
+            instance,
+            time_budget=item.budget,
+            seed=item.seed,
+            floorplanner=floorplanner,
+        )
     return (item.size, par.history, par.makespan, par.iterations)
 
 
@@ -455,6 +533,7 @@ def run_convergence(
     use_floorplanner: bool = True,
     progress=None,
     jobs: int = 1,
+    pa_r_jobs: int = 1,
 ) -> ConvergenceResults:
     """Run PA-R with an extended budget on one graph per size (Fig. 6).
 
@@ -464,10 +543,17 @@ def run_convergence(
     independent PA-R run); note that concurrent series contend for
     CPU, so per-series wall-clock budgets remain honest only while
     ``jobs`` stays at or below the machine's core count.
+    ``pa_r_jobs`` instead parallelizes the restarts *within* each
+    series via :func:`~repro.core.randomized.pa_r_schedule_parallel`;
+    combining both multiplies the process count.
     """
     items = [
         _ConvergenceItem(
-            size=size, budget=budget, seed=seed, use_floorplanner=use_floorplanner
+            size=size,
+            budget=budget,
+            seed=seed,
+            use_floorplanner=use_floorplanner,
+            pa_r_jobs=pa_r_jobs,
         )
         for size in sorted(sizes)
     ]

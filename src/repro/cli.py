@@ -27,12 +27,29 @@ from .analysis import render_gantt
 from .analysis.runner import ExperimentConfig, run_convergence, run_quality
 from .baselines import isk_schedule, list_schedule
 from .benchgen import paper_instance
-from .core import PAOptions, SchedulerTrace, do_schedule, pa_r_schedule, pa_schedule
+from .core import (
+    PAOptions,
+    SchedulerTrace,
+    do_schedule,
+    pa_r_schedule,
+    pa_r_schedule_parallel,
+    pa_schedule,
+)
 from .floorplan import Floorplanner, render_floorplan
 from .model import Instance, Schedule
 from .validate import check_schedule
 
 __all__ = ["main"]
+
+
+def _cache_stats_line(floorplanner: Floorplanner) -> str:
+    s = floorplanner.stats
+    return (
+        f"floorplan cache: queries={s['queries']} "
+        f"exact_hits={s['cache_hits']} dominance_hits={s['dominance_hits']} "
+        f"candidate_memo_hits={s['candidate_memo_hits']} "
+        f"engine={s['engine_time']:.3f}s query={s['query_time']:.3f}s"
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -66,17 +83,32 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             f"sched={result.scheduling_time:.3f}s floorplan={result.floorplanning_time:.3f}s"
         )
     elif args.algorithm == "pa-r":
-        result = pa_r_schedule(
-            instance,
-            time_budget=args.budget,
-            seed=args.seed,
-            floorplanner=floorplanner,
-        )
+        from .analysis.parallel import resolve_jobs
+
+        jobs = resolve_jobs(args.jobs)
+        if jobs > 1 or args.iterations is not None:
+            result = pa_r_schedule_parallel(
+                instance,
+                time_budget=None if args.iterations is not None else args.budget,
+                iterations=args.iterations,
+                seed=args.seed,
+                floorplanner=floorplanner,
+                jobs=jobs,
+            )
+        else:
+            result = pa_r_schedule(
+                instance,
+                time_budget=args.budget,
+                seed=args.seed,
+                floorplanner=floorplanner,
+            )
         schedule = result.schedule
         info = (
             f"PA-R: makespan={schedule.makespan:.1f} "
-            f"iterations={result.iterations} budget={args.budget}s"
+            f"iterations={result.iterations} budget={args.budget}s jobs={jobs}"
         )
+        if floorplanner is not None:
+            info += "\n" + _cache_stats_line(floorplanner)
     elif args.algorithm.startswith("is-"):
         k = int(args.algorithm[3:])
         result = isk_schedule(instance, k=k)
@@ -235,7 +267,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .analysis.parallel import resolve_jobs
 
-    config = ExperimentConfig(profile=args.profile, jobs=resolve_jobs(args.jobs))
+    config = ExperimentConfig(
+        profile=args.profile,
+        jobs=resolve_jobs(args.jobs),
+        pa_r_jobs=resolve_jobs(args.pa_r_jobs),
+    )
     wanted = set(args.exhibits) or {"all"}
     if "all" in wanted:
         wanted = {"table1", "fig2", "fig3", "fig4", "fig5", "fig6"}
@@ -265,6 +301,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             budget=args.budget,
             progress=print if args.verbose else None,
             jobs=config.jobs,
+            pa_r_jobs=config.pa_r_jobs,
         )
         print()
         print(convergence.render())
@@ -308,6 +345,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="pa | pa-r | is-1 | is-5 | is-<k> | list | exhaustive",
     )
     p.add_argument("--budget", type=float, default=5.0, help="PA-R seconds")
+    p.add_argument(
+        "--iterations", type=int, default=None,
+        help="PA-R: run exactly N restarts instead of --budget seconds "
+        "(deterministic for a given --seed, any --jobs)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="PA-R restart worker processes (1 = serial, -1 = all cores)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-floorplan", action="store_true")
     p.add_argument("-o", "--output", default=None)
@@ -413,6 +459,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the per-instance evaluations "
         "(1 = serial, -1 = all cores); record order is deterministic "
         "either way",
+    )
+    p.add_argument(
+        "--pa-r-jobs", type=int, default=1,
+        help="worker processes for PA-R restart batches within one "
+        "instance (1 = serial; results are bit-identical for any value)",
     )
     p.add_argument("-o", "--output", default=None, help="results directory")
     p.add_argument("-v", "--verbose", action="store_true")

@@ -9,7 +9,7 @@ from .cost import (
 )
 from .mapping import map_software_tasks, processor_delay
 from .options import PAOptions, TaskOrdering
-from .randomized import pa_r_schedule
+from .randomized import derive_restart_seed, pa_r_schedule, pa_r_schedule_parallel
 from .reconf import ReconfPlan, ReconfTask, schedule_reconfigurations
 from .regions import define_regions, order_noncritical
 from .scheduler import FloorplanChecker, PAResult, do_schedule, pa_schedule
@@ -30,6 +30,8 @@ __all__ = [
     "PAOptions",
     "TaskOrdering",
     "pa_r_schedule",
+    "pa_r_schedule_parallel",
+    "derive_restart_seed",
     "ReconfPlan",
     "ReconfTask",
     "schedule_reconfigurations",

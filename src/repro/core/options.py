@@ -67,6 +67,12 @@ class PAOptions:
         times.
     critical_tolerance:
         Slack below which a task counts as critical.
+    jobs:
+        Default worker-process count for
+        :func:`~repro.core.randomized.pa_r_schedule_parallel` restart
+        batches (1 = serial in-process, -1 = all cores).  Ignored by
+        the deterministic PA pipeline and by the serial
+        :func:`~repro.core.randomized.pa_r_schedule`.
     incremental_timing:
         Use dirty-frontier incremental earliest-start propagation in
         the reconfiguration-scheduling phase (Section V-G) instead of a
@@ -100,6 +106,7 @@ class PAOptions:
     critical_tolerance: float = 1e-6
     incremental_timing: bool = True
     verify_incremental_timing: bool = False
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if isinstance(self.ordering, str):

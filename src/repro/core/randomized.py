@@ -10,19 +10,48 @@ shrinking.
 
 The per-iteration ``(elapsed, best_makespan)`` history feeds the
 Figure 6 convergence analysis.
+
+:func:`pa_r_schedule_parallel` fans independent restart batches across
+the PR-2 worker pool.  Every restart draws its RNG from a seed derived
+from ``(base_seed, restart_index)`` — independent of how restarts are
+partitioned into batches — and the reduction picks the feasible
+candidate minimizing ``(makespan, restart_index)``, so a capped run is
+bit-identical for any ``jobs`` value: the serial loop and every block
+partition agree on which candidate wins (the earliest one achieving the
+minimum feasible makespan; a worker's fresh incumbent always accepts
+it).  Workers ship their winning region signature (demands + floorplan
+verdict) back to the parent, which absorbs them into its floorplanner
+caches — the shared-cache warm start of Section VI's amortization
+argument, stretched across processes.
 """
 
 from __future__ import annotations
 
 import random
+import sys
 import time as _time
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 
 from ..model import Instance
 from .options import PAOptions, TaskOrdering
 from .scheduler import FloorplanChecker, PAResult, do_schedule
 
-__all__ = ["pa_r_schedule"]
+__all__ = ["pa_r_schedule", "pa_r_schedule_parallel", "derive_restart_seed"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_restart_seed(base_seed: int, index: int) -> int:
+    """SplitMix64-style mix of ``(base_seed, index)``.
+
+    Gives every restart an independent, partition-agnostic RNG stream:
+    restart ``i`` produces the same candidate schedule whether it runs
+    in the serial loop, in worker 0's block or in worker 3's.
+    """
+    z = (base_seed * 0x9E3779B97F4A7C15 + index + 1) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
 
 
 def pa_r_schedule(
@@ -127,5 +156,240 @@ def pa_r_schedule(
         floorplanning_time=floorplanning_time,
         floorplan=best_floorplan,
         history=history,
+        iterations=count,
+    )
+
+
+@dataclass(frozen=True)
+class _RestartBatch:
+    """One picklable unit of parallel PA-R work.
+
+    The batch covers restart indices ``start + k * stride`` for
+    ``k < count`` — contiguous blocks (``stride=1``) in capped mode,
+    per-worker strides in time-budget mode.
+    """
+
+    instance: Instance
+    options: PAOptions  # ordering already forced to RANDOM
+    base_seed: int
+    start: int
+    count: int
+    stride: int = 1
+    time_budget: float | None = None
+    floorplanner: object | None = None
+
+
+@dataclass
+class _BatchOutcome:
+    """What a restart batch sends back for the deterministic reduction."""
+
+    best_schedule: object | None = None
+    best_makespan: float = float("inf")
+    best_index: int = -1
+    best_floorplan: object | None = None
+    history: list[tuple[float, float]] = field(default_factory=list)
+    iterations: int = 0
+    scheduling_time: float = 0.0
+    floorplanning_time: float = 0.0
+    warm_entries: list = field(default_factory=list)
+
+
+def _run_restart_batch(batch: _RestartBatch) -> _BatchOutcome:
+    """Run one batch of derived-seed restarts (pool worker)."""
+    start_clock = _time.perf_counter()
+    deadline = (
+        None if batch.time_budget is None else start_clock + batch.time_budget
+    )
+    out = _BatchOutcome()
+    floorplanner = batch.floorplanner
+    for k in range(batch.count):
+        if deadline is not None:
+            now = _time.perf_counter()
+            if now >= deadline:
+                break
+            if out.iterations:
+                # Same lookahead as the serial loop: don't start an
+                # iteration that cannot finish within the budget.
+                mean_cost = (
+                    out.scheduling_time + out.floorplanning_time
+                ) / out.iterations
+                if now + mean_cost > deadline:
+                    break
+        index = batch.start + k * batch.stride
+        rng = random.Random(derive_restart_seed(batch.base_seed, index))
+        t0 = _time.perf_counter()
+        schedule = do_schedule(batch.instance, batch.options, rng=rng)
+        out.scheduling_time += _time.perf_counter() - t0
+        out.iterations += 1
+        makespan = schedule.makespan
+        if makespan < out.best_makespan:
+            feasible = True
+            floorplan = None
+            if floorplanner is not None:
+                t0 = _time.perf_counter()
+                result = floorplanner.check(list(schedule.regions.values()))
+                out.floorplanning_time += _time.perf_counter() - t0
+                feasible = bool(result.feasible)
+                floorplan = result
+            if feasible:
+                out.best_schedule = schedule
+                out.best_makespan = makespan
+                out.best_index = index
+                out.best_floorplan = floorplan
+                out.history.append((_time.perf_counter() - start_clock, makespan))
+    if out.best_schedule is not None and out.best_floorplan is not None:
+        demands = [r.resources for r in out.best_schedule.regions.values()]
+        out.warm_entries.append((demands, out.best_floorplan))
+    return out
+
+
+def _partition(total: int, jobs: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``jobs`` contiguous (start, count)
+    blocks, earlier blocks taking the remainder."""
+    jobs = max(1, min(jobs, total)) if total else 1
+    base, extra = divmod(total, jobs)
+    blocks = []
+    start = 0
+    for w in range(jobs):
+        count = base + (1 if w < extra else 0)
+        blocks.append((start, count))
+        start += count
+    return blocks
+
+
+def pa_r_schedule_parallel(
+    instance: Instance,
+    time_budget: float | None = None,
+    iterations: int | None = None,
+    options: PAOptions | None = None,
+    floorplanner: FloorplanChecker | None = None,
+    seed: int | None = None,
+    jobs: int | None = None,
+) -> PAResult:
+    """Algorithm 1 with restart-level parallelism.
+
+    Restart ``i`` always uses :func:`derive_restart_seed` ``(seed, i)``,
+    so a run with a fixed ``iterations`` cap returns a bit-identical
+    best schedule for every ``jobs`` value (including 1); only the
+    wall-clock differs.  In time-budget mode each worker races the same
+    deadline over strided indices, so results are not partition-stable —
+    use the cap for reproducibility, the budget for throughput.
+
+    Note the per-restart RNG derivation differs from
+    :func:`pa_r_schedule`'s single sequential stream: the two entry
+    points explore the same distribution but not the same restart
+    sequence.
+
+    ``jobs`` defaults to ``options.jobs``; workers receive a pickled
+    copy of ``floorplanner`` and ship their winning region signatures
+    back, which the parent absorbs into its own caches
+    (``Floorplanner.absorb``) as a warm start for later queries.
+    """
+    from ..analysis.parallel import parallel_map, resolve_jobs
+
+    if time_budget is None and iterations is None:
+        raise ValueError("provide a time_budget and/or an iteration cap")
+    base = options or PAOptions()
+    jobs = resolve_jobs(jobs if jobs is not None else base.jobs)
+    opts = replace(base, ordering=TaskOrdering.RANDOM)
+    if seed is None:
+        seed = base.seed
+    if seed is None:
+        # No reproducibility requested: draw a fresh base seed once so
+        # the workers still explore coordinated, disjoint streams.
+        seed = random.Random().randrange(1 << 32)
+
+    start = _time.perf_counter()
+    if iterations is not None:
+        batches = [
+            _RestartBatch(
+                instance=instance,
+                options=opts,
+                base_seed=seed,
+                start=block_start,
+                count=count,
+                stride=1,
+                time_budget=time_budget,
+                floorplanner=floorplanner,
+            )
+            for block_start, count in _partition(iterations, jobs)
+            if count
+        ]
+    else:
+        batches = [
+            _RestartBatch(
+                instance=instance,
+                options=opts,
+                base_seed=seed,
+                start=w,
+                count=sys.maxsize,
+                stride=jobs,
+                time_budget=time_budget,
+                floorplanner=floorplanner,
+            )
+            for w in range(jobs)
+        ]
+
+    outcomes = parallel_map(_run_restart_batch, batches, jobs=jobs)
+
+    best_outcome = None
+    for outcome in outcomes:
+        if outcome.best_schedule is None:
+            continue
+        if best_outcome is None or (
+            (outcome.best_makespan, outcome.best_index)
+            < (best_outcome.best_makespan, best_outcome.best_index)
+        ):
+            best_outcome = outcome
+    scheduling_time = sum(o.scheduling_time for o in outcomes)
+    floorplanning_time = sum(o.floorplanning_time for o in outcomes)
+    count = sum(o.iterations for o in outcomes)
+
+    # Warm the parent's caches with the workers' winning signatures.
+    if floorplanner is not None and hasattr(floorplanner, "absorb"):
+        for outcome in outcomes:
+            if outcome.warm_entries:
+                floorplanner.absorb(outcome.warm_entries)
+
+    # Merge the accepted-candidate timelines into one best-so-far
+    # staircase (workers ran concurrently, so interleave by elapsed).
+    merged: list[tuple[float, float]] = []
+    incumbent = float("inf")
+    for elapsed, makespan in sorted(
+        (point for o in outcomes for point in o.history)
+    ):
+        if makespan < incumbent:
+            merged.append((elapsed, makespan))
+            incumbent = makespan
+
+    feasible = True
+    best_floorplan = None
+    if best_outcome is None:
+        # No feasible randomized schedule: same fallback contract as the
+        # serial loop — a deterministic PA run, vetted by the planner.
+        t0 = _time.perf_counter()
+        fallback = do_schedule(instance, base)
+        scheduling_time += _time.perf_counter() - t0
+        if floorplanner is not None:
+            t0 = _time.perf_counter()
+            result = floorplanner.check(list(fallback.regions.values()))
+            floorplanning_time += _time.perf_counter() - t0
+            feasible = bool(result.feasible)
+            best_floorplan = result
+        best = fallback
+        merged.append((_time.perf_counter() - start, fallback.makespan))
+    else:
+        best = best_outcome.best_schedule
+        best_floorplan = best_outcome.best_floorplan
+
+    best.scheduler = "PA-R"
+    best.metadata["iterations"] = count
+    return PAResult(
+        schedule=best,
+        feasible=feasible,
+        scheduling_time=scheduling_time,
+        floorplanning_time=floorplanning_time,
+        floorplan=best_floorplan,
+        history=merged,
         iterations=count,
     )

@@ -76,6 +76,26 @@ def counting_precheck(
     return all(needed[k] <= cells_available[k] for k in needed)
 
 
+def _mask_lists(
+    device: FabricDevice, candidates_per_region: list[list[Placement]]
+) -> list[list[int]]:
+    """Cell bitmasks per candidate, computed once per *unique* list.
+
+    Memoized candidate enumerations mean regions with identical demands
+    share the same list object; sharing the mask list too turns the
+    per-call mask cost from O(regions) into O(unique demands).
+    """
+    by_list: dict[int, list[int]] = {}
+    out: list[list[int]] = []
+    for cands in candidates_per_region:
+        masks = by_list.get(id(cands))
+        if masks is None:
+            masks = [placement_mask(p, device) for p in cands]
+            by_list[id(cands)] = masks
+        out.append(masks)
+    return out
+
+
 def greedy_pack(
     device: FabricDevice,
     candidates_per_region: list[list[Placement]],
@@ -92,10 +112,7 @@ def greedy_pack(
     n = len(candidates_per_region)
     if n == 0:
         return []
-    masks = [
-        [placement_mask(p, device) for p in cands]
-        for cands in candidates_per_region
-    ]
+    masks = _mask_lists(device, candidates_per_region)
 
     def attempt(order: list[int]) -> list[Placement] | None:
         occupied = 0
@@ -166,27 +183,31 @@ def solve_backtracking(
             stats={"via": "greedy"},
         )
 
-    masks: list[list[int]] = [
-        [placement_mask(p, device) for p in cands]
-        for cands in candidates_per_region
-    ]
+    masks = _mask_lists(device, candidates_per_region)
     chosen: list[int] = [-1] * n
     nodes = 0
     deadline = None if time_limit is None else start + time_limit
     exhausted = False
 
-    def dfs(unplaced: list[int], occupied: int, live: dict[int, list[int]]) -> bool:
-        """``live[r]`` holds the indices of r's candidates that still
-        fit the current occupancy (forward checking)."""
+    def dfs(unplaced: list[int], occupied: int, live: list[int]) -> bool:
+        """``live[r]`` is a bitmask over r's candidate indices that
+        still fit the current occupancy (forward checking).  Integer
+        live sets make the per-node copy O(regions) machine words and
+        the conflict filter a tight AND/OR loop over set bits."""
         nonlocal nodes, exhausted
         if not unplaced:
             return True
         # Most-constrained region next.
-        region = min(unplaced, key=lambda r: (len(live[r]), r))
-        if not live[region]:
+        region = min(unplaced, key=lambda r: (live[r].bit_count(), r))
+        pending = live[region]
+        if not pending:
             return False
         remaining = [r for r in unplaced if r != region]
-        for idx in live[region]:
+        region_masks = masks[region]
+        while pending:
+            low = pending & -pending
+            pending ^= low
+            idx = low.bit_length() - 1
             nodes += 1
             if nodes > node_limit or (
                 deadline is not None
@@ -195,20 +216,25 @@ def solve_backtracking(
             ):
                 exhausted = True
                 return False
-            mask = masks[region][idx]
+            mask = region_masks[idx]
             if occupied & mask:
                 continue
             # Forward-check: filter every other region's candidates.
-            next_live: dict[int, list[int]] = {}
+            next_live = list(live)
             dead_end = False
             for other in remaining:
-                filtered = [
-                    j for j in live[other] if not (masks[other][j] & mask)
-                ]
-                if not filtered:
+                other_masks = masks[other]
+                survivors = 0
+                rest = live[other]
+                while rest:
+                    bit = rest & -rest
+                    rest ^= bit
+                    if not (other_masks[bit.bit_length() - 1] & mask):
+                        survivors |= bit
+                if not survivors:
                     dead_end = True
                     break
-                next_live[other] = filtered
+                next_live[other] = survivors
             if dead_end:
                 continue
             chosen[region] = idx
@@ -219,7 +245,7 @@ def solve_backtracking(
         chosen[region] = -1
         return False
 
-    initial_live = {r: list(range(len(masks[r]))) for r in range(n)}
+    initial_live = [(1 << len(masks[r])) - 1 for r in range(n)]
     found = dfs(list(range(n)), 0, initial_live)
     elapsed = _time.perf_counter() - start
     if found:

@@ -82,6 +82,29 @@ class FabricDevice:
         # Leftmost columns reserved for the static system (processor
         # interface, ICAP, ...); placements must not use them.
         self.reserved_columns = reserved_columns
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        # Per-device memos shared by every Floorplanner over this fabric:
+        # candidate enumerations keyed on (demand, max_candidates), cell
+        # bitmasks keyed on the placement, and rectangle resource totals.
+        # The device geometry is immutable, so entries never invalidate.
+        self._candidate_cache: dict = {}
+        self._mask_cache: dict = {}
+        self._rect_cache: dict = {}
+        self.candidate_cache_hits = 0
+        self.candidate_cache_misses = 0
+
+    def __getstate__(self) -> dict:
+        # Keep pickles lean: workers rebuild their memos locally instead
+        # of shipping (potentially large) warm caches across processes.
+        state = dict(self.__dict__)
+        state["_candidate_cache"] = {}
+        state["_mask_cache"] = {}
+        state["_rect_cache"] = {}
+        state["candidate_cache_hits"] = 0
+        state["candidate_cache_misses"] = 0
+        return state
 
     @property
     def width(self) -> int:
@@ -102,11 +125,17 @@ class FabricDevice:
         Columns are vertically uniform, so the row offset is irrelevant
         for resource counting.
         """
+        key = (col, width, height)
+        cached = self._rect_cache.get(key)
+        if cached is not None:
+            return cached
         totals: dict[str, int] = {}
         for c in range(col, col + width):
             spec = self.specs[self.columns[c]]
             totals[spec.kind] = totals.get(spec.kind, 0) + spec.resources * height
-        return ResourceVector(totals)
+        vector = ResourceVector(totals)
+        self._rect_cache[key] = vector
+        return vector
 
     def rect_frames(self, col: int, width: int, height: int) -> int:
         return sum(

@@ -58,11 +58,49 @@ class Placement:
 
 
 def placement_mask(placement: Placement, device: FabricDevice) -> int:
-    """Occupancy bitmask over fabric cells (cell id = row * width + col)."""
+    """Occupancy bitmask over fabric cells (cell id = row * width + col).
+
+    Memoized on the device: the same placement is re-masked by every
+    greedy/backtracking call, and mask identity only depends on the
+    immutable device geometry.
+    """
+    cache = device._mask_cache
+    mask = cache.get(placement)
+    if mask is not None:
+        return mask
     mask = 0
-    for c, r in placement.cells():
-        mask |= 1 << (r * device.width + c)
+    width = device.width
+    row_mask = ((1 << placement.width) - 1) << placement.col
+    for r in range(placement.row, placement.row + placement.height):
+        mask |= row_mask << (r * width)
+    cache[placement] = mask
     return mask
+
+
+def _prune_contained(candidates: list[Placement]) -> list[Placement]:
+    """Drop rectangles that geometrically contain another candidate.
+
+    If candidate ``q``'s cells are a subset of ``p``'s, any solution
+    placing ``p`` stays valid after swapping ``p`` for ``q`` (both
+    satisfy the demand, and ``q`` occupies fewer cells), so ``p`` is
+    dominated and can be removed without losing feasibility
+    completeness.  Candidates arrive smallest-area first, so containers
+    always appear after their contained rectangle.
+    """
+    kept: list[Placement] = []
+    for p in candidates:
+        p_right = p.col + p.width
+        p_top = p.row + p.height
+        contains_kept = any(
+            q.col >= p.col
+            and q.row >= p.row
+            and q.col + q.width <= p_right
+            and q.row + q.height <= p_top
+            for q in kept
+        )
+        if not contains_kept:
+            kept.append(p)
+    return kept
 
 
 def candidate_placements(
@@ -76,7 +114,20 @@ def candidate_placements(
     which makes both the backtracking solver and the MILP warm start
     prefer compact, fragmentation-friendly placements — the
     anti-fragmentation spirit of the PARLGRAN line of work.
+
+    Results are memoized on the device, keyed on ``(demand,
+    max_candidates)``: PA's shrink loop and PA-R's restarts re-enumerate
+    the same demands constantly, and the enumeration is a pure function
+    of the immutable device geometry.  Callers must treat the returned
+    list as read-only.
     """
+    cache = device._candidate_cache
+    cache_key = (demand, max_candidates)
+    cached = cache.get(cache_key)
+    if cached is not None:
+        device.candidate_cache_hits += 1
+        return cached
+    device.candidate_cache_misses += 1
     first_col = device.reserved_columns
     width = device.width
     candidates: list[Placement] = []
@@ -115,6 +166,8 @@ def candidate_placements(
     candidates.sort(
         key=lambda p: (p.width * p.height, p.width, p.col, p.row)
     )
+    candidates = _prune_contained(candidates)
     if max_candidates is not None:
         candidates = candidates[:max_candidates]
+    cache[cache_key] = candidates
     return candidates

@@ -102,6 +102,87 @@ def test_floorplanner_facade_consistent_with_cache(data):
                 assert not a.overlaps(b)
 
 
+@st.composite
+def shrunk(draw, demands):
+    """A component-wise-smaller, non-empty variant of each demand.
+
+    Every component keeps the demand's support (empty demands are
+    rejected by ``candidate_placements``) but may drop to 1.
+    """
+    out = []
+    for demand in demands:
+        out.append(
+            ResourceVector(
+                {
+                    rtype: draw(st.integers(min_value=1, max_value=count))
+                    for rtype, count in demand.items()
+                }
+            )
+        )
+    return out
+
+
+@SETTINGS
+@given(st.data())
+def test_feasibility_monotone_under_shrinking(data):
+    """Feasible stays feasible when every demand shrinks component-wise.
+
+    This is the invariant the dominance cache rests on, checked
+    against the raw engine (no caches anywhere): a placement of the
+    larger set is a placement of the smaller one.
+    """
+    device = data.draw(devices())
+    demands = data.draw(demand_sets(device))
+    cold = Floorplanner(device, cache=False, max_candidates=None, time_limit=None)
+    base = cold.check(demands)
+    if not (base.feasible and base.proven):
+        return
+    smaller = data.draw(shrunk(demands))
+    again = cold.check(smaller)
+    assert again.feasible, (
+        f"shrinking a feasible set must stay feasible: {demands} -> {smaller}"
+    )
+
+
+@SETTINGS
+@given(st.data())
+def test_dominance_answer_matches_cold_solve(data):
+    """A dominance-cache answer agrees with an uncached solve.
+
+    The warm planner is seeded with the base set, then asked about a
+    shrunk variant (and about the variant with one region dropped); a
+    cold planner with ``cache=False`` and no budget limits is the
+    ground truth.  Generous ``max_candidates`` keeps every cold
+    verdict proven, so agreement is exact, not probabilistic.
+    """
+    device = data.draw(devices())
+    demands = data.draw(demand_sets(device))
+    warm = Floorplanner(device, max_candidates=None, time_limit=None)
+    cold = Floorplanner(device, cache=False, max_candidates=None, time_limit=None)
+    warm.check(demands)
+
+    queries = [data.draw(shrunk(demands))]
+    if len(demands) > 1:
+        queries.append(demands[:-1])
+    for query in queries:
+        fast = warm.check(query)
+        truth = cold.check(query)
+        assert fast.feasible == truth.feasible, (
+            f"cache disagrees with cold solve on {query}: "
+            f"{fast.feasible} ({fast.engine}) vs {truth.feasible}"
+        )
+        if fast.placements is not None:
+            placements = list(fast.placements.values())
+            assert len(placements) == len(query)
+            for i, a in enumerate(placements):
+                for b in placements[i + 1 :]:
+                    assert not a.overlaps(b)
+            # ids are positional R0..Rn for raw ResourceVector queries.
+            for region_id, placement in fast.placements.items():
+                index = int(region_id[1:])
+                assert query[index].fits_in(placement.resources(device))
+
+
 @SETTINGS
 @given(st.data())
 def test_superset_infeasibility_monotone(data):

@@ -1,0 +1,92 @@
+"""Unit tests for parallel PA-R restart batches."""
+
+import pytest
+
+from repro.core import (
+    PAOptions,
+    derive_restart_seed,
+    pa_r_schedule_parallel,
+)
+from repro.floorplan import Floorplanner
+from repro.validate import check_schedule
+
+
+class TestDerivedSeeds:
+    def test_deterministic(self):
+        assert derive_restart_seed(42, 3) == derive_restart_seed(42, 3)
+
+    def test_varies_with_index_and_base(self):
+        seeds = {derive_restart_seed(42, i) for i in range(100)}
+        assert len(seeds) == 100
+        assert derive_restart_seed(42, 0) != derive_restart_seed(43, 0)
+
+
+class TestSerialParallelIdentity:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_bit_identical_best_schedule(self, medium_instance, jobs):
+        """Same seed + fixed restart count => the exact same schedule,
+        whatever the worker count (the per-restart derived seeds make
+        restart i's candidate independent of which worker runs it)."""
+        serial = pa_r_schedule_parallel(
+            medium_instance,
+            iterations=12,
+            seed=42,
+            floorplanner=Floorplanner.for_architecture(
+                medium_instance.architecture
+            ),
+            jobs=1,
+        )
+        parallel = pa_r_schedule_parallel(
+            medium_instance,
+            iterations=12,
+            seed=42,
+            floorplanner=Floorplanner.for_architecture(
+                medium_instance.architecture
+            ),
+            jobs=jobs,
+        )
+        assert serial.schedule.to_dict() == parallel.schedule.to_dict()
+        assert serial.makespan == parallel.makespan
+        assert serial.iterations == parallel.iterations == 12
+
+    def test_schedule_is_valid(self, medium_instance):
+        result = pa_r_schedule_parallel(
+            medium_instance, iterations=6, seed=7, jobs=2
+        )
+        check_schedule(medium_instance, result.schedule).raise_if_invalid()
+        assert result.schedule.scheduler == "PA-R"
+        assert result.schedule.metadata["iterations"] == 6
+
+
+class TestOptionsAndWarmStart:
+    def test_jobs_from_options(self, medium_instance):
+        result = pa_r_schedule_parallel(
+            medium_instance,
+            iterations=4,
+            options=PAOptions(seed=5, jobs=2),
+        )
+        assert result.iterations == 4
+
+    def test_requires_some_budget(self, medium_instance):
+        with pytest.raises(ValueError):
+            pa_r_schedule_parallel(medium_instance)
+
+    def test_parent_floorplanner_absorbs_worker_results(self, medium_instance):
+        planner = Floorplanner.for_architecture(medium_instance.architecture)
+        pa_r_schedule_parallel(
+            medium_instance,
+            iterations=8,
+            seed=42,
+            floorplanner=planner,
+            jobs=2,
+        )
+        # The winning restarts' region signatures come back to the
+        # parent cache even though the checks ran in worker processes.
+        assert planner.export_entries(), "warm-start shipped no entries"
+
+    def test_time_budget_mode_runs(self, medium_instance):
+        result = pa_r_schedule_parallel(
+            medium_instance, time_budget=0.3, seed=3, jobs=2
+        )
+        assert result.iterations >= 1
+        assert result.makespan == result.schedule.makespan

@@ -53,7 +53,39 @@ class TestCandidates:
     def test_all_vertical_offsets_emitted(self, device):
         demand = ResourceVector({"CLB": 100})
         heights = {(p.row, p.height) for p in candidate_placements(device, demand)}
-        assert (0, 1) in heights and (1, 1) in heights and (0, 2) in heights
+        assert (0, 1) in heights and (1, 1) in heights
+        # Height-2 rectangles contain a satisfying height-1 rectangle at
+        # the same column, so the dominance filter prunes them.
+        assert (0, 2) not in heights
+
+    def test_contained_dominance_pruning(self, device):
+        # A demand needing a full-height window keeps its tall candidates.
+        demand = ResourceVector({"CLB": 200})
+        cands = candidate_placements(device, demand)
+        assert cands, "demand must be placeable"
+        # No kept candidate may strictly contain another kept candidate.
+        for p in cands:
+            for q in cands:
+                if p is q:
+                    continue
+                contains = (
+                    q.col >= p.col
+                    and q.row >= p.row
+                    and q.col + q.width <= p.col + p.width
+                    and q.row + q.height <= p.row + p.height
+                )
+                assert not contains, f"{p} contains {q}"
+
+    def test_candidate_memo_shared_across_calls(self, device):
+        demand = ResourceVector({"CLB": 100})
+        first = candidate_placements(device, demand, max_candidates=10)
+        hits_before = device.candidate_cache_hits
+        second = candidate_placements(device, demand, max_candidates=10)
+        assert second is first  # memoized on the device
+        assert device.candidate_cache_hits == hits_before + 1
+        # A different cap is a different memo entry.
+        third = candidate_placements(device, demand, max_candidates=5)
+        assert third is not first and len(third) <= 5
 
     def test_sorted_smallest_area_first(self, device):
         demand = ResourceVector({"CLB": 100})
