@@ -9,8 +9,7 @@ from pathlib import Path
 
 from _suite import timing_sizes
 
-from repro.baselines import isk_schedule
-from repro.core import do_schedule
+from repro.engine import ScheduleRequest, get_backend
 
 RESULTS = Path(__file__).parent / "results"
 
@@ -19,8 +18,10 @@ def test_fig3_pa_improvement_over_is1(benchmark, quality_results, instances_by_s
     instance = instances_by_size[max(timing_sizes())]
 
     def head_to_head():
-        pa = do_schedule(instance)
-        is1 = isk_schedule(instance, k=1)
+        pa = get_backend("pa").run(
+            ScheduleRequest(instance, "pa", options={"floorplan": False})
+        )
+        is1 = get_backend("is-1").run(ScheduleRequest(instance, "is-1"))
         return (is1.makespan - pa.makespan) / is1.makespan
 
     improvement = benchmark(head_to_head)

@@ -8,8 +8,7 @@ from pathlib import Path
 
 from _suite import timing_sizes
 
-from repro.baselines import isk_schedule
-from repro.core import do_schedule
+from repro.engine import ScheduleRequest, get_backend
 
 RESULTS = Path(__file__).parent / "results"
 
@@ -19,7 +18,9 @@ def test_fig4_pa_improvement_over_is5(benchmark, quality_results, instances_by_s
 
     # Benchmark the IS-5 side (the expensive baseline of this figure).
     result = benchmark.pedantic(
-        lambda: isk_schedule(instance, k=5, node_limit=2000),
+        lambda: get_backend("is-5").run(
+            ScheduleRequest(instance, "is-5", options={"node_limit": 2000})
+        ),
         rounds=1,
         iterations=1,
     )

@@ -10,7 +10,7 @@ from pathlib import Path
 
 from _suite import timing_sizes
 
-from repro.core import pa_r_schedule
+from repro.engine import ScheduleRequest, get_backend
 
 RESULTS = Path(__file__).parent / "results"
 
@@ -18,7 +18,12 @@ RESULTS = Path(__file__).parent / "results"
 def test_fig5_par_improvement_over_is5(benchmark, quality_results, instances_by_size):
     instance = instances_by_size[max(timing_sizes())]
     result = benchmark.pedantic(
-        lambda: pa_r_schedule(instance, time_budget=0.3, seed=1),
+        lambda: get_backend("pa-r").run(
+            ScheduleRequest(
+                instance, "pa-r", options={"floorplan": False},
+                seed=1, budget=0.3,
+            )
+        ),
         rounds=1,
         iterations=1,
     )

@@ -8,31 +8,40 @@ comparisons cannot give.
 
 import statistics
 
-from repro.baselines import exhaustive_schedule, isk_schedule, list_schedule
 from repro.benchgen import paper_instance
-from repro.core import do_schedule
+from repro.engine import ScheduleRequest, get_backend
+
+
+def _run(instance, algorithm, **options):
+    return get_backend(algorithm).run(
+        ScheduleRequest(instance, algorithm, options=options)
+    )
 
 
 def test_optimality_gap(benchmark):
     instances = [paper_instance(7, seed=s) for s in range(1, 9)]
 
     benchmark.pedantic(
-        lambda: exhaustive_schedule(instances[0], node_limit=200_000),
+        lambda: _run(instances[0], "exhaustive", node_limit=200_000),
         rounds=1,
         iterations=1,
     )
 
     gaps: dict[str, list[float]] = {"PA": [], "IS-1": [], "IS-3": [], "LIST": []}
     for instance in instances:
-        best = exhaustive_schedule(instance, node_limit=200_000).makespan
-        gaps["PA"].append(do_schedule(instance).makespan / best - 1)
-        gaps["IS-1"].append(isk_schedule(instance, k=1).makespan / best - 1)
+        best = _run(instance, "exhaustive", node_limit=200_000).makespan
+        gaps["PA"].append(
+            _run(instance, "pa", floorplan=False).makespan / best - 1
+        )
+        gaps["IS-1"].append(_run(instance, "is-1").makespan / best - 1)
         gaps["IS-3"].append(
-            isk_schedule(instance, k=3, branch_cap=10**9, node_limit=100_000).makespan
+            _run(
+                instance, "is-3", branch_cap=10**9, node_limit=100_000
+            ).makespan
             / best
             - 1
         )
-        gaps["LIST"].append(list_schedule(instance).makespan / best - 1)
+        gaps["LIST"].append(_run(instance, "list").makespan / best - 1)
 
     for name, values in gaps.items():
         benchmark.extra_info[f"gap_{name}_pct"] = round(

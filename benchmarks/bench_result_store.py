@@ -1,0 +1,169 @@
+"""Result-store benchmark: warm store hits vs cold backend computation.
+
+The claim behind the PR: a repeated ``(instance, algorithm, options,
+seed)`` request is answered from the content-addressed on-disk store —
+one JSON read keyed by the request's canonical hash — instead of
+re-running the scheduler.  For any non-trivial backend workload the
+warm path must therefore be at least an order of magnitude faster than
+the cold path, while returning bit-identical outcomes.
+
+The workload drains one manifest-shaped request list (PA, PA-R with a
+fixed restart cap, IS-k and the exhaustive baseline over several paper
+instances) twice against the same store:
+
+* ``cold`` — empty store: every request computed and written back,
+* ``warm`` — second pass: every request answered from the store.
+
+The headline assertion is ``cold / warm >= 10``; a zero-hit warm pass
+or a non-identical replayed outcome fails the run outright.
+
+Runs standalone (JSON out) or under pytest::
+
+    python benchmarks/bench_result_store.py --quick --out bench.json
+    pytest benchmarks/bench_result_store.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchgen import paper_instance
+from repro.engine import ResultStore, ScheduleRequest, get_backend, run_batch
+
+MIN_WARM_SPEEDUP = 10.0
+
+_PROFILES = {
+    "quick": dict(sizes=(8, 12), seeds=(3, 7), pa_r_iterations=16,
+                  exhaustive_tasks=7),
+    "full": dict(sizes=(10, 20, 30), seeds=(3, 7, 11), pa_r_iterations=24,
+                 exhaustive_tasks=9),
+}
+
+
+def _build_requests(params) -> list[ScheduleRequest]:
+    """A mixed-backend workload over several paper instances."""
+    requests: list[ScheduleRequest] = []
+    for size in params["sizes"]:
+        for seed in params["seeds"]:
+            instance = paper_instance(size, seed=seed)
+            requests.append(ScheduleRequest(instance, "pa"))
+            requests.append(
+                ScheduleRequest(
+                    instance,
+                    "pa-r",
+                    options={"iterations": params["pa_r_iterations"]},
+                    seed=seed,
+                )
+            )
+            requests.append(
+                ScheduleRequest(
+                    instance, "is-2", options={"node_limit": 4000}
+                )
+            )
+    tiny = paper_instance(params["exhaustive_tasks"], seed=1)
+    requests.append(
+        ScheduleRequest(tiny, "exhaustive", options={"node_limit": 200_000})
+    )
+    return requests
+
+
+def run_store_benchmark(profile: str = "quick") -> dict:
+    params = _PROFILES[profile]
+    requests = _build_requests(params)
+    root = Path(tempfile.mkdtemp(prefix="bench-result-store-"))
+    try:
+        store = ResultStore(root / "cache")
+
+        t0 = time.perf_counter()
+        cold = run_batch(requests, store=store)
+        cold_s = time.perf_counter() - t0
+        assert cold.executed == len(requests), "cold pass must compute all"
+
+        t0 = time.perf_counter()
+        warm = run_batch(requests, store=store)
+        warm_s = time.perf_counter() - t0
+        assert warm.store_hits == len(requests), (
+            f"warm pass must be 100% store hits: "
+            f"{warm.store_hits}/{len(requests)}"
+        )
+
+        # Replay correctness: the stored outcome carries the same result
+        # a fresh run of a deterministic backend produces (the timing
+        # fields are measurements and legitimately differ).
+        probe = next(r for r in requests if r.algorithm == "pa")
+        cached, fresh = store.get(probe), get_backend("pa").run(probe)
+        assert (
+            cached.schedule.to_dict() == fresh.schedule.to_dict()
+            and cached.makespan == fresh.makespan
+            and cached.feasible == fresh.feasible
+        ), "stored outcome diverged from a fresh deterministic run"
+
+        n = len(requests)
+        return {
+            "profile": profile,
+            "requests": n,
+            "store_entries": len(store),
+            "timings_s": {"cold": cold_s, "warm": warm_s},
+            "per_request_ms": {
+                "cold": 1e3 * cold_s / n,
+                "warm": 1e3 * warm_s / n,
+            },
+            "speedup": {
+                "warm_vs_cold": cold_s / warm_s if warm_s else float("inf")
+            },
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# -- pytest entry point ------------------------------------------------------
+
+
+def test_warm_store_speedup():
+    report = run_store_benchmark("quick")
+    speedup = report["speedup"]["warm_vs_cold"]
+    print(
+        f"\nresult store [{report['requests']} requests]: "
+        f"cold {report['per_request_ms']['cold']:.1f}ms, "
+        f"warm {report['per_request_ms']['warm']:.1f}ms per request "
+        f"(x{speedup:.1f} warm speedup)"
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm store pass only x{speedup:.2f} faster than cold "
+        f"computation (need >= x{MIN_WARM_SPEEDUP})"
+    )
+
+
+# -- script mode ------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI profile (small workload)")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+    profile = "quick" if args.quick else "full"
+
+    report = run_store_benchmark(profile)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report["speedup"]["warm_vs_cold"] >= MIN_WARM_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

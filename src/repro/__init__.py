@@ -11,6 +11,10 @@ Public API tour
   used by the Section V-H feasibility check.
 * :mod:`repro.baselines` — the IS-k iterative scheduler of reference [6]
   and a list-based greedy scheduler.
+* :mod:`repro.engine` — unified scheduler engine: backend registry
+  (every algorithm behind one request/outcome contract), canonical
+  request hashing, the content-addressed result store and the batch
+  service.
 * :mod:`repro.benchgen` — synthetic task-graph suites (Section VII-A).
 * :mod:`repro.validate` — independent schedule invariant checker.
 * :mod:`repro.sim` — discrete-event executor: exact plan replay and
@@ -30,8 +34,19 @@ Quickstart::
     print(result.schedule.makespan)
 """
 
-from . import analysis, baselines, benchgen, core, floorplan, model, sim, validate
+from . import (
+    analysis,
+    baselines,
+    benchgen,
+    core,
+    engine,
+    floorplan,
+    model,
+    sim,
+    validate,
+)
 from .core import PAOptions, PAResult, pa_r_schedule, pa_schedule
+from .engine import ScheduleOutcome, ScheduleRequest, get_backend
 from .model import (
     Architecture,
     Implementation,
@@ -50,10 +65,14 @@ __all__ = [
     "baselines",
     "benchgen",
     "core",
+    "engine",
     "floorplan",
     "sim",
     "model",
     "validate",
+    "ScheduleOutcome",
+    "ScheduleRequest",
+    "get_backend",
     "PAOptions",
     "PAResult",
     "pa_r_schedule",

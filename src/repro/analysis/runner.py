@@ -22,9 +22,8 @@ import time as _time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from ..baselines import ISKOptions, ISKScheduler
 from ..benchgen import paper_suite
-from ..core import PAOptions, pa_r_schedule, pa_r_schedule_parallel, pa_schedule
+from ..engine import ScheduleRequest, get_backend
 from ..floorplan import Floorplanner
 from ..model import Instance
 from ..validate import check_schedule
@@ -336,52 +335,63 @@ class _QualityItem:
 
 
 def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
-    """Run PA / IS-1 / IS-5 / PA-R on one instance (pool worker)."""
+    """Run PA / IS-1 / IS-5 / PA-R on one instance (pool worker).
+
+    All four runs dispatch through the engine registry
+    (``repro.engine``); the shared floorplanner is passed as execution
+    context so PA and PA-R reuse one dominance cache, exactly as the
+    legacy direct-call harness did.
+    """
     config, instance, size = item.config, item.instance, item.group
-    is1 = ISKScheduler(ISKOptions(k=1, node_limit=config.is1_node_limit))
-    is5 = ISKScheduler(ISKOptions(k=5, node_limit=config.is5_node_limit))
     floorplanner = (
         Floorplanner.for_architecture(instance.architecture)
         if config.use_floorplanner
         else None
     )
-    pa = pa_schedule(instance, PAOptions(), floorplanner=floorplanner)
-    r1 = is1.schedule(instance)
-    r5 = is5.schedule(instance)
+    fp_option = {"floorplan": config.use_floorplanner}
+    pa = get_backend("pa").run(
+        ScheduleRequest(instance, "pa", options=dict(fp_option)),
+        floorplanner=floorplanner,
+    )
+    r1 = get_backend("is-1").run(
+        ScheduleRequest(
+            instance, "is-1", options={"node_limit": config.is1_node_limit}
+        )
+    )
+    r5 = get_backend("is-5").run(
+        ScheduleRequest(
+            instance, "is-5", options={"node_limit": config.is5_node_limit}
+        )
+    )
     if config.pa_r_iteration_cap is not None:
         # Capped runs go through the parallel entry point even with
-        # pa_r_jobs=1: its derived per-restart seeds make the result
-        # identical for every worker count, which is the property the
+        # pa_r_jobs=1 (the engine routes any 'iterations' request that
+        # way): its derived per-restart seeds make the result identical
+        # for every worker count, which is the property the
         # serial-vs-parallel identity test checks.
         budget = 0.0
-        par = pa_r_schedule_parallel(
+        par_request = ScheduleRequest(
             instance,
-            iterations=config.pa_r_iteration_cap,
+            "pa-r",
+            options={
+                **fp_option,
+                "iterations": config.pa_r_iteration_cap,
+                "jobs": config.pa_r_jobs,
+            },
             seed=config.seed,
-            floorplanner=floorplanner,
-            jobs=config.pa_r_jobs,
-        )
-    elif config.pa_r_jobs > 1:
-        budget = min(
-            max(r5.elapsed, config.pa_r_min_budget), config.pa_r_max_budget
-        )
-        par = pa_r_schedule_parallel(
-            instance,
-            time_budget=budget,
-            seed=config.seed,
-            floorplanner=floorplanner,
-            jobs=config.pa_r_jobs,
         )
     else:
         budget = min(
-            max(r5.elapsed, config.pa_r_min_budget), config.pa_r_max_budget
+            max(r5.total_time, config.pa_r_min_budget), config.pa_r_max_budget
         )
-        par = pa_r_schedule(
+        par_request = ScheduleRequest(
             instance,
-            time_budget=budget,
+            "pa-r",
+            options={**fp_option, "jobs": config.pa_r_jobs},
             seed=config.seed,
-            floorplanner=floorplanner,
+            budget=budget,
         )
+    par = get_backend("pa-r").run(par_request, floorplanner=floorplanner)
     if config.validate:
         check_schedule(instance, pa.schedule).raise_if_invalid()
         check_schedule(
@@ -400,9 +410,9 @@ def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
         pa_floorplanning_time=pa.floorplanning_time,
         pa_feasible=pa.feasible,
         is1_makespan=r1.makespan,
-        is1_time=r1.elapsed,
+        is1_time=r1.total_time,
         is5_makespan=r5.makespan,
-        is5_time=r5.elapsed,
+        is5_time=r5.total_time,
         pa_r_makespan=par.makespan,
         pa_r_budget=budget,
         pa_r_iterations=par.iterations,
@@ -508,22 +518,21 @@ def _evaluate_convergence_item(
         if item.use_floorplanner
         else None
     )
-    if item.pa_r_jobs > 1:
-        par = pa_r_schedule_parallel(
+    par = get_backend("pa-r").run(
+        ScheduleRequest(
             instance,
-            time_budget=item.budget,
+            "pa-r",
+            options={
+                "floorplan": item.use_floorplanner,
+                "jobs": item.pa_r_jobs,
+            },
             seed=item.seed,
-            floorplanner=floorplanner,
-            jobs=item.pa_r_jobs,
-        )
-    else:
-        par = pa_r_schedule(
-            instance,
-            time_budget=item.budget,
-            seed=item.seed,
-            floorplanner=floorplanner,
-        )
-    return (item.size, par.history, par.makespan, par.iterations)
+            budget=item.budget,
+        ),
+        floorplanner=floorplanner,
+    )
+    history = [(t, m) for t, m in par.metadata["history"]]
+    return (item.size, history, par.makespan, par.iterations)
 
 
 def run_convergence(

@@ -61,15 +61,27 @@ class ISKOptions:
 
 @dataclass
 class ISKResult:
+    """Outcome of an IS-k (or exhaustive) run.
+
+    Mirrors :class:`~repro.core.scheduler.PAResult`'s ``makespan`` /
+    ``total_time`` / ``feasible`` surface so report code can treat all
+    scheduler results uniformly.
+    """
+
     schedule: Schedule
     elapsed: float
     iterations: int
     nodes: int
     stats: dict = field(default_factory=dict)
+    feasible: bool = True
 
     @property
     def makespan(self) -> float:
         return self.schedule.makespan
+
+    @property
+    def total_time(self) -> float:
+        return self.elapsed
 
 
 @dataclass(frozen=True)

@@ -25,13 +25,25 @@ __all__ = ["ListResult", "list_schedule", "upward_ranks"]
 
 @dataclass
 class ListResult:
+    """Outcome of a list-scheduler run.
+
+    Carries the same ``makespan`` / ``total_time`` / ``feasible``
+    surface as :class:`~repro.core.scheduler.PAResult` and
+    :class:`~repro.baselines.isk.ISKResult`.
+    """
+
     schedule: Schedule
     elapsed: float
     stats: dict = field(default_factory=dict)
+    feasible: bool = True
 
     @property
     def makespan(self) -> float:
         return self.schedule.makespan
+
+    @property
+    def total_time(self) -> float:
+        return self.elapsed
 
 
 def upward_ranks(instance: Instance) -> dict[str, float]:

@@ -25,15 +25,17 @@ from pathlib import Path
 
 from .analysis import render_gantt
 from .analysis.runner import ExperimentConfig, run_convergence, run_quality
-from .baselines import isk_schedule, list_schedule
 from .benchgen import paper_instance
-from .core import (
-    PAOptions,
-    SchedulerTrace,
-    do_schedule,
-    pa_r_schedule,
-    pa_r_schedule_parallel,
-    pa_schedule,
+from .core import PAOptions, SchedulerTrace, do_schedule
+from .engine import (
+    DEFAULT_EXHAUSTIVE_TASK_LIMIT,
+    DEFAULT_STORE_ROOT,
+    EngineError,
+    ResultStore,
+    ScheduleRequest,
+    get_backend,
+    load_manifest,
+    run_batch,
 )
 from .floorplan import Floorplanner, render_floorplan
 from .model import Instance, Schedule
@@ -42,13 +44,12 @@ from .validate import check_schedule
 __all__ = ["main"]
 
 
-def _cache_stats_line(floorplanner: Floorplanner) -> str:
-    s = floorplanner.stats
+def _cache_stats_line(stats: dict) -> str:
     return (
-        f"floorplan cache: queries={s['queries']} "
-        f"exact_hits={s['cache_hits']} dominance_hits={s['dominance_hits']} "
-        f"candidate_memo_hits={s['candidate_memo_hits']} "
-        f"engine={s['engine_time']:.3f}s query={s['query_time']:.3f}s"
+        f"floorplan cache: queries={stats['queries']} "
+        f"exact_hits={stats['cache_hits']} dominance_hits={stats['dominance_hits']} "
+        f"candidate_memo_hits={stats['candidate_memo_hits']} "
+        f"engine={stats['engine_time']:.3f}s query={stats['query_time']:.3f}s"
     )
 
 
@@ -68,71 +69,99 @@ def _load_instance(path: str) -> Instance:
     return Instance.from_dict(json.loads(Path(path).read_text()))
 
 
+def _schedule_request(args: argparse.Namespace, instance: Instance) -> ScheduleRequest:
+    """Translate ``repro schedule`` flags into an engine request."""
+    from .analysis.parallel import resolve_jobs
+
+    options: dict = {}
+    budget = None
+    seed = None
+    if args.algorithm in ("pa", "pa-r"):
+        options["floorplan"] = not args.no_floorplan
+    if args.algorithm == "pa-r":
+        options["jobs"] = resolve_jobs(args.jobs)
+        if args.iterations is not None:
+            options["iterations"] = args.iterations
+        else:
+            budget = args.budget
+        seed = args.seed
+    if args.algorithm == "exhaustive":
+        options["node_limit"] = 500_000
+        options["task_limit"] = args.exhaustive_task_limit
+    return ScheduleRequest(
+        instance=instance,
+        algorithm=args.algorithm,
+        options=options,
+        seed=seed,
+        budget=budget,
+    )
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     instance = _load_instance(args.instance)
-    floorplanner = (
-        None
-        if args.no_floorplan
-        else Floorplanner.for_architecture(instance.architecture)
-    )
+    try:
+        backend = get_backend(args.algorithm)
+        request = _schedule_request(args, instance)
+        outcome = backend.run(request)
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    schedule = outcome.schedule
+    label = outcome.backend.upper()
+    info = f"{label}: makespan={schedule.makespan:.1f}"
     if args.algorithm == "pa":
-        result = pa_schedule(instance, PAOptions(), floorplanner=floorplanner)
-        schedule = result.schedule
-        info = (
-            f"PA: makespan={schedule.makespan:.1f} feasible={result.feasible} "
-            f"sched={result.scheduling_time:.3f}s floorplan={result.floorplanning_time:.3f}s"
+        info += (
+            f" feasible={outcome.feasible} "
+            f"sched={outcome.scheduling_time:.3f}s "
+            f"floorplan={outcome.floorplanning_time:.3f}s"
         )
     elif args.algorithm == "pa-r":
-        from .analysis.parallel import resolve_jobs
-
-        jobs = resolve_jobs(args.jobs)
-        if jobs > 1 or args.iterations is not None:
-            result = pa_r_schedule_parallel(
-                instance,
-                time_budget=None if args.iterations is not None else args.budget,
-                iterations=args.iterations,
-                seed=args.seed,
-                floorplanner=floorplanner,
-                jobs=jobs,
-            )
-        else:
-            result = pa_r_schedule(
-                instance,
-                time_budget=args.budget,
-                seed=args.seed,
-                floorplanner=floorplanner,
-            )
-        schedule = result.schedule
-        info = (
-            f"PA-R: makespan={schedule.makespan:.1f} "
-            f"iterations={result.iterations} budget={args.budget}s jobs={jobs}"
+        info += (
+            f" iterations={outcome.iterations} budget={args.budget}s "
+            f"jobs={request.options['jobs']}"
         )
-        if floorplanner is not None:
-            info += "\n" + _cache_stats_line(floorplanner)
-    elif args.algorithm.startswith("is-"):
-        k = int(args.algorithm[3:])
-        result = isk_schedule(instance, k=k)
-        schedule = result.schedule
-        info = f"IS-{k}: makespan={schedule.makespan:.1f} nodes={result.nodes}"
-    elif args.algorithm == "exhaustive":
-        from .baselines import exhaustive_schedule
-
-        result = exhaustive_schedule(instance, node_limit=500_000)
-        schedule = result.schedule
-        info = (
-            f"EXHAUSTIVE: makespan={schedule.makespan:.1f} nodes={result.nodes}"
-        )
-    elif args.algorithm == "list":
-        result = list_schedule(instance)
-        schedule = result.schedule
-        info = f"LIST: makespan={schedule.makespan:.1f}"
-    else:
-        print(f"unknown algorithm {args.algorithm!r}", file=sys.stderr)
-        return 2
+        stats = outcome.metadata.get("floorplan_stats")
+        if stats:
+            info += "\n" + _cache_stats_line(stats)
+    elif "nodes" in outcome.metadata:
+        info += f" nodes={outcome.metadata['nodes']}"
     print(info)
     if args.output:
         Path(args.output).write_text(json.dumps(schedule.to_dict(), indent=2))
         print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .analysis.parallel import resolve_jobs
+
+    try:
+        requests = load_manifest(args.manifest)
+    except FileNotFoundError as exc:
+        print(f"error: manifest not found: {exc.filename}", file=sys.stderr)
+        return 2
+    except (EngineError, json.JSONDecodeError, KeyError, ValueError) as exc:
+        print(f"error: bad manifest: {exc}", file=sys.stderr)
+        return 2
+    store = (
+        None
+        if args.no_store
+        else ResultStore(args.store if args.store else DEFAULT_STORE_ROOT)
+    )
+    try:
+        report = run_batch(
+            requests,
+            store=store,
+            jobs=resolve_jobs(args.jobs),
+            progress=print if args.verbose else None,
+        )
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.report:
+        Path(args.report).write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"wrote {args.report}")
     return 0
 
 
@@ -356,8 +385,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-floorplan", action="store_true")
+    p.add_argument(
+        "--exhaustive-task-limit",
+        type=int,
+        default=DEFAULT_EXHAUSTIVE_TASK_LIMIT,
+        help="exhaustive: refuse instances with more tasks than this "
+        f"(default {DEFAULT_EXHAUSTIVE_TASK_LIMIT}; the search is "
+        "exponential in the task count)",
+    )
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser(
+        "batch",
+        help="drain a JSON manifest of schedule requests through the "
+        "result store + worker pool",
+    )
+    p.add_argument("manifest", help="JSON manifest (see README: repro batch)")
+    p.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory (default results/.cache)",
+    )
+    p.add_argument(
+        "--no-store",
+        action="store_true",
+        help="compute everything; skip store lookups and write-backs",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the misses (1 = serial, -1 = all cores)",
+    )
+    p.add_argument(
+        "--report", default=None, help="write the batch report as JSON here"
+    )
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("validate", help="check a schedule's invariants")
     p.add_argument("instance")

@@ -1,0 +1,61 @@
+"""The unified scheduler engine (DESIGN.md §9 / S19).
+
+One request/outcome contract over every scheduler in the repository,
+a backend registry as the single dispatch point, and a
+content-addressed result store for cross-run reuse::
+
+    from repro.engine import ScheduleRequest, get_backend
+
+    outcome = get_backend("pa-r").run(
+        ScheduleRequest(instance, "pa-r", options={"iterations": 16}, seed=7)
+    )
+
+Importing this package registers the five built-in backends: ``pa``,
+``pa-r``, ``is-<k>``, ``list``, ``exhaustive``.
+"""
+
+from .backend import (
+    EngineError,
+    ScheduleOutcome,
+    ScheduleRequest,
+    SchedulerBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from .backends import (  # noqa: F401  (import registers the backends)
+    DEFAULT_EXHAUSTIVE_NODE_LIMIT,
+    DEFAULT_EXHAUSTIVE_TASK_LIMIT,
+    ExhaustiveBackend,
+    ISKBackend,
+    ListBackend,
+    PABackend,
+    PARBackend,
+    pa_options_dict,
+)
+from .batch import BatchRecord, BatchReport, load_manifest, run_batch
+from .store import DEFAULT_STORE_ROOT, ResultStore
+
+__all__ = [
+    "EngineError",
+    "ScheduleOutcome",
+    "ScheduleRequest",
+    "SchedulerBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "PABackend",
+    "PARBackend",
+    "ISKBackend",
+    "ListBackend",
+    "ExhaustiveBackend",
+    "pa_options_dict",
+    "DEFAULT_EXHAUSTIVE_NODE_LIMIT",
+    "DEFAULT_EXHAUSTIVE_TASK_LIMIT",
+    "BatchRecord",
+    "BatchReport",
+    "load_manifest",
+    "run_batch",
+    "ResultStore",
+    "DEFAULT_STORE_ROOT",
+]

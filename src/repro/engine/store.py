@@ -1,0 +1,144 @@
+"""Content-addressed, on-disk store of schedule outcomes.
+
+Layout (rooted at ``results/.cache`` by default)::
+
+    <root>/<request-hash>/outcome.json   the stored ScheduleOutcome
+    <root>/<request-hash>/request.json   human-readable provenance
+
+``<request-hash>`` is :meth:`ScheduleRequest.cache_key` — SHA-256 over
+the canonical serialization of ``(instance, algorithm, options, seed,
+budget)``.  Because the canonical form is byte-stable across processes
+(``repro.model.canonical``), a request computed on one machine hits an
+outcome stored by another.
+
+Warm-hit contract: :meth:`ResultStore.get` parses exactly the bytes
+:meth:`ResultStore.put` wrote, so a repeated request returns the stored
+outcome **bit-identically** (``outcome.to_dict()`` equality, and equal
+raw bytes on disk) without invoking any backend.  Writes are atomic
+(temp file + ``os.replace``) so a crashed run never leaves a torn
+outcome behind; a corrupt or truncated entry reads as a miss and is
+re-computed rather than propagated.
+
+The store is deliberately dumb: no TTLs, no locking, no eviction.
+Entries are immutable values addressed by what produced them — delete
+the directory to reclaim space (see EXPERIMENTS.md, cache hygiene).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .backend import ScheduleOutcome, ScheduleRequest
+
+__all__ = ["ResultStore", "DEFAULT_STORE_ROOT"]
+
+DEFAULT_STORE_ROOT = Path("results") / ".cache"
+
+
+class ResultStore:
+    """See module docstring.  ``hits`` / ``misses`` / ``writes`` count
+    this process's traffic (observability for the batch report)."""
+
+    def __init__(self, root: str | Path = DEFAULT_STORE_ROOT) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- addressing ---------------------------------------------------------
+
+    def entry_dir(self, request: ScheduleRequest) -> Path:
+        return self.root / request.cache_key()
+
+    def outcome_path(self, request: ScheduleRequest) -> Path:
+        return self.entry_dir(request) / "outcome.json"
+
+    def contains(self, request: ScheduleRequest) -> bool:
+        return self.outcome_path(request).exists()
+
+    # -- read / write -------------------------------------------------------
+
+    def get(self, request: ScheduleRequest) -> ScheduleOutcome | None:
+        """The stored outcome for ``request``, or None on a miss.
+
+        A corrupt entry (torn write from a killed process, manual
+        tampering) counts as a miss — callers recompute and overwrite.
+        """
+        path = self.outcome_path(request)
+        try:
+            data = json.loads(path.read_text())
+            outcome = ScheduleOutcome.from_dict(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(
+        self, request: ScheduleRequest, outcome: ScheduleOutcome
+    ) -> Path:
+        """Store ``outcome`` under the request's content address."""
+        entry = self.entry_dir(request)
+        entry.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(entry / "outcome.json", outcome.to_dict())
+        self._write_atomic(
+            entry / "request.json",
+            {
+                "algorithm": request.algorithm,
+                "instance": request.instance.name,
+                "instance_hash": request.instance.content_hash(),
+                "options": dict(request.options),
+                "seed": request.seed,
+                "budget": request.budget,
+            },
+        )
+        self.writes += 1
+        return entry / "outcome.json"
+
+    @staticmethod
+    def _write_atomic(path: Path, payload: dict) -> None:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance --------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1 for entry in self.root.iterdir() if (entry / "outcome.json").exists()
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        import shutil
+
+        removed = 0
+        if self.root.is_dir():
+            for entry in list(self.root.iterdir()):
+                if entry.is_dir():
+                    shutil.rmtree(entry, ignore_errors=True)
+                    removed += 1
+        return removed
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}

@@ -1,6 +1,7 @@
 """Problem model: architecture, tasks, task graphs, schedules (Section III)."""
 
 from .architecture import Architecture, zedboard
+from .canonical import canonical_dumps, content_hash, instance_hash
 from .instance import Instance
 from .resources import ResourceKindError, ResourceVector
 from .schedule import (
@@ -18,6 +19,9 @@ from .taskgraph import TaskGraph, TaskGraphError
 __all__ = [
     "Architecture",
     "zedboard",
+    "canonical_dumps",
+    "content_hash",
+    "instance_hash",
     "Instance",
     "ResourceKindError",
     "ResourceVector",

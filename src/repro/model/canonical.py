@@ -1,0 +1,92 @@
+"""Canonical serialization and content hashing.
+
+The engine's result store (``repro.engine.store``) addresses outcomes
+by the content of the request that produced them, so two processes —
+or two runs weeks apart — must serialize the same instance and options
+to the *same bytes*.  JSON alone does not guarantee that: dict key
+order, float formatting and container types all leak representation
+details.  This module pins them down:
+
+* keys are sorted at every nesting level,
+* separators carry no whitespace,
+* floats are rejected when non-finite, ``-0.0`` normalizes to ``0.0``,
+  and integral floats are emitted as ints (``3.0`` and ``3`` describe
+  the same execution time); non-integral floats rely on CPython's
+  shortest-``repr`` float formatting, which is stable across processes
+  and platforms,
+* tuples flatten to lists, arbitrary mappings to plain dicts,
+* anything else is a :class:`TypeError` — canonical content must be
+  built from JSON-safe values, not live objects.
+
+``content_hash`` is SHA-256 over the canonical UTF-8 bytes; the hex
+digest is the address used by the store's on-disk layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Mapping
+
+__all__ = [
+    "canonical_payload",
+    "canonical_dumps",
+    "content_hash",
+    "instance_hash",
+]
+
+
+def canonical_payload(obj: Any) -> Any:
+    """Normalize ``obj`` into the canonical JSON-safe shape (see module
+    docstring).  Raises :class:`TypeError` on non-JSON-safe values and
+    :class:`ValueError` on non-finite floats."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(f"non-finite float {obj!r} has no canonical form")
+        if obj == 0.0:
+            return 0  # collapses -0.0 / 0.0 / 0
+        if obj.is_integer():
+            return int(obj)
+        return obj
+    if isinstance(obj, Mapping):
+        out = {}
+        for key in obj:
+            if not isinstance(key, str):
+                raise TypeError(f"canonical mapping keys must be str, got {key!r}")
+            out[key] = canonical_payload(obj[key])
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(item) for item in obj]
+    raise TypeError(
+        f"{type(obj).__name__!r} is not canonically serializable; "
+        "convert it with .to_dict() first"
+    )
+
+
+def canonical_dumps(obj: Any) -> str:
+    """The canonical JSON text of ``obj`` — byte-stable across processes."""
+    return json.dumps(
+        canonical_payload(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def content_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical serialization of ``obj``."""
+    return hashlib.sha256(canonical_dumps(obj).encode("utf-8")).hexdigest()
+
+
+def instance_hash(instance) -> str:
+    """Content hash of a :class:`~repro.model.instance.Instance`.
+
+    Stable across processes and across serialization round-trips:
+    ``Instance.to_dict`` orders tasks and edges canonically, so
+    ``instance_hash(Instance.from_json(i.to_json())) == instance_hash(i)``.
+    """
+    return content_hash(instance.to_dict())

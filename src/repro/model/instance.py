@@ -66,10 +66,29 @@ class Instance:
         )
 
     def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
+        """Serialize with fully deterministic ordering.
+
+        Keys are sorted and ``to_dict`` orders the task/edge lists, so
+        the same (or an equal) instance always produces the same bytes
+        — the prerequisite for stable content hashes.
+        """
         text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
         if path is not None:
             Path(path).write_text(text)
         return text
+
+    def canonical_json(self) -> str:
+        """The byte-stable canonical form (sorted keys, no whitespace)."""
+        from .canonical import canonical_dumps
+
+        return canonical_dumps(self.to_dict())
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_json` — the identity
+        the engine's result store addresses instances by."""
+        from .canonical import content_hash
+
+        return content_hash(self.to_dict())
 
     @classmethod
     def from_json(cls, source: str | Path) -> "Instance":

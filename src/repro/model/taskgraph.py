@@ -173,12 +173,15 @@ class TaskGraph:
     # -- serialization ----------------------------------------------------------
 
     def to_dict(self) -> dict:
+        # Tasks and edges are emitted in sorted order, not insertion
+        # order, so two logically-equal graphs serialize to the same
+        # bytes — the invariant the engine's content hashing relies on.
         return {
             "name": self.name,
-            "tasks": [t.to_dict() for t in self],
+            "tasks": [t.to_dict() for t in sorted(self, key=lambda t: t.id)],
             "edges": [
                 {"src": u, "dst": v, "comm": self.comm_cost(u, v)}
-                for u, v in self._graph.edges()
+                for u, v in sorted(self._graph.edges())
             ],
         }
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable, Mapping
 
-from ..core import PAOptions, do_schedule
+from ..core import PAOptions
 from ..model import (
     Architecture,
     Instance,
@@ -199,11 +199,22 @@ def repair_schedule(
     re-scheduling is impossible (no fabric left for a HW-only task, or
     the residual problem is empty).
     """
+    from ..engine import ScheduleRequest, get_backend, pa_options_dict
+
     completed = frozenset(completed)
     dead = {region.id: region for region in dead_regions}
     residual = residual_instance(instance, completed, dead.values())
     try:
-        schedule = do_schedule(residual, options)
+        # The repair pass is pure Section V-B scheduling (no shrink loop,
+        # no floorplanning) — the surviving placements are kept as-is.
+        outcome = get_backend("pa").run(
+            ScheduleRequest(
+                residual,
+                "pa",
+                options={"floorplan": False, **pa_options_dict(options)},
+            )
+        )
+        schedule = outcome.schedule
     except Exception as exc:  # PA failure = unrepairable loss
         raise RecoveryError(f"repair scheduling failed: {exc}") from exc
     return RepairResult(

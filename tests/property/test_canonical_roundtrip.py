@@ -1,0 +1,114 @@
+"""Property tests for canonical instance serialization (repro.model.canonical).
+
+The content-addressed result store is only sound if the canonical form
+is a *function of the instance's content*: round-tripping through JSON
+must preserve the hash, logically-equal instances built in different
+orders must serialize to the same bytes, and the digest must be stable
+across interpreter processes (no dict-ordering or hash-randomization
+leakage — PYTHONHASHSEED changes neither the bytes nor the digest).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+
+from repro.model import Instance, canonical_dumps, content_hash
+
+from .strategies import instances
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_hash(instance):
+    text = instance.canonical_json()
+    clone = Instance.from_dict(json.loads(text))
+    assert clone.content_hash() == instance.content_hash()
+    assert clone.canonical_json() == text
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_canonical_json_is_parseable_and_sorted(instance):
+    payload = json.loads(instance.canonical_json())
+    assert list(payload) == sorted(payload)
+    # Re-serializing the parsed payload canonically is a fixed point.
+    assert canonical_dumps(payload) == instance.canonical_json()
+
+
+@given(instances())
+@settings(max_examples=25, deadline=None)
+def test_to_json_is_deterministic(instance):
+    text = instance.to_json()
+    again = Instance.from_dict(json.loads(text)).to_json()
+    assert again == text
+
+
+def test_hash_is_stable_across_processes(tmp_path):
+    """Same instance file → same digest in a fresh interpreter with a
+    different PYTHONHASHSEED (the cross-machine store contract)."""
+    from repro.benchgen import paper_instance
+
+    instance = paper_instance(tasks=9, seed=42)
+    path = tmp_path / "inst.json"
+    instance.to_json(path)
+    expected = instance.content_hash()
+
+    script = (
+        "import json,sys;"
+        "from repro.model import Instance;"
+        "inst=Instance.from_dict(json.loads(open(sys.argv[1]).read()));"
+        "print(inst.content_hash())"
+    )
+    for hashseed in ("0", "12345"):
+        env = {**os.environ, "PYTHONPATH": str(SRC), "PYTHONHASHSEED": hashseed}
+        digest = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.strip()
+        assert digest == expected
+
+
+def test_content_hash_insensitive_to_construction_order():
+    """Two logically-equal graphs built in different insertion orders
+    serialize to the same canonical bytes."""
+    from repro.model import (
+        Architecture,
+        Implementation,
+        ResourceVector,
+        Task,
+        TaskGraph,
+    )
+
+    arch = Architecture(
+        name="a",
+        processors=1,
+        max_res=ResourceVector({"CLB": 100}),
+        bit_per_resource={"CLB": 10.0},
+        rec_freq=100.0,
+    )
+
+    def build(order):
+        graph = TaskGraph("g")
+        task_objs = {
+            tid: Task.of(tid, [Implementation.sw(name=f"{tid}_sw", time=5.0)])
+            for tid in ("t0", "t1", "t2")
+        }
+        for tid in order:
+            graph.add_task(task_objs[tid])
+        graph.add_dependency("t0", "t2")
+        graph.add_dependency("t1", "t2")
+        return Instance(architecture=arch, taskgraph=graph)
+
+    forward = build(["t0", "t1", "t2"])
+    backward = build(["t2", "t1", "t0"])
+    assert forward.canonical_json() == backward.canonical_json()
+    assert content_hash(forward.to_dict()) == content_hash(backward.to_dict())

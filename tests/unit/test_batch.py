@@ -1,0 +1,154 @@
+"""Unit tests for the batch service (manifest parsing + store-first
+draining through the worker pool)."""
+
+import json
+
+import pytest
+
+from repro.benchgen import paper_instance
+from repro.engine import (
+    EngineError,
+    ResultStore,
+    load_manifest,
+    run_batch,
+)
+
+
+@pytest.fixture
+def instance_path(tmp_path):
+    path = tmp_path / "inst.json"
+    paper_instance(tasks=8, seed=13).to_json(path)
+    return path
+
+
+@pytest.fixture
+def manifest_path(tmp_path, instance_path):
+    path = tmp_path / "manifest.json"
+    path.write_text(
+        json.dumps(
+            {
+                "defaults": {"algorithm": "pa"},
+                "requests": [
+                    {
+                        "instance": instance_path.name,
+                        "options": {"floorplan": False},
+                    },
+                    {"instance": instance_path.name, "algorithm": "is-2"},
+                    {"instance": instance_path.name, "algorithm": "list"},
+                ],
+            }
+        )
+    )
+    return path
+
+
+class TestLoadManifest:
+    def test_defaults_and_relative_paths(self, manifest_path):
+        requests = load_manifest(manifest_path)
+        assert [r.algorithm for r in requests] == ["pa", "is-2", "list"]
+        assert requests[0].options == {"floorplan": False}
+        assert len(requests[1].instance.taskgraph) == 8
+
+    def test_bare_list_form(self, tmp_path, instance_path):
+        path = tmp_path / "bare.json"
+        path.write_text(
+            json.dumps([{"instance": str(instance_path), "algorithm": "list"}])
+        )
+        (request,) = load_manifest(path)
+        assert request.algorithm == "list"
+
+    def test_inline_instance(self, tmp_path):
+        inline = paper_instance(tasks=5, seed=2)
+        path = tmp_path / "inline.json"
+        path.write_text(
+            json.dumps([{"instance": inline.to_dict(), "algorithm": "list"}])
+        )
+        (request,) = load_manifest(path)
+        assert request.instance.content_hash() == inline.content_hash()
+
+    def test_empty_manifest_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(EngineError, match="no requests"):
+            load_manifest(path)
+
+    def test_missing_instance_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"algorithm": "pa"}]))
+        with pytest.raises(EngineError, match="no 'instance'"):
+            load_manifest(path)
+
+    def test_unknown_field_rejected(self, tmp_path, instance_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps([{"instance": str(instance_path), "algo": "pa"}])
+        )
+        with pytest.raises(EngineError, match="unknown field"):
+            load_manifest(path)
+
+
+class TestRunBatch:
+    def test_cold_then_warm(self, manifest_path, tmp_path):
+        requests = load_manifest(manifest_path)
+        store = ResultStore(tmp_path / "cache")
+
+        cold = run_batch(requests, store=store)
+        assert cold.total == 3
+        assert cold.executed == 3 and cold.store_hits == 0
+        assert store.writes == 3
+
+        warm = run_batch(load_manifest(manifest_path), store=store)
+        assert warm.store_hits == 3 and warm.executed == 0
+        assert warm.hit_rate == 1.0
+        # Warm records carry the same results the cold run computed.
+        for a, b in zip(cold.records, warm.records):
+            assert (a.key, a.makespan, a.feasible) == (b.key, b.makespan, b.feasible)
+
+    def test_warm_run_invokes_no_backend(
+        self, manifest_path, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path / "cache")
+        run_batch(load_manifest(manifest_path), store=store)
+
+        from repro.engine import backend as backend_mod
+
+        def _boom(self, request, floorplanner=None):
+            raise AssertionError("backend invoked during a fully-warm batch")
+
+        for cls in backend_mod._REGISTRY:
+            monkeypatch.setattr(cls, "run", _boom)
+        warm = run_batch(load_manifest(manifest_path), store=store)
+        assert warm.hit_rate == 1.0
+
+    def test_no_store_recomputes(self, manifest_path):
+        report = run_batch(load_manifest(manifest_path), store=None)
+        assert report.executed == 3 and report.store_hits == 0
+
+    def test_records_keep_manifest_order_in_parallel(
+        self, manifest_path, tmp_path
+    ):
+        report = run_batch(
+            load_manifest(manifest_path),
+            store=ResultStore(tmp_path / "cache"),
+            jobs=2,
+        )
+        assert [r.index for r in report.records] == [0, 1, 2]
+        assert [r.algorithm for r in report.records] == ["pa", "is-2", "list"]
+
+    def test_unknown_algorithm_fails_fast(self, tmp_path, instance_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps([{"instance": str(instance_path), "algorithm": "magic"}])
+        )
+        with pytest.raises(EngineError, match="unknown algorithm"):
+            run_batch(load_manifest(path))
+
+    def test_report_payload(self, manifest_path, tmp_path):
+        report = run_batch(
+            load_manifest(manifest_path), store=ResultStore(tmp_path / "c")
+        )
+        payload = report.to_dict()
+        assert payload["total"] == 3
+        assert payload["hit_rate"] == 0.0
+        assert len(payload["records"]) == 3
+        assert "store hits" in report.render()

@@ -74,6 +74,70 @@ class TestSchedule:
             ["schedule", str(instance_file), "--algorithm", "magic", "--no-floorplan"]
         ) == 2
 
+    def test_exhaustive(self, tmp_path, capsys):
+        small = tmp_path / "small.json"
+        assert main(["generate", "--tasks", "6", "--seed", "2", "-o", str(small)]) == 0
+        assert main(["schedule", str(small), "--algorithm", "exhaustive"]) == 0
+        out = capsys.readouterr().out
+        assert "EXHAUSTIVE" in out and "nodes=" in out
+
+    def test_exhaustive_task_guard(self, tmp_path, capsys):
+        big = tmp_path / "big.json"
+        assert main(["generate", "--tasks", "16", "--seed", "2", "-o", str(big)]) == 0
+        assert main(["schedule", str(big), "--algorithm", "exhaustive"]) == 2
+        err = capsys.readouterr().err
+        assert "task limit" in err and "--exhaustive-task-limit" in err
+
+
+class TestBatch:
+    @pytest.fixture
+    def manifest_file(self, tmp_path, instance_file):
+        path = tmp_path / "manifest.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {
+                        "instance": instance_file.name,
+                        "algorithm": "pa",
+                        "options": {"floorplan": False},
+                    },
+                    {"instance": instance_file.name, "algorithm": "list"},
+                ]
+            )
+        )
+        return path
+
+    def test_cold_then_warm(self, manifest_file, tmp_path, capsys):
+        store = tmp_path / "cache"
+        assert main(["batch", str(manifest_file), "--store", str(store)]) == 0
+        assert "2 executed (0% hit rate)" in capsys.readouterr().out
+        report = tmp_path / "report.json"
+        code = main(
+            [
+                "batch", str(manifest_file),
+                "--store", str(store), "--report", str(report),
+            ]
+        )
+        assert code == 0
+        assert "2 store hits, 0 executed (100% hit rate)" in capsys.readouterr().out
+        payload = json.loads(report.read_text())
+        assert payload["hit_rate"] == 1.0
+        assert [r["source"] for r in payload["records"]] == ["store", "store"]
+
+    def test_no_store(self, manifest_file, capsys):
+        assert main(["batch", str(manifest_file), "--no-store"]) == 0
+        assert "0 store hits" in capsys.readouterr().out
+
+    def test_missing_manifest(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bad_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(["batch", str(bad)]) == 2
+        assert "bad manifest" in capsys.readouterr().err
+
 
 class TestValidateGanttFloorplan:
     def test_validate_ok(self, instance_file, schedule_file, capsys):

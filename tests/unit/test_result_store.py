@@ -1,0 +1,111 @@
+"""Unit tests for the content-addressed result store.
+
+The headline contract: a repeated request returns the stored outcome
+**bit-identically** — same ``to_dict()`` payload, same bytes on disk —
+without invoking any backend.
+"""
+
+import json
+
+import pytest
+
+from repro.benchgen import paper_instance
+from repro.engine import (
+    ResultStore,
+    ScheduleOutcome,
+    ScheduleRequest,
+    get_backend,
+)
+
+
+@pytest.fixture
+def instance():
+    return paper_instance(tasks=8, seed=21)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+def test_miss_then_hit(store, instance):
+    request = ScheduleRequest(instance, "list")
+    assert store.get(request) is None
+    assert store.misses == 1
+    outcome = get_backend("list").run(request)
+    store.put(request, outcome)
+    assert store.contains(request)
+    assert len(store) == 1
+    cached = store.get(request)
+    assert cached is not None
+    assert store.stats == {"hits": 1, "misses": 1, "writes": 1}
+
+
+def test_warm_hit_is_bit_identical_without_backend_invocation(
+    store, instance, monkeypatch
+):
+    request = ScheduleRequest(instance, "pa", options={"floorplan": False})
+    outcome = get_backend("pa").run(request)
+    store.put(request, outcome)
+
+    # Poison every backend: any run() during the warm path would blow up.
+    from repro.engine import backend as backend_mod
+
+    def _boom(self, request, floorplanner=None):
+        raise AssertionError("backend invoked on a warm store hit")
+
+    for cls in backend_mod._REGISTRY:
+        monkeypatch.setattr(cls, "run", _boom)
+
+    cached = store.get(request)
+    assert cached is not None
+    assert cached.to_dict() == outcome.to_dict()
+    assert cached.schedule.to_dict() == outcome.schedule.to_dict()
+    # And byte-for-byte stable across a second read.
+    raw = store.outcome_path(request).read_bytes()
+    assert store.get(request).to_dict() == ScheduleOutcome.from_dict(
+        json.loads(raw)
+    ).to_dict()
+
+
+def test_separate_store_objects_share_entries(tmp_path, instance):
+    request = ScheduleRequest(instance, "list")
+    outcome = get_backend("list").run(request)
+    ResultStore(tmp_path / "cache").put(request, outcome)
+    other = ResultStore(tmp_path / "cache")
+    cached = other.get(request)
+    assert cached is not None and cached.to_dict() == outcome.to_dict()
+
+
+def test_corrupt_entry_reads_as_miss(store, instance):
+    request = ScheduleRequest(instance, "list")
+    store.put(request, get_backend("list").run(request))
+    store.outcome_path(request).write_text("{not json")
+    assert store.get(request) is None
+    assert store.misses == 1
+
+
+def test_distinct_requests_get_distinct_entries(store, instance):
+    r1 = ScheduleRequest(instance, "list")
+    r2 = ScheduleRequest(instance, "is-1")
+    store.put(r1, get_backend("list").run(r1))
+    store.put(r2, get_backend("is-1").run(r2))
+    assert len(store) == 2
+    assert store.get(r1).backend == "list"
+    assert store.get(r2).backend == "is-1"
+
+
+def test_provenance_sidecar(store, instance):
+    request = ScheduleRequest(instance, "list", seed=None)
+    store.put(request, get_backend("list").run(request))
+    sidecar = json.loads((store.entry_dir(request) / "request.json").read_text())
+    assert sidecar["algorithm"] == "list"
+    assert sidecar["instance_hash"] == instance.content_hash()
+
+
+def test_clear(store, instance):
+    request = ScheduleRequest(instance, "list")
+    store.put(request, get_backend("list").run(request))
+    assert store.clear() == 1
+    assert len(store) == 0
+    assert store.get(request) is None
