@@ -28,7 +28,9 @@ def quality_records_csv(results: QualityResults, path: str | Path | None = None)
     is5_makespan, pa_scheduling_time, pa_floorplanning_time, is1_time,
     is5_time, pa_r_budget, pa_r_iterations, pa_feasible, plus the
     floorplanner cache counters (queries / exact / dominance /
-    candidate-memo hits and engine vs query wall-clock).
+    candidate-memo hits and engine vs query wall-clock) and the IS-k
+    search-engine counters (nodes, bound/memo prunes, incumbent seeds,
+    fallback completions, undo-trail high-water mark, fan-out).
     """
     buffer = io.StringIO()
     writer = csv.writer(buffer)
@@ -41,6 +43,10 @@ def quality_records_csv(results: QualityResults, path: str | Path | None = None)
             "floorplan_queries", "floorplan_exact_hits",
             "floorplan_dominance_hits", "floorplan_candidate_memo_hits",
             "floorplan_engine_time", "floorplan_query_time",
+            "is1_nodes", "is5_nodes", "is5_bound_pruned",
+            "is5_memo_hits", "is5_memo_entries", "is5_incumbent_seeds",
+            "is5_fallback_completions", "is5_max_undo_depth",
+            "is5_fanout_windows", "is5_jobs",
         ]
     )
     for r in sorted(results.records, key=lambda r: (r.group, r.name)):
@@ -53,6 +59,10 @@ def quality_records_csv(results: QualityResults, path: str | Path | None = None)
                 r.floorplan_queries, r.floorplan_exact_hits,
                 r.floorplan_dominance_hits, r.floorplan_candidate_memo_hits,
                 r.floorplan_engine_time, r.floorplan_query_time,
+                r.is1_nodes, r.is5_nodes, r.is5_bound_pruned,
+                r.is5_memo_hits, r.is5_memo_entries, r.is5_incumbent_seeds,
+                r.is5_fallback_completions, r.is5_max_undo_depth,
+                r.is5_fanout_windows, r.is5_jobs,
             ]
         )
     text = buffer.getvalue()

@@ -269,6 +269,7 @@ def render_html_report(
     body = "\n".join(f"<div class='chart'>{svg}</div>" for svg in sections)
     table = html.escape(quality.render_table1())
     cache_stats = html.escape(quality.render_cache_stats())
+    search_stats = html.escape(quality.render_search_stats())
     return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
 <style>
@@ -284,6 +285,8 @@ def render_html_report(
 {body}
 <h2>Floorplanner cache statistics</h2>
 <pre>{cache_stats}</pre>
+<h2>IS-k search statistics</h2>
+<pre>{search_stats}</pre>
 </body></html>
 """
 

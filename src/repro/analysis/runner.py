@@ -80,6 +80,10 @@ class ExperimentConfig:
     use_floorplanner: bool = True
     jobs: int = 1
     pa_r_jobs: int = 1
+    # IS-k first-level window fan-out workers (k >= 2 only; the
+    # reduction is deterministic, so records are identical for any
+    # value — this knob trades processes for IS-5 wall-clock).
+    isk_jobs: int = 1
 
     def __post_init__(self) -> None:
         profile = self.profile or os.environ.get("REPRO_SUITE", "small")
@@ -129,6 +133,18 @@ class InstanceRecord:
     floorplan_candidate_memo_hits: int = 0
     floorplan_engine_time: float = 0.0
     floorplan_query_time: float = 0.0
+    # IS-k search-engine observability (trail DFS overhaul); defaults
+    # again keep older quality.json files loadable.
+    is1_nodes: int = 0
+    is5_nodes: int = 0
+    is5_bound_pruned: int = 0
+    is5_memo_hits: int = 0
+    is5_memo_entries: int = 0
+    is5_incumbent_seeds: int = 0
+    is5_fallback_completions: int = 0
+    is5_max_undo_depth: int = 0
+    is5_fanout_windows: int = 0
+    is5_jobs: int = 1
 
 
 @dataclass
@@ -295,6 +311,39 @@ class QualityResults:
             title="Floorplanner cache statistics (summed per group)",
         )
 
+    def render_search_stats(self) -> str:
+        """IS-k trail-engine effectiveness, aggregated per group.
+
+        ``bound`` / ``memo`` count branches cut by the incumbent
+        makespan bound and the window-state dominance memo; ``seeds``
+        and ``fallbacks`` count greedy incumbent completions and
+        budget-exhaustion recoveries; ``max trail`` is the undo-log
+        high-water mark (the in-place DFS's only state overhead).
+        """
+        rows = []
+        for size in self.groups():
+            group = self._group(size)
+            if not group:
+                continue
+            nodes1 = sum(r.is1_nodes for r in group)
+            nodes5 = sum(r.is5_nodes for r in group)
+            bound = sum(r.is5_bound_pruned for r in group)
+            memo = sum(r.is5_memo_hits for r in group)
+            seeds = sum(r.is5_incumbent_seeds for r in group)
+            fallbacks = sum(r.is5_fallback_completions for r in group)
+            max_trail = max((r.is5_max_undo_depth for r in group), default=0)
+            fanout = sum(r.is5_fanout_windows for r in group)
+            rows.append(
+                (size, nodes1, nodes5, bound, memo, seeds, fallbacks,
+                 max_trail, fanout)
+            )
+        return render_table(
+            ["# Tasks", "IS-1 nodes", "IS-5 nodes", "bound", "memo",
+             "seeds", "fallbacks", "max trail", "fanout wnd"],
+            rows,
+            title="IS-k search statistics (summed per group)",
+        )
+
     def render_all(self) -> str:
         return "\n\n".join(
             [
@@ -304,6 +353,7 @@ class QualityResults:
                 self.render_fig4(),
                 self.render_fig5(),
                 self.render_cache_stats(),
+                self.render_search_stats(),
             ]
         )
 
@@ -358,10 +408,13 @@ def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
             instance, "is-1", options={"node_limit": config.is1_node_limit}
         )
     )
+    is5_options: dict = {"node_limit": config.is5_node_limit}
+    if config.isk_jobs > 1:
+        # Fan-out never changes the schedule, so it only enters the
+        # request (and thus the cache key) when actually engaged.
+        is5_options["jobs"] = config.isk_jobs
     r5 = get_backend("is-5").run(
-        ScheduleRequest(
-            instance, "is-5", options={"node_limit": config.is5_node_limit}
-        )
+        ScheduleRequest(instance, "is-5", options=is5_options)
     )
     if config.pa_r_iteration_cap is not None:
         # Capped runs go through the parallel entry point even with
@@ -402,6 +455,8 @@ def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
         ).raise_if_invalid()
         check_schedule(instance, par.schedule).raise_if_invalid()
     fp_stats = floorplanner.stats if floorplanner is not None else {}
+    s1 = r1.metadata.get("stats", {})
+    s5 = r5.metadata.get("stats", {})
     return InstanceRecord(
         group=size,
         name=instance.name,
@@ -422,6 +477,16 @@ def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
         floorplan_candidate_memo_hits=fp_stats.get("candidate_memo_hits", 0),
         floorplan_engine_time=fp_stats.get("engine_time", 0.0),
         floorplan_query_time=fp_stats.get("query_time", 0.0),
+        is1_nodes=s1.get("nodes_expanded", 0),
+        is5_nodes=s5.get("nodes_expanded", 0),
+        is5_bound_pruned=s5.get("bound_pruned", 0),
+        is5_memo_hits=s5.get("memo_hits", 0),
+        is5_memo_entries=s5.get("memo_entries", 0),
+        is5_incumbent_seeds=s5.get("incumbent_seeds", 0),
+        is5_fallback_completions=s5.get("fallback_completions", 0),
+        is5_max_undo_depth=s5.get("max_undo_depth", 0),
+        is5_fanout_windows=s5.get("fanout_windows", 0),
+        is5_jobs=s5.get("jobs", 1),
     )
 
 

@@ -22,6 +22,29 @@ search cost — matching the paper's Table I runtimes qualitatively.
 IS-k *does* exploit module reuse (Section VII-A notes it as an
 IS-k-only feature) and reconfiguration prefetching, both inherited from
 :class:`~repro.baselines.partial.PartialSchedule`.
+
+Search engines
+--------------
+
+``ISKOptions.engine`` selects between two decision-identical engines:
+
+* ``"trail"`` (default) — in-place DFS over the apply/undo trail of
+  :class:`~repro.baselines.partial.PartialSchedule` (do → recurse →
+  undo), with a window-state dominance memo, a greedy incumbent seed
+  (the rank-first descent, i.e. exactly the old DFS's first path), and
+  optional parallel first-level fan-out for k ≥ 2 (``jobs > 1``).
+* ``"copy"`` — the seed fork-per-option implementation, kept verbatim
+  as the reference baseline for the equivalence suite and
+  ``benchmarks/bench_isk_search.py``.
+
+Both engines rank options by the same key ``(partial makespan, Σ end,
+task end, impl name)``, apply the same ``branch_cap``/``node_limit``
+semantics, and update the incumbent with strict ``<`` (first found
+wins ties), so under non-binding node budgets they produce
+bit-identical schedules (see DESIGN.md § IS-k for the dominance /
+incumbent-seeding arguments; with a *binding* budget the memo makes
+the trail engine reach deeper before exhaustion, which can only
+improve the window solution).
 """
 
 from __future__ import annotations
@@ -34,6 +57,10 @@ from .partial import PartialSchedule
 
 __all__ = ["ISKOptions", "ISKResult", "ISKScheduler", "isk_schedule"]
 
+_ENGINES = ("trail", "copy")
+
+_INF_SCORE = (float("inf"), float("inf"))
+
 
 @dataclass
 class ISKOptions:
@@ -44,6 +71,13 @@ class ISKOptions:
     so the cap drops only unpromising branches); ``node_limit`` bounds
     the branch-and-bound tree per iteration — both model how the
     authors bound Gurobi to keep IS-k "acceptable" on large graphs.
+
+    ``engine`` picks the search engine (``"trail"`` in-place DFS or the
+    seed ``"copy"`` fork-per-option DFS); ``memo`` and
+    ``incumbent_seed`` toggle the trail engine's dominance memo and
+    greedy incumbent bound; ``jobs`` enables parallel first-level
+    fan-out for k ≥ 2 (``-1`` = all CPUs; serial reduction is
+    deterministic, so any worker count yields the same schedule).
     """
 
     k: int = 1
@@ -51,12 +85,20 @@ class ISKOptions:
     node_limit: int = 50_000
     enable_module_reuse: bool = True
     communication_overhead: bool = False
+    engine: str = "trail"
+    memo: bool = True
+    incumbent_seed: bool = True
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ValueError("k must be >= 1")
         if self.branch_cap < 1 or self.node_limit < 1:
             raise ValueError("branch_cap/node_limit must be >= 1")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}")
+        if self.jobs < -1:
+            raise ValueError("jobs must be >= -1")
 
 
 @dataclass
@@ -65,7 +107,9 @@ class ISKResult:
 
     Mirrors :class:`~repro.core.scheduler.PAResult`'s ``makespan`` /
     ``total_time`` / ``feasible`` surface so report code can treat all
-    scheduler results uniformly.
+    scheduler results uniformly.  ``stats`` carries search-engine
+    counters (nodes expanded, bound/memo prunes, incumbent seeds,
+    fallback completions, undo-trail high-water mark, fan-out windows).
     """
 
     schedule: Schedule
@@ -97,6 +141,50 @@ def _score(state: PartialSchedule) -> tuple[float, float]:
     return (state.makespan, sum(state.end.values()))
 
 
+def _init_stats(opts: "ISKOptions", jobs: int) -> dict:
+    return {
+        "engine": opts.engine,
+        "jobs": jobs,
+        "nodes_expanded": 0,
+        "bound_pruned": 0,
+        "memo_hits": 0,
+        "memo_entries": 0,
+        "incumbent_seeds": 0,
+        "fallback_completions": 0,
+        "max_undo_depth": 0,
+        "fanout_windows": 0,
+    }
+
+
+_WORKER_STAT_KEYS = (
+    "bound_pruned",
+    "memo_hits",
+    "memo_entries",
+    "fallback_completions",
+)
+
+
+def _fanout_worker(payload: tuple) -> tuple:
+    """Explore one capped first-level branch with the full node budget.
+
+    Module-level so the :mod:`repro.analysis.parallel` pool can pickle
+    it; each worker's subtree is independent of its siblings (own
+    budget, own memo), which is what makes the fan-out bit-identical
+    for any worker count.
+    """
+    options, state, window, option, seed_score = payload
+    # parallel_map workers must be pure functions of their item (the
+    # serial fallback hands every payload the same state object).
+    state = state.copy()
+    scheduler = ISKScheduler(options)
+    stats = _init_stats(options, jobs=1)
+    scheduler._apply(state, window[0], option)
+    best_score, best_tail, nodes, _deepest = scheduler._dfs_search(
+        state, window, 1, seed_score, stats
+    )
+    return best_score, best_tail, nodes, stats
+
+
 class ISKScheduler:
     """Iterative window scheduler (see module docstring)."""
 
@@ -109,6 +197,12 @@ class ISKScheduler:
         t0 = _time.perf_counter()
         opts = self.options
         topo = instance.taskgraph.topological_order()
+        # Imported lazily: repro.analysis pulls in the engine package,
+        # which imports this module back at package-init time.
+        from ..analysis.parallel import resolve_jobs
+
+        jobs = resolve_jobs(opts.jobs)
+        stats = _init_stats(opts, jobs)
 
         state = PartialSchedule(
             instance,
@@ -119,9 +213,13 @@ class ISKScheduler:
         iterations = 0
         for chunk_start in range(0, len(topo), opts.k):
             window = topo[chunk_start : chunk_start + opts.k]
-            state, nodes = self._solve_window(state, window)
+            if opts.engine == "copy":
+                state, nodes = self._solve_window_copy(state, window)
+            else:
+                state, nodes = self._solve_window_trail(state, window, stats, jobs)
             total_nodes += nodes
             iterations += 1
+        stats["nodes_expanded"] = total_nodes
 
         schedule = state.to_schedule(
             scheduler=f"IS-{opts.k}",
@@ -132,9 +230,10 @@ class ISKScheduler:
             elapsed=_time.perf_counter() - t0,
             iterations=iterations,
             nodes=total_nodes,
+            stats=stats,
         )
 
-    # -- window subproblem ------------------------------------------------------
+    # -- shared decision space ---------------------------------------------
 
     def _task_options(self, state: PartialSchedule, task_id: str) -> list[_Option]:
         """The discrete decision space for one task in the window."""
@@ -161,6 +260,319 @@ class ISKScheduler:
             region = state.create_region(option.impl.resources)
             state.place_hw(task_id, option.impl, region.id)
 
+    # -- trail engine ------------------------------------------------------
+
+    def _preview_key(
+        self, state: PartialSchedule, option: _Option, ready: float
+    ) -> tuple[float, float, float, str]:
+        """The ranking key ``(makespan, Σ end, task end, impl name)``
+        this option *would* produce, computed read-only.
+
+        Mirrors the timing arithmetic of
+        :meth:`~repro.baselines.partial.PartialSchedule.place_sw` /
+        ``place_hw`` operation-for-operation (same ``max`` argument
+        order, same addition order), so the previewed key is
+        bit-identical to applying the option and reading the
+        incremental objective — which in turn matches the copy
+        engine's fork-and-score key.
+        """
+        impl = option.impl
+        target = option.target
+        makespan = state.makespan
+        if target.startswith("proc:"):
+            start = max(ready, state.proc_free[int(target[5:])])
+        elif target.startswith("region:"):
+            region = state.regions[target[7:]]
+            if region.sequence and not (
+                state.module_reuse and region.loaded == impl.name
+            ):
+                duration = state.arch.reconf_time(region.resources)
+                _ctrl, rc_start = state._controller_slot(
+                    region.free_time, duration
+                )
+                rc_end = rc_start + duration
+                if rc_end > makespan:
+                    makespan = rc_end
+                start = max(ready, rc_end)
+            else:
+                start = max(ready, region.free_time)
+        else:  # "new" — a fresh region is idle at t=0 and needs no reconf
+            start = max(ready, 0.0)
+        end = start + impl.time
+        if end > makespan:
+            makespan = end
+        return (makespan, state.end_sum + end, end, impl.name)
+
+    def _ranked_options(
+        self, state: PartialSchedule, task_id: str
+    ) -> list[tuple[tuple[float, float, float, str], _Option]]:
+        """Rank options by read-only preview — no state mutation, so
+        only the branches the DFS actually explores pay for an
+        apply/undo.  Ordering is exactly the copy engine's
+        (``end_sum`` accumulates task ends in placement order, which is
+        the summation order of ``sum(end.values())``)."""
+        try:
+            ready = state.ready_time(task_id)
+        except ValueError:
+            return []
+        ranked = [
+            (self._preview_key(state, option, ready), option)
+            for option in self._task_options(state, task_id)
+        ]
+        ranked.sort(key=lambda item: item[0])
+        return ranked
+
+    def _relevant_prefixes(self, state: PartialSchedule, window: list[str]) -> list[list[str]]:
+        """For each depth d: the window-prefix tasks whose end times can
+        still influence the remaining window (successor in it) — the
+        only prefix timing the dominance signature must pin down."""
+        graph = state.instance.taskgraph
+        relevant: list[list[str]] = []
+        for d in range(len(window)):
+            rest = set(window[d:])
+            relevant.append(
+                [t for t in window[:d]
+                 if any(s in rest for s in graph.successors(t))]
+            )
+        return relevant
+
+    @staticmethod
+    def _signature(state: PartialSchedule, depth: int, relevant: list[str]) -> tuple:
+        """Canonical window-state frontier at ``depth``.
+
+        Two states with equal signatures offer identical completion
+        sets with identical rank orderings (their end-sums differ by a
+        constant, which shifts every completion's tie-break equally),
+        so the one with the larger running end-sum is dominated.
+        """
+        return (
+            depth,
+            state.makespan,
+            tuple(state.proc_free),
+            tuple(
+                (r.id, r.resources, r.free_time, r.loaded, bool(r.sequence))
+                for r in state.regions.values()
+            ),
+            tuple(tuple(c) for c in state.controllers),
+            tuple(state.end[t] for t in relevant),
+        )
+
+    def _greedy_completion(
+        self, state: PartialSchedule, window: list[str], start_depth: int
+    ) -> tuple[tuple[float, float], list[_Option]] | None:
+        """Rank-first descent from ``start_depth`` — exactly the first
+        path the DFS would walk.  Returns (score, options) and restores
+        the state; ``None`` on a dead end (then no incumbent is seeded
+        and the search starts from an infinite bound, as the copy
+        engine does)."""
+        mark = state.trail_mark()
+        taken: list[_Option] = []
+        for task_id in window[start_depth:]:
+            ranked = self._ranked_options(state, task_id)
+            if not ranked:
+                state.undo_to(mark)
+                return None
+            option = ranked[0][1]
+            self._apply(state, task_id, option)
+            taken.append(option)
+        score = (state.makespan, state.end_sum)
+        state.undo_to(mark)
+        return score, taken
+
+    def _dfs_search(
+        self,
+        state: PartialSchedule,
+        window: list[str],
+        start_depth: int,
+        seed_score: tuple[float, float] | None,
+        stats: dict,
+    ) -> tuple[tuple[float, float], list[_Option] | None, int, tuple[int, list[_Option]]]:
+        """Bounded DFS from ``start_depth`` (earlier window tasks are
+        already applied).  Returns ``(best_score, best_tail, nodes,
+        deepest)`` where ``best_tail`` is ``None`` when no leaf beat
+        the seed (the caller then keeps the seed path) and ``deepest``
+        is the deepest partial reached (for the budget fallback)."""
+        opts = self.options
+        n = len(window)
+        relevant = self._relevant_prefixes(state, window)
+        best_score = seed_score if seed_score is not None else _INF_SCORE
+        best_tail: list[_Option] | None = None
+        nodes = 0
+        memo: dict[tuple, float] = {}
+        path: list[_Option] = []
+        deepest: tuple[int, list[_Option]] = (start_depth, [])
+
+        def dfs(depth: int) -> None:
+            nonlocal best_score, best_tail, nodes, deepest
+            if depth == n:
+                score = (state.makespan, state.end_sum)
+                if score < best_score:
+                    best_score = score
+                    best_tail = list(path)
+                return
+            if nodes > opts.node_limit:
+                return
+            if opts.memo:
+                sig = self._signature(state, depth, relevant[depth])
+                prev = memo.get(sig)
+                if prev is not None and prev <= state.end_sum:
+                    stats["memo_hits"] += 1
+                    return
+                memo[sig] = state.end_sum
+            ranked = self._ranked_options(state, window[depth])
+            cap = opts.branch_cap if n > 1 else len(ranked)
+            for key, option in ranked[:cap]:
+                nodes += 1
+                # The partial makespan only grows as tasks are added, so
+                # it is an admissible bound for pruning.
+                if key[0] > best_score[0]:
+                    stats["bound_pruned"] += 1
+                    continue
+                mark = state.trail_mark()
+                self._apply(state, window[depth], option)
+                depth_now = state.trail_depth()
+                if depth_now > stats["max_undo_depth"]:
+                    stats["max_undo_depth"] = depth_now
+                path.append(option)
+                if depth + 1 > deepest[0]:
+                    deepest = (depth + 1, list(path))
+                dfs(depth + 1)
+                path.pop()
+                state.undo_to(mark)
+
+        dfs(start_depth)
+        stats["memo_entries"] += len(memo)
+        return best_score, best_tail, nodes, deepest
+
+    def _backtrack_complete(
+        self, state: PartialSchedule, window: list[str], depth: int
+    ) -> list[_Option] | None:
+        """First feasible completion from ``depth`` (rank-first with
+        backtracking, no cap); ``None`` iff the subtree is infeasible."""
+        if depth == len(window):
+            return []
+        for _key, option in self._ranked_options(state, window[depth]):
+            mark = state.trail_mark()
+            self._apply(state, window[depth], option)
+            tail = self._backtrack_complete(state, window, depth + 1)
+            state.undo_to(mark)
+            if tail is not None:
+                return [option, *tail]
+        return None
+
+    def _fallback_completion(
+        self,
+        state: PartialSchedule,
+        window: list[str],
+        deepest: tuple[int, list[_Option]],
+        stats: dict,
+    ) -> list[_Option]:
+        """Node budget exhausted before any leaf (and no seed): complete
+        from the deepest best partial the search reached, falling back
+        to the window root only if that subtree is infeasible.  Raises
+        only when the *whole* window has no feasible completion."""
+        stats["fallback_completions"] += 1
+        depth, prefix = deepest
+        if depth > 0:
+            mark = state.trail_mark()
+            for i, option in enumerate(prefix):
+                self._apply(state, window[i], option)
+            tail = self._backtrack_complete(state, window, depth)
+            state.undo_to(mark)
+            if tail is not None:
+                return [*prefix, *tail]
+        tail = self._backtrack_complete(state, window, 0)
+        if tail is None:
+            raise RuntimeError(f"no feasible completion for window {window}")
+        return tail
+
+    def _solve_window_trail(
+        self, state: PartialSchedule, window: list[str], stats: dict, jobs: int
+    ) -> tuple[PartialSchedule, int]:
+        """In-place window solve: seed the incumbent, search (serial or
+        fanned out), then commit the winning path onto ``state``."""
+        opts = self.options
+        seed = (
+            self._greedy_completion(state, window, 0)
+            if opts.incumbent_seed
+            else None
+        )
+        if seed is not None:
+            stats["incumbent_seeds"] += 1
+        seed_score = seed[0] if seed is not None else None
+
+        if jobs > 1 and len(window) >= 2:
+            best_path, nodes = self._fanout_search(state, window, seed, stats, jobs)
+        else:
+            _best, best_tail, nodes, deepest = self._dfs_search(
+                state, window, 0, seed_score, stats
+            )
+            if best_tail is not None:
+                best_path = best_tail
+            elif seed is not None:
+                best_path = seed[1]
+            else:
+                best_path = self._fallback_completion(state, window, deepest, stats)
+
+        state.trail_clear()
+        for i, option in enumerate(best_path):
+            self._apply(state, window[i], option)
+        return state, nodes
+
+    def _fanout_search(
+        self,
+        state: PartialSchedule,
+        window: list[str],
+        seed: tuple[tuple[float, float], list[_Option]] | None,
+        stats: dict,
+        jobs: int,
+    ) -> tuple[list[_Option], int]:
+        """Parallel first-level fan-out: each capped depth-0 branch is
+        explored by a worker with the full node budget (independent of
+        its siblings), then reduced in branch order with strict ``<`` —
+        the same first-found-wins rule as the serial DFS, so the result
+        is identical for any worker count."""
+        from ..analysis.parallel import parallel_map
+
+        opts = self.options
+        stats["fanout_windows"] += 1
+        seed_score = seed[0] if seed is not None else None
+        ranked0 = self._ranked_options(state, window[0])
+        state.trail_clear()  # workers pickle a pristine, non-recording state
+
+        nodes = 0
+        bound0 = seed_score[0] if seed_score is not None else float("inf")
+        payloads: list[tuple] = []
+        branch_options: list[_Option] = []
+        for key, option in ranked0[: opts.branch_cap]:
+            nodes += 1
+            if key[0] > bound0:
+                stats["bound_pruned"] += 1
+                continue
+            payloads.append((opts, state, window, option, seed_score))
+            branch_options.append(option)
+
+        results = parallel_map(_fanout_worker, payloads, jobs=jobs)
+
+        best_score = seed_score if seed_score is not None else _INF_SCORE
+        best_path = list(seed[1]) if seed is not None else None
+        for option, (w_score, w_tail, w_nodes, w_stats) in zip(
+            branch_options, results
+        ):
+            nodes += w_nodes
+            for stat_key in _WORKER_STAT_KEYS:
+                stats[stat_key] += w_stats[stat_key]
+            if w_stats["max_undo_depth"] > stats["max_undo_depth"]:
+                stats["max_undo_depth"] = w_stats["max_undo_depth"]
+            if w_tail is not None and w_score < best_score:
+                best_score = w_score
+                best_path = [option, *w_tail]
+        if best_path is None:
+            best_path = self._fallback_completion(state, window, (0, []), stats)
+        return best_path, nodes
+
+    # -- copy engine (the seed implementation, kept as the reference) ------
+
     def _ranked_forks(
         self, state: PartialSchedule, task_id: str
     ) -> list[tuple[tuple[float, float], PartialSchedule]]:
@@ -179,10 +591,11 @@ class ISKScheduler:
         ranked.sort(key=lambda item: item[0])
         return [((key[0], key[1]), fork) for key, fork in ranked]
 
-    def _solve_window(
+    def _solve_window_copy(
         self, state: PartialSchedule, window: list[str]
     ) -> tuple[PartialSchedule, int]:
-        """Exact (budget-bounded) DFS over the window's decision space."""
+        """Exact (budget-bounded) DFS over the window's decision space —
+        the seed fork-per-option engine, byte-for-byte semantics."""
         opts = self.options
         best_state: PartialSchedule | None = None
         best_score: tuple[float, float] = (float("inf"), float("inf"))

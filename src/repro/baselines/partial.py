@@ -16,11 +16,28 @@ construction:
 * loading the same module twice in a row needs no reconfiguration
   (*module reuse* — IS-k exploits this; the paper's PA does not).
 
-States are cheaply copyable so branch-and-bound can fork them.
+States are cheaply copyable so branch-and-bound can fork them, and —
+since the IS-k search-engine overhaul — support an **apply/undo
+trail**: :meth:`PartialSchedule.trail_mark` starts recording every
+mutation (region state, processor free-times/sequences, controller
+intervals, ``impl``/``placement``/``start``/``end`` entries, the
+``used`` vector, the running end-sum and makespan) on an undo log, and
+:meth:`PartialSchedule.undo_to` rewinds to a mark, so depth-first
+search explores options by do→recurse→undo instead of forking a full
+copy per option.  Undo restores the *recorded* float values (never
+re-derives them arithmetically), so a rewound state is bit-identical
+to the state at the mark — the property the trail-vs-copy
+decision-equivalence suite leans on.
+
+The window objective ``(makespan, Σ end)`` is maintained incrementally
+(``end_sum`` / the O(1) ``makespan`` property): both only ever grow by
+``max``/left-to-right addition as tasks are committed, so the running
+values equal a fresh O(n) recomputation bit-for-bit.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 
 from ..model import (
@@ -90,6 +107,15 @@ class PartialSchedule:
         self.start: dict[str, float] = {}
         self.end: dict[str, float] = {}
         self.used = ResourceVector.zero()
+        # Incremental objective: running sum of task end times and the
+        # running makespan (task ends + controller busy ends).  Both are
+        # monotone under the placement ops, and undo restores recorded
+        # values, so they always equal a fresh recomputation.
+        self.end_sum: float = 0.0
+        self._makespan: float = 0.0
+        # Undo log: None while not recording (the list scheduler and
+        # plain constructive runs pay only a None-check per op).
+        self._trail: list[tuple] | None = None
 
     # -- copying ------------------------------------------------------------
 
@@ -110,7 +136,68 @@ class PartialSchedule:
         dup.start = dict(self.start)
         dup.end = dict(self.end)
         dup.used = self.used
+        dup.end_sum = self.end_sum
+        dup._makespan = self._makespan
+        dup._trail = None  # a fork starts its own recording epoch
         return dup
+
+    # -- undo trail ----------------------------------------------------------
+
+    def trail_mark(self) -> int:
+        """Start (or continue) recording mutations; returns a mark that
+        :meth:`undo_to` rewinds to."""
+        if self._trail is None:
+            self._trail = []
+        return len(self._trail)
+
+    def trail_depth(self) -> int:
+        """Current length of the undo log (0 while not recording)."""
+        return 0 if self._trail is None else len(self._trail)
+
+    def trail_clear(self) -> None:
+        """Drop the undo log and stop recording (commits the state)."""
+        self._trail = None
+
+    def undo_to(self, mark: int) -> None:
+        """Rewind every mutation recorded after ``mark`` (LIFO)."""
+        trail = self._trail
+        if trail is None:
+            raise ValueError("undo_to without an active trail")
+        while len(trail) > mark:
+            entry = trail.pop()
+            tag = entry[0]
+            if tag == "sw":
+                (_, task_id, processor, old_free,
+                 old_end_sum, old_makespan) = entry
+                self.proc_free[processor] = old_free
+                self.proc_sequence[processor].pop()
+                del self.impl[task_id]
+                del self.placement[task_id]
+                del self.start[task_id]
+                del self.end[task_id]
+                self.end_sum = old_end_sum
+                self._makespan = old_makespan
+            elif tag == "hw":
+                (_, task_id, region_id, old_free, old_loaded,
+                 controller, interval, old_end_sum, old_makespan) = entry
+                region = self.regions[region_id]
+                region.sequence.pop()
+                region.free_time = old_free
+                region.loaded = old_loaded
+                if controller is not None:
+                    self.reconfigurations.pop()
+                    self.controllers[controller].remove(interval)
+                del self.impl[task_id]
+                del self.placement[task_id]
+                del self.start[task_id]
+                del self.end[task_id]
+                self.end_sum = old_end_sum
+                self._makespan = old_makespan
+            else:  # "region"
+                _, region_id, old_used, old_counter = entry
+                del self.regions[region_id]
+                self.used = old_used
+                self._region_counter = old_counter
 
     # -- queries --------------------------------------------------------------
 
@@ -141,10 +228,9 @@ class PartialSchedule:
 
     @property
     def makespan(self) -> float:
-        values = list(self.end.values())
-        for controller in self.controllers:
-            values.extend(e for _, e in controller)
-        return max(values, default=0.0)
+        """Max over task ends and controller busy ends — maintained
+        incrementally (O(1)); equals the explicit max by monotonicity."""
+        return self._makespan
 
     # -- controller timeline ------------------------------------------------------
 
@@ -166,9 +252,10 @@ class PartialSchedule:
         return best[1], best[0]
 
     def _reserve_controller(self, controller: int, start: float, duration: float) -> None:
-        intervals = self.controllers[controller]
-        intervals.append((start, start + duration))
-        intervals.sort()
+        end = start + duration
+        insort(self.controllers[controller], (start, end))
+        if end > self._makespan:
+            self._makespan = end
 
     # -- placement operations ----------------------------------------------------------
 
@@ -177,6 +264,10 @@ class PartialSchedule:
         if not quantized.fits_in(self.available_resources()):
             raise ValueError("insufficient fabric resources for new region")
         region = RegionState(id=f"RR{self._region_counter}", resources=quantized)
+        if self._trail is not None:
+            self._trail.append(
+                ("region", region.id, self.used, self._region_counter)
+            )
         self._region_counter += 1
         self.regions[region.id] = region
         self.used = self.used + quantized
@@ -188,12 +279,20 @@ class PartialSchedule:
             raise ValueError("place_sw needs a SW implementation")
         start = max(self.ready_time(task_id), self.proc_free[processor])
         end = start + impl.time
+        if self._trail is not None:
+            self._trail.append(
+                ("sw", task_id, processor, self.proc_free[processor],
+                 self.end_sum, self._makespan)
+            )
         self.proc_free[processor] = end
         self.proc_sequence[processor].append(task_id)
         self.impl[task_id] = impl
         self.placement[task_id] = ProcessorPlacement(index=processor)
         self.start[task_id] = start
         self.end[task_id] = end
+        self.end_sum += end
+        if end > self._makespan:
+            self._makespan = end
         return end
 
     def place_hw(self, task_id: str, impl: Implementation, region_id: str) -> float:
@@ -210,6 +309,12 @@ class PartialSchedule:
                 f"implementation {impl.name!r} does not fit region {region_id!r}"
             )
         ready = self.ready_time(task_id)
+        old_free = region.free_time
+        old_loaded = region.loaded
+        old_end_sum = self.end_sum
+        old_makespan = self._makespan
+        reconf_controller: int | None = None
+        reconf_interval: tuple[float, float] | None = None
         needs_reconf = region.sequence and not (
             self.module_reuse and region.loaded == impl.name
         )
@@ -228,10 +333,17 @@ class PartialSchedule:
                     controller=controller,
                 )
             )
+            reconf_controller = controller
+            reconf_interval = (rc_start, rc_end)
             start = max(ready, rc_end)
         else:
             start = max(ready, region.free_time)
         end = start + impl.time
+        if self._trail is not None:
+            self._trail.append(
+                ("hw", task_id, region_id, old_free, old_loaded,
+                 reconf_controller, reconf_interval, old_end_sum, old_makespan)
+            )
         region.free_time = end
         region.loaded = impl.name
         region.sequence.append(task_id)
@@ -239,6 +351,9 @@ class PartialSchedule:
         self.placement[task_id] = RegionPlacement(region_id=region_id)
         self.start[task_id] = start
         self.end[task_id] = end
+        self.end_sum += end
+        if end > self._makespan:
+            self._makespan = end
         return end
 
     # -- lower bound / export --------------------------------------------------------------

@@ -53,6 +53,19 @@ def _cache_stats_line(stats: dict) -> str:
     )
 
 
+def _search_stats_line(stats: dict) -> str:
+    return (
+        f"is-k search [{stats['engine']}]: "
+        f"expanded={stats['nodes_expanded']} "
+        f"bound_pruned={stats['bound_pruned']} "
+        f"memo_hits={stats['memo_hits']} "
+        f"seeds={stats['incumbent_seeds']} "
+        f"fallbacks={stats['fallback_completions']} "
+        f"max_trail={stats['max_undo_depth']} "
+        f"fanout_windows={stats['fanout_windows']} jobs={stats['jobs']}"
+    )
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     instance = paper_instance(
         tasks=args.tasks, seed=args.seed, graph_kind=args.graph
@@ -85,6 +98,12 @@ def _schedule_request(args: argparse.Namespace, instance: Instance) -> ScheduleR
         else:
             budget = args.budget
         seed = args.seed
+    if args.algorithm.startswith("is-"):
+        # jobs never changes the schedule (deterministic fan-out
+        # reduction), so only a real fan-out enters the cache key.
+        jobs = resolve_jobs(args.jobs)
+        if jobs > 1:
+            options["jobs"] = jobs
     if args.algorithm == "exhaustive":
         options["node_limit"] = 500_000
         options["task_limit"] = args.exhaustive_task_limit
@@ -125,6 +144,9 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             info += "\n" + _cache_stats_line(stats)
     elif "nodes" in outcome.metadata:
         info += f" nodes={outcome.metadata['nodes']}"
+        search_stats = outcome.metadata.get("stats")
+        if search_stats:
+            info += "\n" + _search_stats_line(search_stats)
     print(info)
     if args.output:
         Path(args.output).write_text(json.dumps(schedule.to_dict(), indent=2))
@@ -300,6 +322,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         profile=args.profile,
         jobs=resolve_jobs(args.jobs),
         pa_r_jobs=resolve_jobs(args.pa_r_jobs),
+        isk_jobs=resolve_jobs(args.isk_jobs),
     )
     wanted = set(args.exhibits) or {"all"}
     if "all" in wanted:
@@ -381,7 +404,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--jobs", type=int, default=1,
-        help="PA-R restart worker processes (1 = serial, -1 = all cores)",
+        help="worker processes: PA-R restarts, or IS-k first-level "
+        "window fan-out for k >= 2 (1 = serial, -1 = all cores; "
+        "schedules are identical for any value)",
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-floorplan", action="store_true")
@@ -527,6 +552,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--pa-r-jobs", type=int, default=1,
         help="worker processes for PA-R restart batches within one "
         "instance (1 = serial; results are bit-identical for any value)",
+    )
+    p.add_argument(
+        "--isk-jobs", type=int, default=1,
+        help="worker processes for the IS-5 first-level window fan-out "
+        "(1 = serial; schedules are bit-identical for any value)",
     )
     p.add_argument("-o", "--output", default=None, help="results directory")
     p.add_argument("-v", "--verbose", action="store_true")

@@ -77,14 +77,29 @@ class ScheduleRequest:
     budget: float | None = None
 
     def key_payload(self) -> dict:
-        """The canonical content the cache key is computed over."""
-        return {
+        """The canonical content the cache key is computed over.
+
+        Includes the backend's ``provenance_version`` when it is above
+        the initial 1 — bumping the version retires stored outcomes
+        whose provenance metadata (node counts, engine counters) no
+        longer describes what the current engine would produce.
+        Version-1 backends emit no marker, so their historical cache
+        keys stay valid.
+        """
+        payload = {
             "instance": self.instance.to_dict(),
             "algorithm": self.algorithm,
             "options": dict(self.options),
             "seed": self.seed,
             "budget": self.budget,
         }
+        try:
+            version = get_backend(self.algorithm).provenance_version
+        except EngineError:
+            version = 1
+        if version > 1:
+            payload["engine_version"] = version
+        return payload
 
     def cache_key(self) -> str:
         """Content address of this request (SHA-256 hex digest)."""
@@ -176,9 +191,16 @@ class SchedulerBackend(ABC):
     :func:`list_backends`) and implement :meth:`run`.  Parameterized
     families override :meth:`matches` / :meth:`create` — e.g. the IS-k
     backend matches every ``is-<k>``.
+
+    ``provenance_version`` feeds the request cache key (see
+    :meth:`ScheduleRequest.key_payload`): bump it when a backend's
+    *reported provenance* changes (metadata semantics, counters) even
+    though the schedules themselves are unchanged, so stale store
+    entries are re-executed rather than replayed.
     """
 
     name: str = ""
+    provenance_version: int = 1
 
     @classmethod
     def matches(cls, algorithm: str) -> bool:

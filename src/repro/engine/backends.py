@@ -15,10 +15,13 @@ Request options recognised per backend:
             ``jobs`` (restart worker processes; >1 or a set
             ``iterations`` routes through the parallel entry point)
 ``is-<k>``  ``node_limit``, ``branch_cap``, ``enable_module_reuse``,
-            ``communication_overhead``
+            ``communication_overhead``, plus the search-engine knobs
+            ``engine`` ("trail"/"copy"), ``memo``, ``incumbent_seed``
+            and ``jobs`` (parallel first-level fan-out for k >= 2)
 ``list``    ``enable_module_reuse``, ``communication_overhead``
-``exhaustive`` as ``is-<k>`` minus ``branch_cap``, plus ``task_limit``
-            (default 12) — the guard against exponential blow-up
+``exhaustive`` as ``is-<k>`` minus ``branch_cap``/``memo``/
+            ``incumbent_seed``, plus ``task_limit`` (default 12) —
+            the guard against exponential blow-up
 ========== =====================================================
 
 Unknown option keys raise :class:`EngineError` — silent typos in a
@@ -214,8 +217,22 @@ class ISKBackend(SchedulerBackend):
     """The IS-k family: ``is-1``, ``is-5``, any ``is-<k>``."""
 
     name = "is-<k>"
+    # Version 2: the trail search engine reports provenance (node
+    # counts, search stats) the version-1 copy engine did not; stored
+    # version-1 outcomes are schedule-identical but carry stale
+    # metadata, so they must not be replayed as current.
+    provenance_version = 2
     _OPTION_KEYS = frozenset(
-        {"node_limit", "branch_cap", "enable_module_reuse", "communication_overhead"}
+        {
+            "node_limit",
+            "branch_cap",
+            "enable_module_reuse",
+            "communication_overhead",
+            "engine",
+            "memo",
+            "incumbent_seed",
+            "jobs",
+        }
     )
 
     def __init__(self, k: int = 1) -> None:
@@ -247,7 +264,7 @@ class ISKBackend(SchedulerBackend):
             floorplanning_time=0.0,
             backend=f"is-{self.k}",
             iterations=result.iterations,
-            metadata={"nodes": result.nodes},
+            metadata={"nodes": result.nodes, "stats": dict(result.stats)},
         )
 
 
@@ -281,8 +298,16 @@ class ExhaustiveBackend(SchedulerBackend):
     """Exact constructive search — guarded, exponential, tiny inputs only."""
 
     name = "exhaustive"
+    provenance_version = 2  # runs on the IS-k engine; see ISKBackend
     _OPTION_KEYS = frozenset(
-        {"node_limit", "task_limit", "enable_module_reuse", "communication_overhead"}
+        {
+            "node_limit",
+            "task_limit",
+            "enable_module_reuse",
+            "communication_overhead",
+            "engine",
+            "jobs",
+        }
     )
 
     def check_request(self, request: ScheduleRequest) -> None:
@@ -318,5 +343,5 @@ class ExhaustiveBackend(SchedulerBackend):
             floorplanning_time=0.0,
             backend=self.name,
             iterations=result.iterations,
-            metadata={"nodes": result.nodes},
+            metadata={"nodes": result.nodes, "stats": dict(result.stats)},
         )

@@ -223,6 +223,39 @@ class TestRequestHashing:
         assert explicit.cache_key() == ScheduleRequest(instance, "pa").cache_key()
 
 
+class TestProvenanceVersion:
+    """The search-engine overhaul bumped the is-<k>/exhaustive backend
+    provenance, so PR-4 store entries carrying version-1 metadata are
+    addressed under a different key and never replayed as current."""
+
+    def test_version_marker_in_isk_payload(self, instance):
+        payload = ScheduleRequest(instance, "is-5").key_payload()
+        assert payload["engine_version"] == 2
+        assert ScheduleRequest(instance, "exhaustive").key_payload()[
+            "engine_version"
+        ] == 2
+
+    def test_version_1_backends_emit_no_marker(self, instance):
+        # pa/pa-r/list keys must be byte-identical to the PR-4 shape,
+        # or every existing store entry would go cold.
+        for algorithm in ("pa", "pa-r", "list"):
+            payload = ScheduleRequest(instance, algorithm).key_payload()
+            assert "engine_version" not in payload
+
+    def test_unknown_algorithm_still_hashable(self, instance):
+        # key_payload must not explode just because no backend matches.
+        payload = ScheduleRequest(instance, "no-such-algo").key_payload()
+        assert "engine_version" not in payload
+
+    def test_isk_key_differs_from_version_1_shape(self, instance):
+        request = ScheduleRequest(instance, "is-5")
+        payload = request.key_payload()
+        legacy = {k: v for k, v in payload.items() if k != "engine_version"}
+        from repro.engine.backend import content_hash
+
+        assert content_hash(legacy) != request.cache_key()
+
+
 class TestOutcomeRoundTrip:
     def test_to_from_dict_identity(self, instance):
         outcome = get_backend("pa").run(ScheduleRequest(instance, "pa"))

@@ -3,7 +3,15 @@
 import pytest
 
 from repro.baselines import ISKOptions, ISKScheduler, isk_schedule
+from repro.benchgen import paper_instance
 from repro.validate import check_schedule
+
+
+def schedule_key(schedule) -> dict:
+    """to_dict() minus metadata — node counts differ across engines."""
+    payload = schedule.to_dict()
+    payload.pop("metadata", None)
+    return payload
 
 
 class TestOptions:
@@ -78,6 +86,85 @@ class TestIS5:
         check_schedule(
             medium_instance, result.schedule, allow_module_reuse=True
         ).raise_if_invalid()
+
+
+class TestEngineOptions:
+    def test_engine_validated(self):
+        with pytest.raises(ValueError):
+            ISKOptions(engine="teleport")
+
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError):
+            ISKOptions(jobs=-2)
+
+
+class TestEngineEquivalence:
+    """The trail engine must reproduce the seed copy engine's schedules
+    decision-for-decision (ISSUE 5 acceptance criterion)."""
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_copy_vs_trail_across_seeds(self, k):
+        for seed in range(20):
+            instance = paper_instance(10, seed=seed)
+            copy = isk_schedule(instance, k=k, engine="copy")
+            # memo off: the trees must match node-for-node.
+            bare = isk_schedule(instance, k=k, engine="trail", memo=False)
+            assert schedule_key(bare.schedule) == schedule_key(copy.schedule), (
+                f"trail diverged from copy at k={k} seed={seed}"
+            )
+            assert bare.nodes == copy.nodes, f"k={k} seed={seed}"
+            # memo/bounds on (the defaults): fewer nodes, same decisions.
+            full = isk_schedule(instance, k=k)
+            assert schedule_key(full.schedule) == schedule_key(copy.schedule), (
+                f"memoized trail diverged from copy at k={k} seed={seed}"
+            )
+            assert full.nodes <= copy.nodes
+
+    @pytest.mark.parametrize("k", [3, 5])
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_fanout_identical_to_serial(self, k, jobs):
+        for seed in (2, 7, 11):
+            instance = paper_instance(12, seed=seed)
+            serial = isk_schedule(instance, k=k, jobs=1)
+            fanned = isk_schedule(instance, k=k, jobs=jobs)
+            assert schedule_key(fanned.schedule) == schedule_key(
+                serial.schedule
+            ), f"fan-out diverged at k={k} jobs={jobs} seed={seed}"
+            assert fanned.stats["fanout_windows"] > 0
+
+    def test_exhausted_budget_completes_from_deepest_partial(
+        self, medium_instance
+    ):
+        # node_limit=1 exhausts the budget immediately; without the
+        # incumbent seed the old code re-ranked from the window root and
+        # could die on windows whose root-best branch was a dead end.
+        result = isk_schedule(
+            medium_instance, k=5, node_limit=1, incumbent_seed=False
+        )
+        check_schedule(
+            medium_instance, result.schedule, allow_module_reuse=True
+        ).raise_if_invalid()
+        assert result.stats["fallback_completions"] > 0
+
+
+class TestSearchStats:
+    def test_stats_populated(self, medium_instance):
+        result = isk_schedule(medium_instance, k=5)
+        stats = result.stats
+        assert stats["engine"] == "trail"
+        assert stats["jobs"] == 1
+        assert stats["nodes_expanded"] == result.nodes > 0
+        assert stats["incumbent_seeds"] == result.iterations
+        assert stats["max_undo_depth"] > 0
+        assert stats["fanout_windows"] == 0
+        for key in ("bound_pruned", "memo_hits", "memo_entries",
+                    "fallback_completions"):
+            assert stats[key] >= 0
+
+    def test_copy_engine_stats_minimal(self, medium_instance):
+        result = isk_schedule(medium_instance, k=3, engine="copy")
+        assert result.stats["engine"] == "copy"
+        assert result.stats["nodes_expanded"] == result.nodes
 
 
 class TestModuleReuseKnob:

@@ -166,3 +166,111 @@ class TestExportAndCopy:
         ps.place_sw("a", instance.taskgraph.task("a").fastest_sw(), 0)
         # a committed to end at 50: bound = 50 + 10 + 10.
         assert ps.completion_lower_bound(min_exe, topo) == pytest.approx(70.0)
+
+
+def fingerprint(ps: PartialSchedule) -> tuple:
+    """Every observable the placement ops mutate, as comparable values."""
+    return (
+        dict(ps.impl),
+        dict(ps.placement),
+        dict(ps.start),
+        dict(ps.end),
+        list(ps.proc_free),
+        [list(s) for s in ps.proc_sequence],
+        [list(c) for c in ps.controllers],
+        list(ps.reconfigurations),
+        {
+            rid: (r.resources, r.free_time, r.loaded, list(r.sequence))
+            for rid, r in ps.regions.items()
+        },
+        ps.used,
+        ps._region_counter,
+        ps.end_sum,
+        ps.makespan,
+    )
+
+
+class TestUndoTrail:
+    def test_undo_sw_placement(self, instance):
+        ps = PartialSchedule(instance)
+        before = fingerprint(ps)
+        mark = ps.trail_mark()
+        ps.place_sw("a", instance.taskgraph.task("a").fastest_sw(), 0)
+        assert ps.trail_depth() == 1
+        ps.undo_to(mark)
+        assert fingerprint(ps) == before
+
+    def test_undo_hw_with_reconf_and_region(self, instance):
+        graph = instance.taskgraph
+        ps = PartialSchedule(instance)
+        region = ps.create_region(ResourceVector({"CLB": 100}))
+        ps.place_hw("a", graph.task("a").implementation("mA"), region.id)
+        before = fingerprint(ps)
+        mark = ps.trail_mark()
+        # Reconf into the existing region + a brand-new region for c.
+        ps.place_hw("b", graph.task("b").implementation("mB"), region.id)
+        fresh = ps.create_region(ResourceVector({"CLB": 100}))
+        ps.place_hw("c", graph.task("c").implementation("mA"), fresh.id)
+        assert len(ps.reconfigurations) >= 1
+        ps.undo_to(mark)
+        assert fingerprint(ps) == before
+
+    def test_nested_marks_rewind_independently(self, instance):
+        graph = instance.taskgraph
+        ps = PartialSchedule(instance)
+        m0 = ps.trail_mark()
+        ps.place_sw("a", graph.task("a").fastest_sw(), 0)
+        after_a = fingerprint(ps)
+        m1 = ps.trail_mark()
+        ps.place_sw("b", graph.task("b").fastest_sw(), 1)
+        ps.place_sw("c", graph.task("c").fastest_sw(), 0)
+        ps.undo_to(m1)
+        assert fingerprint(ps) == after_a
+        ps.undo_to(m0)
+        assert "a" not in ps.end and ps.end_sum == 0.0
+
+    def test_undo_restores_recorded_floats_exactly(self, instance):
+        # Bit-identity requirement: undo restores the *recorded* values,
+        # so repeated apply/undo cycles can never drift.
+        graph = instance.taskgraph
+        ps = PartialSchedule(instance)
+        ps.place_sw("a", graph.task("a").fastest_sw(), 0)
+        end_sum, makespan = ps.end_sum, ps.makespan
+        mark = ps.trail_mark()
+        for _ in range(50):
+            ps.place_sw("b", graph.task("b").fastest_sw(), 0)
+            ps.undo_to(mark)
+        assert ps.end_sum == end_sum and ps.makespan == makespan
+
+    def test_copy_does_not_inherit_trail(self, instance):
+        ps = PartialSchedule(instance)
+        ps.trail_mark()
+        ps.place_sw("a", instance.taskgraph.task("a").fastest_sw(), 0)
+        fork = ps.copy()
+        assert fork.trail_depth() == 0
+        fork.place_sw("b", instance.taskgraph.task("b").fastest_sw(), 0)
+        assert ps.trail_depth() == 1  # fork's ops never touch our log
+
+    def test_trail_clear_commits(self, instance):
+        ps = PartialSchedule(instance)
+        mark = ps.trail_mark()
+        ps.place_sw("a", instance.taskgraph.task("a").fastest_sw(), 0)
+        ps.trail_clear()
+        assert ps.trail_depth() == 0
+        with pytest.raises(ValueError):
+            ps.undo_to(mark)
+        assert ps.end["a"] == 50.0  # the placement survived the clear
+
+    def test_incremental_objective_matches_recompute(self, instance):
+        graph = instance.taskgraph
+        ps = PartialSchedule(instance)
+        region = ps.create_region(ResourceVector({"CLB": 100}))
+        ps.place_hw("a", graph.task("a").implementation("mA"), region.id)
+        ps.place_hw("b", graph.task("b").implementation("mB"), region.id)
+        ps.place_sw("c", graph.task("c").fastest_sw(), 0)
+        assert ps.end_sum == sum(ps.end.values())
+        explicit = max(ps.end.values())
+        for intervals in ps.controllers:
+            for _, end in intervals:
+                explicit = max(explicit, end)
+        assert ps.makespan == explicit
