@@ -1,0 +1,90 @@
+"""Online runtime — admission latency, determinism and re-plan gates.
+
+Times the online executor over arrival traces and enforces the online
+acceptance gates: a known-feasible trace meets 100% of deadlines
+fault-free, the run is bit-deterministic (identical event logs across
+repeated runs and across ``--jobs`` fan-out), the independent trace
+validator passes, and incremental re-planning stays the common case
+(>= 90% of re-plan passes) under the default fault sweep.
+"""
+
+import statistics
+
+from _suite import profile
+
+from repro.analysis.online import online_metrics, online_sweep
+from repro.online import feasible_trace, generate_trace, run_online
+from repro.sim import FaultPlan, RecoveryPolicy, TransientTaskFaults
+from repro.validate import check_online_trace
+
+_JOBS = {"tiny": 5, "small": 8, "full": 12}
+_POLICY = RecoveryPolicy(max_retries=6)
+
+
+def test_online_feasible_trace(benchmark):
+    """Gate: a fault-free run of the known-feasible trace meets every
+    deadline and passes the independent validator."""
+    trace = feasible_trace(seed=0, jobs=_JOBS[profile()])
+
+    result = benchmark(lambda: run_online(trace))
+    metrics = online_metrics(result)
+    assert metrics.hit_rate == 1.0, (
+        f"feasible trace missed deadlines: {metrics.deadline_misses}"
+    )
+    assert metrics.completed == metrics.jobs
+    check_online_trace(trace, result).raise_if_invalid()
+    benchmark.extra_info["jobs"] = metrics.jobs
+    benchmark.extra_info["replans"] = metrics.replans
+    benchmark.extra_info["incremental_ratio"] = round(
+        metrics.incremental_ratio, 3
+    )
+
+
+def test_online_determinism(benchmark):
+    """Gate: same trace + faults => bit-identical event log and
+    deterministic metrics, run after run."""
+    trace = generate_trace(
+        seed=3,
+        jobs=_JOBS[profile()],
+        mean_interarrival=30.0,
+        slack=2.5,
+        high_priority_fraction=0.4,
+        departure_fraction=0.2,
+    )
+    faults = FaultPlan([TransientTaskFaults(rate=0.1, seed=7)])
+
+    def run_once():
+        return run_online(trace, faults=faults, policy=_POLICY)
+
+    result = benchmark(run_once)
+    again = run_once()
+    assert result.event_log() == again.event_log()
+    assert result.makespan == again.makespan
+    check_online_trace(trace, result).raise_if_invalid()
+    benchmark.extra_info["events"] = len(result.event_log())
+
+
+def test_online_fault_sweep_incremental_ratio(benchmark):
+    """Gate: under the default fault sweep, incremental re-planning is
+    the common case (>= 90% of passes) — and fanning the sweep over
+    worker processes changes no number."""
+    trace = generate_trace(seed=1, jobs=_JOBS[profile()])
+    rates = (0.0, 0.05, 0.1, 0.2)
+
+    points = benchmark(
+        lambda: online_sweep(
+            trace, rates=rates, trials=3, seed=1, policy=_POLICY, jobs=1
+        )
+    )
+    fanned = online_sweep(
+        trace, rates=rates, trials=3, seed=1, policy=_POLICY, jobs=2
+    )
+    assert points == fanned, "--jobs fan-out changed sweep numbers"
+    mean_ratio = statistics.mean(p.incremental_ratio for p in points)
+    assert mean_ratio >= 0.9, (
+        f"incremental re-plan ratio {mean_ratio:.2f} below the 90% gate"
+    )
+    benchmark.extra_info["mean_incremental_ratio"] = round(mean_ratio, 3)
+    benchmark.extra_info["mean_hit_rate"] = round(
+        statistics.mean(p.hit_rate for p in points), 3
+    )

@@ -8,6 +8,15 @@ from .export import (
 )
 from .gantt import render_gantt
 from .metrics import Improvement, group_improvement, improvement_percent
+from .online import (
+    OnlineMetrics,
+    OnlineSweepPoint,
+    TenantMetrics,
+    online_metrics,
+    online_sweep,
+    render_online_metrics,
+    render_online_sweep,
+)
 from .parallel import parallel_map, resolve_jobs
 from .robustness import (
     RobustnessMetrics,
@@ -36,6 +45,13 @@ __all__ = [
     "Improvement",
     "group_improvement",
     "improvement_percent",
+    "OnlineMetrics",
+    "OnlineSweepPoint",
+    "TenantMetrics",
+    "online_metrics",
+    "online_sweep",
+    "render_online_metrics",
+    "render_online_sweep",
     "parallel_map",
     "resolve_jobs",
     "RobustnessMetrics",

@@ -1,0 +1,302 @@
+"""Metrics and reporting for online (arrival-driven) executions.
+
+Aggregates an :class:`~repro.online.runtime.OnlineResult` into the
+numbers a multi-tenant evaluation needs — per-tenant deadline hit
+rates, preemption counts, the incremental-vs-full re-plan ratio — and
+provides :func:`online_sweep`, a seeded fault-rate study over arrival
+traces (the engine behind ``benchmarks/bench_online.py``).
+
+Determinism note: every simulated quantity in :class:`OnlineMetrics`
+is bit-reproducible for a fixed trace/fault/seed tuple.  Re-plan
+*wall-clock* latencies (p50/p99) are real measurements and therefore
+vary run to run; they are kept in a separate ``replan_wall_*`` group
+that the determinism gate ignores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..online import (
+    ArrivalTrace,
+    CheckpointModel,
+    OnlineResult,
+    generate_trace,
+    run_online,
+)
+from ..sim import FaultPlan, RecoveryPolicy, TransientTaskFaults
+from .parallel import parallel_map
+from .tables import render_table
+
+__all__ = [
+    "TenantMetrics",
+    "OnlineMetrics",
+    "OnlineSweepPoint",
+    "online_metrics",
+    "online_sweep",
+    "render_online_metrics",
+    "render_online_sweep",
+]
+
+
+@dataclass(frozen=True)
+class TenantMetrics:
+    """Per-tenant share of one online run."""
+
+    tenant: str
+    jobs: int
+    completed: int
+    deadline_hits: int
+    deadline_misses: int
+    departed: int
+    preemptions: int
+
+    @property
+    def hit_rate(self) -> float:
+        judged = self.jobs - self.departed
+        return self.deadline_hits / judged if judged else 1.0
+
+
+@dataclass(frozen=True)
+class OnlineMetrics:
+    """Run-level summary of one online execution.
+
+    All fields except ``replan_wall_p50``/``replan_wall_p99`` are
+    deterministic for a fixed (trace, faults, seed).
+    """
+
+    trace_name: str
+    jobs: int
+    completed: int
+    deadline_hits: int
+    deadline_misses: int
+    departed: int
+    hit_rate: float
+    preemptions: int
+    checkpoints: int
+    resumes: int
+    fallbacks: int
+    failed_tasks: int
+    region_allocs: int
+    region_reclaims: int
+    region_deaths: int
+    replans: int
+    replan_incremental: int
+    replan_full: int
+    incremental_ratio: float
+    makespan: float
+    tenants: tuple[TenantMetrics, ...]
+    # wall-clock measurements — excluded from determinism comparisons
+    replan_wall_p50: float
+    replan_wall_p99: float
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def online_metrics(result: OnlineResult) -> OnlineMetrics:
+    """Aggregate one online run into :class:`OnlineMetrics`."""
+    counts = result.trace.counts()
+    per_tenant: dict[str, dict[str, int]] = {}
+    for job in result.jobs.values():
+        bucket = per_tenant.setdefault(
+            job.tenant,
+            {
+                "jobs": 0,
+                "completed": 0,
+                "hits": 0,
+                "misses": 0,
+                "departed": 0,
+                "preemptions": 0,
+            },
+        )
+        bucket["jobs"] += 1
+        bucket["preemptions"] += job.preemptions
+        if job.departed:
+            bucket["departed"] += 1
+            continue
+        if job.completed_at is not None:
+            bucket["completed"] += 1
+        if job.hit:
+            bucket["hits"] += 1
+        else:
+            bucket["misses"] += 1
+    tenants = tuple(
+        TenantMetrics(
+            tenant=tenant,
+            jobs=b["jobs"],
+            completed=b["completed"],
+            deadline_hits=b["hits"],
+            deadline_misses=b["misses"],
+            departed=b["departed"],
+            preemptions=b["preemptions"],
+        )
+        for tenant, b in sorted(per_tenant.items())
+    )
+    judged = [j for j in result.jobs.values() if not j.departed]
+    hits = sum(1 for j in judged if j.hit)
+    walls = [wall for _, wall in result.replans]
+    return OnlineMetrics(
+        trace_name=result.trace_name,
+        jobs=len(result.jobs),
+        completed=sum(
+            1 for j in result.jobs.values() if j.completed_at is not None
+        ),
+        deadline_hits=hits,
+        deadline_misses=len(judged) - hits,
+        departed=sum(1 for j in result.jobs.values() if j.departed),
+        hit_rate=hits / len(judged) if judged else 1.0,
+        preemptions=sum(j.preemptions for j in result.jobs.values()),
+        checkpoints=counts.get("checkpoint", 0),
+        resumes=counts.get("resume", 0),
+        fallbacks=counts.get("fallback", 0),
+        failed_tasks=sum(1 for t in result.tasks.values() if t.failed),
+        region_allocs=counts.get("region-alloc", 0),
+        region_reclaims=counts.get("region-reclaim", 0),
+        region_deaths=counts.get("region-death", 0),
+        replans=len(result.replans),
+        replan_incremental=result.replan_incremental,
+        replan_full=result.replan_full,
+        incremental_ratio=result.incremental_ratio,
+        makespan=result.makespan,
+        tenants=tenants,
+        replan_wall_p50=_percentile(walls, 0.5),
+        replan_wall_p99=_percentile(walls, 0.99),
+    )
+
+
+def render_online_metrics(metrics: OnlineMetrics) -> str:
+    """Human-readable report: run summary plus a per-tenant table."""
+    lines = [
+        f"online run {metrics.trace_name}: {metrics.completed}/{metrics.jobs}"
+        f" jobs completed, deadline hit rate "
+        f"{metrics.hit_rate * 100:.0f}% "
+        f"({metrics.deadline_hits} hit / {metrics.deadline_misses} missed"
+        f"{f' / {metrics.departed} departed' if metrics.departed else ''})",
+        f"re-plans: {metrics.replans} "
+        f"({metrics.replan_incremental} incremental, "
+        f"{metrics.replan_full} full — "
+        f"{metrics.incremental_ratio * 100:.0f}% incremental); "
+        f"wall p50 {metrics.replan_wall_p50 * 1e3:.2f} ms, "
+        f"p99 {metrics.replan_wall_p99 * 1e3:.2f} ms",
+        f"preemptions: {metrics.preemptions} "
+        f"(checkpoints {metrics.checkpoints}, resumes {metrics.resumes}); "
+        f"fallbacks {metrics.fallbacks}, failed tasks {metrics.failed_tasks}",
+        f"regions: {metrics.region_allocs} allocated, "
+        f"{metrics.region_reclaims} reclaimed, "
+        f"{metrics.region_deaths} died; makespan {metrics.makespan:.1f}",
+    ]
+    if metrics.tenants:
+        lines.append(
+            render_table(
+                ["tenant", "jobs", "done", "hit", "miss", "gone", "preempt"],
+                [
+                    [
+                        t.tenant,
+                        str(t.jobs),
+                        str(t.completed),
+                        str(t.deadline_hits),
+                        str(t.deadline_misses),
+                        str(t.departed),
+                        str(t.preemptions),
+                    ]
+                    for t in metrics.tenants
+                ],
+                title="per-tenant outcomes",
+            )
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class OnlineSweepPoint:
+    """Aggregated online metrics at one transient fault rate."""
+
+    rate: float
+    trials: int
+    hit_rate: float  # mean over trials
+    incremental_ratio: float  # mean over trials
+    preemptions: float  # mean per trial
+    fallbacks: float  # mean per trial
+    failed_tasks: float  # mean per trial
+
+
+def _evaluate_online_rate(item) -> OnlineSweepPoint:
+    """Pool worker: all trials at one fault rate.
+
+    Module-level and driven only by its (picklable) item, so fanning
+    rates over processes cannot change any simulated number — the
+    determinism gate runs the same sweep at ``jobs=1`` and ``jobs>1``.
+    """
+    trace, rate, trials, seed, policy, checkpoint = item
+    metrics = []
+    for trial in range(trials):
+        faults = (
+            FaultPlan([TransientTaskFaults(rate=rate, seed=seed + trial)])
+            if rate > 0
+            else None
+        )
+        result = run_online(
+            trace, faults=faults, policy=policy, checkpoint=checkpoint
+        )
+        metrics.append(online_metrics(result))
+    return OnlineSweepPoint(
+        rate=rate,
+        trials=trials,
+        hit_rate=sum(m.hit_rate for m in metrics) / trials,
+        incremental_ratio=sum(m.incremental_ratio for m in metrics) / trials,
+        preemptions=sum(m.preemptions for m in metrics) / trials,
+        fallbacks=sum(m.fallbacks for m in metrics) / trials,
+        failed_tasks=sum(m.failed_tasks for m in metrics) / trials,
+    )
+
+
+def online_sweep(
+    trace: ArrivalTrace | None = None,
+    rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    trials: int = 5,
+    seed: int = 0,
+    policy: RecoveryPolicy | None = None,
+    checkpoint: CheckpointModel | None = None,
+    jobs: int = 1,
+) -> list[OnlineSweepPoint]:
+    """Deadline hit rate and re-plan behaviour vs transient fault rate.
+
+    Each rate point is an independent, seeded batch of trials; ``jobs``
+    fans the rate points over a process pool without changing any
+    number in the result (points stay in ``rates`` order).
+    """
+    if trace is None:
+        trace = generate_trace(seed=seed)
+    policy = policy or RecoveryPolicy()
+    items = [
+        (trace, rate, trials, seed, policy, checkpoint) for rate in rates
+    ]
+    return parallel_map(_evaluate_online_rate, items, jobs=jobs)
+
+
+def render_online_sweep(points: Sequence[OnlineSweepPoint]) -> str:
+    return render_table(
+        ["fault rate", "hit rate", "incremental", "preempt", "fallback", "failed"],
+        [
+            [
+                f"{p.rate * 100:.0f}%",
+                f"{p.hit_rate * 100:.0f}%",
+                f"{p.incremental_ratio * 100:.0f}%",
+                f"{p.preemptions:.1f}",
+                f"{p.fallbacks:.1f}",
+                f"{p.failed_tasks:.1f}",
+            ]
+            for p in points
+        ],
+        title=(
+            f"online fault sweep "
+            f"({points[0].trials if points else 0} trials/rate)"
+        ),
+    )

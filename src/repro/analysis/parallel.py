@@ -17,14 +17,42 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["parallel_map", "resolve_jobs"]
+__all__ = ["parallel_map", "resolve_jobs", "ParallelItemFailure"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class ParallelItemFailure:
+    """Structured record of one work item that could not be completed.
+
+    Returned *in place of* the item's result when ``parallel_map`` runs
+    with a per-item ``timeout``: the sweep keeps going and the caller
+    decides what a hole in the results means, instead of one hung or
+    crashing worker stalling (or aborting) the whole run.  ``phase``
+    names the stage that gave up (``"serial-error"``: the in-process
+    fallback after exhausted pool attempts also raised); ``error``
+    carries the full cause chain (timeout/pool failure, then the
+    serial exception).
+    """
+
+    index: int
+    item: str  # repr of the work item (items may not be printable later)
+    phase: str
+    error: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return (
+            f"item #{self.index} failed after {self.attempts} attempt(s) "
+            f"[{self.phase}]: {self.error}"
+        )
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -50,6 +78,8 @@ def parallel_map(
     items: Iterable[T],
     jobs: int | None = 1,
     progress: Callable[[R], None] | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
 ) -> list[R]:
     """Apply ``worker`` to every item, preserving item order.
 
@@ -60,11 +90,23 @@ def parallel_map(
     Exceptions raised by ``worker`` propagate unchanged; a worker
     process dying (``BrokenProcessPool``) falls back to serially
     re-running whatever did not complete.
+
+    ``timeout`` (seconds, pool path only) bounds each item's wall time:
+    a timed-out item is resubmitted up to ``retries`` times, then
+    re-run once on the serial in-process path; if that also fails the
+    item's slot holds a :class:`ParallelItemFailure` instead of a
+    result, and the map never raises for it.  Without a ``timeout``
+    the original semantics are unchanged (one hung worker blocks the
+    map — set a timeout for sweeps that must always terminate).
     """
     work: Sequence[T] = list(items)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(work) <= 1 or not _picklable(worker, work):
         return _serial_map(worker, work, progress)
+    if timeout is not None:
+        return _timed_pool_map(
+            worker, work, jobs, progress, timeout, max(0, retries)
+        )
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
             futures = [pool.submit(worker, item) for item in work]
@@ -79,6 +121,59 @@ def parallel_map(
         # Pool could not run (sandboxed env, dead worker, fork failure):
         # workers are pure, so redoing the whole map serially is safe.
         return _serial_map(worker, work, progress)
+
+
+def _timed_pool_map(worker, work, jobs, progress, timeout, retries):
+    """Pool map with a per-item deadline and bounded retry.
+
+    The pool is shut down without waiting (``cancel_futures``) so hung
+    workers cannot block the caller's exit; timed-out items get one
+    serial in-process chance and then degrade to structured failures.
+    """
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(work)))
+    results: list = []
+    try:
+        futures = {i: pool.submit(worker, item) for i, item in enumerate(work)}
+        for index, item in enumerate(work):
+            result = None
+            cause: str | None = None  # None = pool attempt succeeded
+            attempts = 0
+            for attempt in range(retries + 1):
+                attempts = attempt + 1
+                try:
+                    result = futures[index].result(timeout=timeout)
+                    break
+                except FutureTimeout:
+                    cause = f"timed out after {timeout:g}s"
+                    if attempt < retries:
+                        cause = None
+                        futures[index] = pool.submit(worker, item)
+                except (BrokenProcessPool, OSError, PermissionError) as exc:
+                    cause = f"pool failure: {exc or exc.__class__.__name__}"
+                    break
+            if cause is not None:
+                result = _serial_rescue(worker, item, index, attempts, cause)
+            if progress is not None:
+                progress(result)
+            results.append(result)
+        return results
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _serial_rescue(worker, item, index, attempts, cause):
+    """Last-resort in-process run of one timed-out/broken-pool item."""
+    try:
+        return worker(item)
+    except Exception as exc:
+        return ParallelItemFailure(
+            index=index,
+            item=repr(item)[:200],
+            phase="serial-error",
+            error=f"{cause}; serial fallback raised: "
+            f"{exc or exc.__class__.__name__}",
+            attempts=attempts + 1,
+        )
 
 
 def _serial_map(worker, work, progress):

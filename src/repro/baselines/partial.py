@@ -315,7 +315,12 @@ class PartialSchedule:
         old_makespan = self._makespan
         reconf_controller: int | None = None
         reconf_interval: tuple[float, float] | None = None
-        needs_reconf = region.sequence and not (
+        # A region needs reconfiguration whenever a *different* module is
+        # currently loaded.  Offline, "something loaded" and "sequence
+        # non-empty" coincide; online projections seed regions whose queue
+        # has drained but whose fabric still holds the last module, so the
+        # loaded module — not the sequence — is the authoritative signal.
+        needs_reconf = region.loaded is not None and not (
             self.module_reuse and region.loaded == impl.name
         )
         if needs_reconf:
@@ -326,7 +331,11 @@ class PartialSchedule:
             self.reconfigurations.append(
                 Reconfiguration(
                     region_id=region_id,
-                    ingoing_task=region.sequence[-1],
+                    ingoing_task=(
+                        region.sequence[-1]
+                        if region.sequence
+                        else f"<live:{region.loaded}>"
+                    ),
                     outgoing_task=task_id,
                     start=rc_start,
                     end=rc_end,

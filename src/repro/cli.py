@@ -315,6 +315,95 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if result.completed else 1
 
 
+def _cmd_online(args: argparse.Namespace) -> int:
+    from .analysis.online import (
+        online_metrics,
+        online_sweep,
+        render_online_metrics,
+        render_online_sweep,
+    )
+    from .online import (
+        ArrivalTrace,
+        CheckpointModel,
+        feasible_trace,
+        generate_trace,
+        run_online,
+    )
+    from .sim import FaultPlan, RecoveryPolicy
+    from .validate import check_online_trace
+
+    try:
+        if args.trace_file:
+            trace = ArrivalTrace.from_json(Path(args.trace_file).read_text())
+        elif args.feasible:
+            trace = feasible_trace(seed=args.seed, jobs=args.arrivals)
+        else:
+            trace = generate_trace(
+                seed=args.seed,
+                jobs=args.arrivals,
+                tenants=args.tenants,
+                mean_interarrival=args.interarrival,
+                slack=args.slack,
+                high_priority_fraction=args.high_priority,
+                departure_fraction=args.departures,
+            )
+        if args.emit_trace:
+            Path(args.emit_trace).write_text(trace.to_json())
+            print(f"wrote arrival trace to {args.emit_trace}")
+        faults = FaultPlan.from_specs(args.fault) if args.fault else None
+        policy = RecoveryPolicy(
+            max_retries=args.retries,
+            backoff=args.backoff,
+            sw_fallback=not args.no_fallback,
+            repair=not args.no_repair,
+        )
+        checkpoint = CheckpointModel(overhead=args.checkpoint_overhead)
+        if args.sweep:
+            rates = tuple(float(r) for r in args.sweep.split(","))
+            points = online_sweep(
+                trace,
+                rates=rates,
+                trials=args.trials,
+                seed=args.seed,
+                policy=policy,
+                checkpoint=checkpoint,
+                jobs=args.jobs,
+            )
+            print(render_online_sweep(points))
+            return 0
+        result = run_online(
+            trace,
+            faults=faults,
+            policy=policy,
+            checkpoint=checkpoint,
+            preemption=not args.no_preemption,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = check_online_trace(trace, result, checkpoint=checkpoint)
+    metrics = online_metrics(result)
+    print(render_online_metrics(metrics))
+    if not report.ok:
+        print(f"\nvalidator found {len(report.violations)} violation(s):")
+        for violation in report.violations[:10]:
+            print(f"  {violation}")
+    if args.events:
+        print()
+        print(result.trace.render())
+    if args.metrics_out:
+        payload = {
+            k: v
+            for k, v in metrics.__dict__.items()
+            if k != "tenants"
+        }
+        payload["tenants"] = [t.__dict__ for t in metrics.tenants]
+        payload["valid"] = report.ok
+        Path(args.metrics_out).write_text(json.dumps(payload, indent=2))
+        print(f"\nwrote metrics to {args.metrics_out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .analysis.parallel import resolve_jobs
 
@@ -532,6 +621,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --sweep (1 = serial, -1 = all cores)",
     )
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "online",
+        help="run a multi-tenant arrival trace through the online "
+        "runtime (admission, deadlines, preemption, recovery)",
+    )
+    p.add_argument(
+        "trace_file",
+        nargs="?",
+        default=None,
+        help="arrival-trace JSON (omit to generate one from --seed)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="trace seed")
+    p.add_argument(
+        "--arrivals", type=int, default=6, help="generated jobs per trace"
+    )
+    p.add_argument(
+        "--feasible",
+        action="store_true",
+        help="generate the known-feasible trace (wide spacing, generous "
+        "deadlines) instead of the default parameters",
+    )
+    p.add_argument(
+        "--tenants", type=int, default=3, help="generated tenant count"
+    )
+    p.add_argument(
+        "--interarrival", type=float, default=40.0,
+        help="mean inter-arrival time for generated traces [us]",
+    )
+    p.add_argument(
+        "--slack", type=float, default=3.0,
+        help="deadline slack factor over each job's serial work",
+    )
+    p.add_argument(
+        "--high-priority", type=float, default=0.25,
+        help="fraction of generated jobs with preempting priority",
+    )
+    p.add_argument(
+        "--departures", type=float, default=0.0,
+        help="fraction of generated jobs that depart early",
+    )
+    p.add_argument(
+        "--emit-trace", default=None, metavar="PATH",
+        help="write the (loaded or generated) trace JSON to PATH",
+    )
+    p.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="inject a fault model; repeatable. SPECs: transient:<rate>[@seed]"
+        " | reconf:<rate>[@seed] | region-death:<region>@<time>",
+    )
+    p.add_argument(
+        "--retries", type=int, default=3, help="max retries per activity"
+    )
+    p.add_argument(
+        "--backoff", type=float, default=1.0, help="first retry backoff [us]"
+    )
+    p.add_argument(
+        "--no-fallback", action="store_true", help="disable SW fallback"
+    )
+    p.add_argument(
+        "--no-repair", action="store_true", help="disable online repair"
+    )
+    p.add_argument(
+        "--no-preemption", action="store_true", help="disable preemption"
+    )
+    p.add_argument(
+        "--checkpoint-overhead", type=float, default=0.0,
+        help="fixed per-save/per-restore checkpoint overhead [us]",
+    )
+    p.add_argument(
+        "--events", action="store_true", help="print the full event trace"
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write run metrics (+ validator verdict) as JSON",
+    )
+    p.add_argument(
+        "--sweep",
+        default=None,
+        metavar="RATES",
+        help="run a transient-fault sweep over comma-separated rates "
+        "instead of a single run",
+    )
+    p.add_argument(
+        "--trials", type=int, default=5, help="trials per sweep rate"
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --sweep (1 = serial, -1 = all cores; "
+        "results are bit-identical for any value)",
+    )
+    p.set_defaults(func=_cmd_online)
 
     p = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p.add_argument(

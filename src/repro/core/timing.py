@@ -114,6 +114,26 @@ class PrecedenceGraph:
     def __contains__(self, node: str) -> bool:
         return node in self._index
 
+    def add_node(self, node: str) -> None:
+        """Grow the node set with an isolated node.
+
+        The online planner admits tasks as jobs arrive, so the "fixed
+        node set" relaxes to append-only growth: a fresh node has no
+        arcs, which makes appending it to the cached topological order
+        (and registering it with an active incremental view) exact.
+        """
+        if node in self._index:
+            raise ValueError(f"duplicate node id {node!r}")
+        self._index[node] = len(self._nodes)
+        self._nodes.append(node)
+        self._succ[node] = {}
+        self._pred[node] = {}
+        if self._order_cache is not None:
+            self._pos[node] = len(self._order_cache)
+            self._order_cache.append(node)
+        if self._inc is not None:
+            self._inc.register(node)
+
     def add_edge(self, src: str, dst: str, weight: float = 0.0) -> None:
         """Insert ``src -> dst``; idempotent (keeps the max weight)."""
         if src not in self._index or dst not in self._index:
@@ -369,6 +389,30 @@ class IncrementalStarts:
             if candidate > start:
                 start = candidate
         return start
+
+    def register(self, node: str) -> None:
+        """Seed the view for a node just added via ``add_node``.
+
+        The node has no arcs yet, so its earliest start is exactly its
+        lower bound; later ``add_edge``/``raise_lower_bound`` calls
+        propagate from there.  ``exe`` must already map the node (the
+        caller owns the mapping and sets the execution time before
+        growing the graph).
+        """
+        self.est[node] = self.lower_bounds.get(node, 0.0)
+
+    def raise_lower_bound(self, node: str, bound: float) -> None:
+        """Monotonically raise a node's start lower bound and propagate.
+
+        This is how committed runtime facts (an arrival instant, an
+        actual dispatch time, a fault-delayed completion) enter the
+        projection: bounds only ever grow, which keeps the view inside
+        its monotone-update regime.
+        """
+        if bound <= self.lower_bounds.get(node, 0.0):
+            return
+        self.lower_bounds[node] = bound
+        self.propagate(node)
 
     def propagate(self, root: str) -> None:
         """Push the effect of a new/heavier arc into ``root`` forward."""

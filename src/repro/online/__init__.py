@@ -1,0 +1,35 @@
+"""Online multi-tenant scheduling runtime (arrivals, deadlines,
+preemptive partial reconfiguration, always-on recovery ladder).
+
+The static pipeline plans one instance ahead of time; this package
+executes a *stream* of tenant jobs on a shared fabric: admission with
+incremental re-planning, deadline tracking, priority preemption via
+region checkpoint/restore, and the PR-1 recovery ladder promoted to
+the common case.  See :mod:`repro.online.runtime` for the event model
+and :mod:`repro.analysis.online` for metrics/reporting.
+"""
+
+from .checkpoint import CheckpointModel
+from .runtime import (
+    JobOutcome,
+    OnlineResult,
+    OnlineRuntime,
+    RegionLog,
+    TaskOutcome,
+    run_online,
+)
+from .workload import ArrivalTrace, Job, feasible_trace, generate_trace
+
+__all__ = [
+    "ArrivalTrace",
+    "CheckpointModel",
+    "Job",
+    "JobOutcome",
+    "OnlineResult",
+    "OnlineRuntime",
+    "RegionLog",
+    "TaskOutcome",
+    "feasible_trace",
+    "generate_trace",
+    "run_online",
+]

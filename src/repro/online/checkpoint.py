@@ -1,0 +1,59 @@
+"""Checkpoint cost model for preemptive partial reconfiguration.
+
+Preempting a HW task means reading the region's state back out of the
+fabric (configuration readback over the ICAP) and later restoring it
+before execution continues.  Both costs scale with the region's
+bitstream size — the same Eq. 1 size the architecture already charges
+for configuration — divided by a readback/restore throughput, plus a
+fixed per-operation overhead (driver latency, frame alignment).
+
+Defaults tie both throughputs to the architecture's ``rec_freq`` so
+checkpointing a region costs about as much as reconfiguring it, which
+matches published readback-based preemption prototypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model import Architecture, ResourceVector
+
+__all__ = ["CheckpointModel"]
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Save/restore cost model for region preemption.
+
+    ``save_freq`` / ``restore_freq`` are throughputs in bits per time
+    unit (``None`` = use the architecture's ``rec_freq``); ``overhead``
+    is a fixed cost added to every save and every restore.
+    """
+
+    save_freq: float | None = None
+    restore_freq: float | None = None
+    overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.save_freq is not None and self.save_freq <= 0:
+            raise ValueError(f"save_freq must be > 0, got {self.save_freq}")
+        if self.restore_freq is not None and self.restore_freq <= 0:
+            raise ValueError(
+                f"restore_freq must be > 0, got {self.restore_freq}"
+            )
+        if self.overhead < 0:
+            raise ValueError(f"overhead must be >= 0, got {self.overhead}")
+
+    def save_cost(self, arch: Architecture, resources: ResourceVector) -> float:
+        """Time to read the region's state back out of the fabric."""
+        freq = self.save_freq if self.save_freq is not None else arch.rec_freq
+        return arch.bitstream_bits(resources) / freq + self.overhead
+
+    def restore_cost(
+        self, arch: Architecture, resources: ResourceVector
+    ) -> float:
+        """Time to write the saved state back before resuming."""
+        freq = (
+            self.restore_freq if self.restore_freq is not None else arch.rec_freq
+        )
+        return arch.bitstream_bits(resources) / freq + self.overhead

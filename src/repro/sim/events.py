@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 __all__ = ["ExecutionEvent", "ExecutionTrace"]
 
-# The closed set of event kinds the executor emits.  Kept as a tuple so
+# The closed set of event kinds the executors emit.  Kept as a tuple so
 # tests and tooling can enumerate it.
 EVENT_KINDS = (
     "start",  # an activity (task or reconfiguration) begins
@@ -29,6 +29,19 @@ EVENT_KINDS = (
     "repair-failed",  # the repair scheduler could not produce a plan
     "skip",  # a task is abandoned because an ancestor failed
     "failed",  # a task is abandoned with no recovery option left
+    # -- online runtime (repro.online) ----------------------------------
+    "arrival",  # a tenant job arrived
+    "admit",  # the online planner admitted/placed a job's tasks
+    "replan",  # a re-plan pass ran (detail: incremental | full)
+    "deadline-miss",  # a job was still unfinished at its deadline
+    "departure",  # a tenant withdrew a job; pending tasks cancelled
+    "cancel",  # one task removed from its queue by a departure
+    "preempt",  # a running task was preempted for a higher-priority job
+    "checkpoint",  # a preempted region's state was saved (cost charged)
+    "resume",  # a preempted task resumed from its checkpoint
+    "region-alloc",  # the planner allocated a new reconfigurable region
+    "region-reclaim",  # an idle region's fabric was reclaimed
+    "job-complete",  # the last task of a job finished
 )
 
 

@@ -72,13 +72,40 @@ class DeadlockError(RuntimeError):
     """The dispatch plan cannot make progress.
 
     ``blocked`` maps each stuck resource to a human-readable reason;
-    ``stuck_tasks`` lists the unfinished task ids.
+    ``stuck_tasks`` lists the unfinished task ids; ``pending_events``
+    is a snapshot of the not-yet-processed event queue (queue heads,
+    scheduled fault events, online arrivals) and ``blocking_dependency``
+    maps each stuck task to its earliest unsatisfied dependency — so an
+    online-mode deadlock is debuggable from the message alone.
     """
 
-    def __init__(self, blocked: Mapping[str, str], stuck_tasks: list[str]):
+    def __init__(
+        self,
+        blocked: Mapping[str, str],
+        stuck_tasks: list[str],
+        pending_events: list[str] | None = None,
+        blocking_dependency: Mapping[str, str] | None = None,
+    ):
         self.blocked = dict(blocked)
         self.stuck_tasks = list(stuck_tasks)
+        self.pending_events = list(pending_events or [])
+        self.blocking_dependency = dict(blocking_dependency or {})
         lines = [f"  {res}: {why}" for res, why in sorted(self.blocked.items())]
+        if self.blocking_dependency:
+            lines.append("earliest unsatisfied dependency per stuck task:")
+            lines.extend(
+                f"  {task} <- {dep}"
+                for task, dep in sorted(self.blocking_dependency.items())
+            )
+        if self.pending_events:
+            lines.append(
+                f"pending event queue ({len(self.pending_events)} entries):"
+            )
+            lines.extend(f"  {entry}" for entry in self.pending_events[:20])
+            if len(self.pending_events) > 20:
+                lines.append(
+                    f"  ... and {len(self.pending_events) - 20} more"
+                )
         super().__init__(
             "dispatch deadlock — no runnable activity but "
             f"{len(self.stuck_tasks)} task(s) unfinished "
@@ -834,7 +861,52 @@ class _Engine:
             - self.failed
             - self.skipped
         )
-        raise DeadlockError(blocked, stuck)
+        pending: list[str] = []
+        for time, region_id in self.deaths:
+            pending.append(f"t={time:g} region-death {region_id}")
+        for controller in sorted(self.controller_queues):
+            for rc in self.controller_queues[controller]:
+                pending.append(
+                    f"ICAP{controller} reconf:{rc.outgoing_task} "
+                    f"(after {rc.ingoing_task!r})"
+                )
+        for rid in sorted(self.region_tasks):
+            if self.region_tasks[rid]:
+                pending.append(f"{rid} queue: {self.region_tasks[rid][:6]}")
+        for proc in sorted(self.proc_tasks):
+            if self.proc_tasks[proc]:
+                pending.append(f"P{proc} queue: {self.proc_tasks[proc][:6]}")
+        if self.pool:
+            pending.append(f"fallback pool: {sorted(self.pool)[:6]}")
+        raise DeadlockError(
+            blocked,
+            stuck,
+            pending_events=pending,
+            blocking_dependency={
+                task_id: dep
+                for task_id in stuck
+                if (dep := self._earliest_unsatisfied_dependency(task_id))
+            },
+        )
+
+    def _earliest_unsatisfied_dependency(self, task_id: str) -> str | None:
+        """The unfinished predecessor that blocks first (by planned
+        start, then id) — the root cause to chase in a deadlock."""
+        missing = [
+            p
+            for p in self.graph.predecessors(task_id)
+            if p not in self.task_end and p not in self.resolved
+        ]
+        if not missing:
+            return None
+        planned = self.schedule.tasks
+        return min(
+            missing,
+            key=lambda p: (
+                planned[p].start if p in planned else float("inf"),
+                p,
+            ),
+        )
 
     def _task_block_reason(self, task_id: str) -> str:
         missing = [

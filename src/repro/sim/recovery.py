@@ -56,12 +56,16 @@ class RecoveryPolicy:
 
     ``repair_latency`` charges the online re-scheduling overhead in
     simulation time: the repaired plan cannot dispatch before
-    ``death_time + repair_latency``.
+    ``death_time + repair_latency``.  ``max_backoff`` caps the
+    exponential retry delay (``None`` = uncapped) so long retry chains
+    in long-running online workloads cannot grow the idle time without
+    bound.
     """
 
     max_retries: int = 3
     backoff: float = 1.0
     backoff_factor: float = 2.0
+    max_backoff: float | None = None
     sw_fallback: bool = True
     repair: bool = True
     repair_latency: float = 0.0
@@ -69,19 +73,43 @@ class RecoveryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
-        if self.backoff < 0 or self.backoff_factor < 1.0:
-            raise ValueError("backoff must be >= 0 with factor >= 1")
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries} "
+                "(a negative retry count is meaningless)"
+            )
+        if self.backoff < 0:
+            raise ValueError(
+                f"backoff must be >= 0, got {self.backoff} "
+                "(a retry cannot be scheduled into the past)"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor} "
+                "(delays must not shrink between attempts)"
+            )
+        if self.max_backoff is not None and self.max_backoff < 0:
+            raise ValueError(
+                f"max_backoff must be >= 0 (or None for uncapped), "
+                f"got {self.max_backoff}"
+            )
         if self.repair_latency < 0:
-            raise ValueError("repair_latency must be >= 0")
+            raise ValueError(
+                f"repair_latency must be >= 0, got {self.repair_latency}"
+            )
         if self.max_repairs < 0:
-            raise ValueError("max_repairs must be >= 0")
+            raise ValueError(
+                f"max_repairs must be >= 0, got {self.max_repairs}"
+            )
 
     def retry_delay(self, failures: int) -> float:
-        """Idle time before re-attempting after the ``failures``-th failure."""
+        """Idle time before re-attempting after the ``failures``-th
+        failure: exponential backoff, capped at ``max_backoff``."""
         if failures < 1:
             raise ValueError("failures must be >= 1")
-        return self.backoff * self.backoff_factor ** (failures - 1)
+        delay = self.backoff * self.backoff_factor ** (failures - 1)
+        if self.max_backoff is not None:
+            delay = min(delay, self.max_backoff)
+        return delay
 
 
 def degraded_architecture(

@@ -7,11 +7,13 @@ from .checker import (
     check_repaired_schedule,
     check_schedule,
 )
+from .online import check_online_trace
 
 __all__ = [
     "ScheduleInvalidError",
     "ValidationReport",
     "Violation",
+    "check_online_trace",
     "check_repaired_schedule",
     "check_schedule",
 ]

@@ -1,0 +1,83 @@
+"""Property-based tests for the online runtime.
+
+Two invariants over randomized arrival traces and fault seeds:
+
+1. **Determinism** — the same trace, fault plan and policy produce a
+   bit-identical event log and metrics on every run, and fanning a
+   sweep over worker processes changes no number.
+2. **Conservation under preemption and recovery** — whatever the
+   runtime does (preempt, checkpoint, resume, retry, fall back,
+   repair), the independent validator finds no lost work, no
+   double-execution and no resource overlap.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.online import online_sweep
+from repro.online import generate_trace, run_online
+from repro.sim import FaultPlan, RecoveryPolicy, TransientTaskFaults
+from repro.validate import check_online_trace
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_POLICY = RecoveryPolicy(max_retries=6)
+
+
+@st.composite
+def online_cases(draw):
+    trace = generate_trace(
+        seed=draw(st.integers(min_value=0, max_value=50)),
+        jobs=draw(st.integers(min_value=2, max_value=5)),
+        tenants=draw(st.integers(min_value=1, max_value=3)),
+        min_tasks=2,
+        max_tasks=4,
+        mean_interarrival=draw(st.sampled_from([15.0, 40.0, 120.0])),
+        slack=draw(st.sampled_from([1.5, 2.5, 6.0])),
+        high_priority_fraction=draw(st.sampled_from([0.0, 0.3, 0.6])),
+        departure_fraction=draw(st.sampled_from([0.0, 0.25])),
+    )
+    rate = draw(st.sampled_from([0.0, 0.05, 0.15]))
+    fault_seed = draw(st.integers(min_value=0, max_value=20))
+    faults = FaultPlan([TransientTaskFaults(rate=rate, seed=fault_seed)])
+    return trace, faults
+
+
+@SETTINGS
+@given(online_cases())
+def test_runs_are_bit_deterministic(case):
+    trace, faults = case
+    a = run_online(trace, faults=faults, policy=_POLICY)
+    b = run_online(trace, faults=faults, policy=_POLICY)
+    assert a.event_log() == b.event_log()
+    assert a.makespan == b.makespan
+    # wall-clock re-plan latencies differ run to run; the mode sequence
+    # (incremental vs full) must not
+    assert [m for m, _ in a.replans] == [m for m, _ in b.replans]
+
+
+@SETTINGS
+@given(online_cases())
+def test_no_work_lost_no_double_booking(case):
+    trace, faults = case
+    result = run_online(trace, faults=faults, policy=_POLICY)
+    report = check_online_trace(trace, result)
+    assert report.ok, "; ".join(str(v) for v in report.violations[:5])
+
+
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10))
+def test_sweep_fanout_changes_nothing(seed):
+    trace = generate_trace(seed=seed, jobs=3, min_tasks=2, max_tasks=3)
+    serial = online_sweep(
+        trace, rates=(0.0, 0.1), trials=2, seed=seed, policy=_POLICY, jobs=1
+    )
+    fanned = online_sweep(
+        trace, rates=(0.0, 0.1), trials=2, seed=seed, policy=_POLICY, jobs=2
+    )
+    assert serial == fanned

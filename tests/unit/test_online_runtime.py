@@ -1,0 +1,291 @@
+"""Scenario tests for the online multi-tenant runtime.
+
+Each test builds a small crafted trace that forces one runtime path —
+preemption with checkpoint/resume, region death with SW fallback or
+HW-only repair, tenant departure, deadline accounting — and checks both
+the runtime's own records and the independent trace validator.
+"""
+
+import pytest
+
+from repro.analysis.online import online_metrics, render_online_metrics
+from repro.benchgen import zedboard_architecture
+from repro.model import Implementation, ResourceVector, Task, TaskGraph
+from repro.online import (
+    ArrivalTrace,
+    CheckpointModel,
+    Job,
+    feasible_trace,
+    run_online,
+)
+from repro.sim import FaultPlan, RecoveryPolicy, TransientTaskFaults
+from repro.sim.executor import DeadlockError
+from repro.sim.faults import RegionDeath
+from repro.validate import check_online_trace
+
+
+def _single(name, impl_name, hw_time, sw_time, res):
+    g = TaskGraph(name=name)
+    g.add_task(
+        Task.of(
+            "a",
+            [
+                Implementation.hw(impl_name, hw_time, res),
+                Implementation.sw(f"{name}-sw", sw_time),
+            ],
+        )
+    )
+    return g
+
+
+def _chain(name, n, hw_time, sw_time, res, hw_only=False):
+    g = TaskGraph(name=name)
+    prev = None
+    for i in range(n):
+        tid = f"t{i}"
+        impls = [Implementation.hw(f"{name}-hw{i}", hw_time, res)]
+        if not hw_only:
+            impls.append(Implementation.sw(f"{name}-sw{i}", sw_time))
+        g.add_task(Task.of(tid, impls))
+        if prev is not None:
+            g.add_dependency(prev, tid)
+        prev = tid
+    return g
+
+
+def _kinds(result):
+    return {e.kind for e in result.trace.chronological()}
+
+
+class TestFeasibleRun:
+    def test_all_deadlines_hit_and_valid(self):
+        trace = feasible_trace(seed=0, jobs=5)
+        result = run_online(trace)
+        assert all(j.hit for j in result.jobs.values())
+        assert all(j.completed_at is not None for j in result.jobs.values())
+        check_online_trace(trace, result).raise_if_invalid()
+
+    def test_incremental_is_common_case(self):
+        trace = feasible_trace(seed=0, jobs=5)
+        result = run_online(trace)
+        assert result.replan_incremental + result.replan_full == len(
+            result.replans
+        )
+        assert result.incremental_ratio >= 0.9
+
+    def test_metrics_shape(self):
+        trace = feasible_trace(seed=0, jobs=5)
+        result = run_online(trace)
+        metrics = online_metrics(result)
+        assert metrics.jobs == 5
+        assert metrics.hit_rate == 1.0
+        assert metrics.completed == 5
+        assert {t.tenant for t in metrics.tenants} == set(trace.tenants())
+        assert sum(t.jobs for t in metrics.tenants) == 5
+        text = render_online_metrics(metrics)
+        assert "deadline" in text.lower()
+
+
+class TestPreemption:
+    """A high-priority arrival preempts a fabric-saturating tenant:
+    checkpoint, run the urgent job, restore, and lose no work."""
+
+    def _trace(self):
+        arch = zedboard_architecture()
+        big = ResourceVector({"CLB": 9000, "BRAM": 100, "DSP": 150})
+        lo = Job(
+            job_id="lo",
+            tenant="t0",
+            taskgraph=_single("lo", "acc", 5000.0, 50000.0, big),
+            arrival=0.0,
+            deadline=60000.0,
+            priority=0,
+        )
+        hi = Job(
+            job_id="hi",
+            tenant="t1",
+            taskgraph=_single("hi", "acc", 100.0, 30000.0, big),
+            arrival=5000.0,
+            deadline=5600.0,
+            priority=1,
+        )
+        trace = ArrivalTrace(
+            name="preempt-test", architecture=arch, jobs=[lo, hi]
+        )
+        ck = CheckpointModel(save_freq=3.2e5, restore_freq=3.2e5)
+        return trace, ck
+
+    def test_preempt_checkpoint_resume_events(self):
+        trace, ck = self._trace()
+        result = run_online(trace, checkpoint=ck)
+        kinds = _kinds(result)
+        assert {"preempt", "checkpoint", "resume"} <= kinds
+        assert result.jobs["lo"].preemptions == 1
+        assert result.jobs["hi"].preemptions == 0
+
+    def test_both_deadlines_hit(self):
+        trace, ck = self._trace()
+        result = run_online(trace, checkpoint=ck)
+        assert result.jobs["hi"].hit, "urgent job should make its deadline"
+        assert result.jobs["lo"].hit, "preempted job must still finish"
+
+    def test_work_conserved_exactly(self):
+        trace, ck = self._trace()
+        result = run_online(trace, checkpoint=ck)
+        victim = result.tasks["lo:a"]
+        assert victim.preemptions == 1
+        assert len(victim.restore_charged) == 1
+        ok_time = sum(
+            a.duration
+            for a in result.activities
+            if a.kind == "task" and a.name == "lo:a" and a.ok
+        )
+        expected = victim.impl_time + sum(victim.restore_charged)
+        assert ok_time == pytest.approx(expected)
+        check_online_trace(trace, result, checkpoint=ck).raise_if_invalid()
+
+    def test_disabling_preemption_blocks_urgent_job(self):
+        trace, ck = self._trace()
+        result = run_online(trace, checkpoint=ck, preemption=False)
+        assert "preempt" not in _kinds(result)
+        # without preemption the urgent job waits behind the long task
+        assert not result.jobs["hi"].hit
+        check_online_trace(trace, result, checkpoint=ck).raise_if_invalid()
+
+
+class TestRecoveryLadder:
+    def test_region_death_falls_back_to_software(self):
+        arch = zedboard_architecture()
+        res = ResourceVector({"CLB": 600, "BRAM": 8, "DSP": 12})
+        job = Job(
+            job_id="j0",
+            tenant="t0",
+            taskgraph=_chain("j0", 3, 100.0, 150.0, res),
+            arrival=0.0,
+            deadline=5000.0,
+        )
+        trace = ArrivalTrace(name="death", architecture=arch, jobs=[job])
+        result = run_online(
+            trace, faults=FaultPlan([RegionDeath(region_id="RR0", time=150.0)])
+        )
+        assert "region-death" in _kinds(result)
+        assert result.jobs["j0"].completed_at is not None
+        assert any(t.fallback for t in result.tasks.values()), (
+            "in-flight work on the dead region should fall back to SW"
+        )
+        check_online_trace(trace, result).raise_if_invalid()
+
+    def test_region_death_hw_only_repairs_on_fresh_region(self):
+        arch = zedboard_architecture()
+        res = ResourceVector({"CLB": 600, "BRAM": 8, "DSP": 12})
+        job = Job(
+            job_id="j0",
+            tenant="t0",
+            taskgraph=_chain("j0", 3, 100.0, 0.0, res, hw_only=True),
+            arrival=0.0,
+            deadline=20000.0,
+        )
+        trace = ArrivalTrace(name="death-hw", architecture=arch, jobs=[job])
+        result = run_online(
+            trace, faults=FaultPlan([RegionDeath(region_id="RR0", time=150.0)])
+        )
+        # no SW implementation exists, so recovery must re-place on the
+        # fabric: a second region gets allocated and the job completes
+        assert result.jobs["j0"].completed_at is not None
+        assert not any(t.fallback for t in result.tasks.values())
+        assert len(result.regions) >= 2
+        dead = [r for r in result.regions if r.cause == "died"]
+        assert len(dead) == 1
+        check_online_trace(trace, result).raise_if_invalid()
+
+    def test_retries_precede_fallback(self):
+        trace = feasible_trace(seed=0, jobs=3)
+        faults = FaultPlan([TransientTaskFaults(rate=0.3, seed=5)])
+        policy = RecoveryPolicy(max_retries=6)
+        result = run_online(trace, faults=faults, policy=policy)
+        kinds = _kinds(result)
+        if "fault" in kinds:
+            assert "retry" in kinds
+        # a feasible workload is never aborted: every non-departed job
+        # either completes or is explicitly marked failed/skipped
+        for jr in result.jobs.values():
+            assert jr.completed_at is not None or jr.departed or any(
+                result.tasks[uid].failed or result.tasks[uid].skipped
+                for uid in jr.uids
+            )
+        check_online_trace(trace, result).raise_if_invalid()
+
+
+class TestDeparturesAndDeadlines:
+    def test_departure_cancels_unstarted_work(self):
+        arch = zedboard_architecture()
+        res = ResourceVector({"CLB": 600, "BRAM": 8, "DSP": 12})
+        job = Job(
+            job_id="j0",
+            tenant="t0",
+            taskgraph=_chain("j0", 4, 2000.0, 3000.0, res),
+            arrival=0.0,
+            deadline=50000.0,
+            departure=2500.0,
+        )
+        trace = ArrivalTrace(name="depart", architecture=arch, jobs=[job])
+        result = run_online(trace)
+        outcome = result.jobs["j0"]
+        assert outcome.departed
+        assert outcome.completed_at is None
+        kinds = _kinds(result)
+        assert "departure" in kinds
+        assert "cancel" in kinds
+        assert any(t.cancelled for t in result.tasks.values())
+        assert "job-complete" not in kinds
+        check_online_trace(trace, result).raise_if_invalid()
+
+    def test_impossible_deadline_is_missed_not_aborted(self):
+        arch = zedboard_architecture()
+        res = ResourceVector({"CLB": 600, "BRAM": 8, "DSP": 12})
+        job = Job(
+            job_id="j0",
+            tenant="t0",
+            taskgraph=_chain("j0", 3, 1000.0, 1500.0, res),
+            arrival=0.0,
+            deadline=10.0 + 1e-6,
+        )
+        # deadline is far inside the serial work: must be missed, but the
+        # job still runs to completion (never aborted)
+        trace = ArrivalTrace(name="tight", architecture=arch, jobs=[job])
+        result = run_online(trace)
+        outcome = result.jobs["j0"]
+        assert outcome.missed
+        assert not outcome.hit
+        assert outcome.completed_at is not None
+        assert "deadline-miss" in _kinds(result)
+        check_online_trace(trace, result).raise_if_invalid()
+
+
+class TestDeterminism:
+    def test_same_inputs_bit_identical(self):
+        trace = feasible_trace(seed=2, jobs=4)
+        faults = FaultPlan([TransientTaskFaults(rate=0.1, seed=9)])
+        a = run_online(trace, faults=faults)
+        b = run_online(trace, faults=faults)
+        assert a.event_log() == b.event_log()
+        assert a.makespan == b.makespan
+        assert a.replan_incremental == b.replan_incremental
+        assert a.replan_full == b.replan_full
+
+
+class TestDeadlockDiagnostics:
+    def test_message_carries_queue_and_dependency_snapshot(self):
+        err = DeadlockError(
+            blocked={"RR0": "waiting for reconfiguration"},
+            stuck_tasks=["j0:t1"],
+            pending_events=["arrival j1 @ 50.0"],
+            blocking_dependency={"j0:t1": "j0:t0"},
+        )
+        text = str(err)
+        assert "RR0" in text
+        assert "waiting for reconfiguration" in text
+        assert "j0:t1 <- j0:t0" in text
+        assert "pending event queue" in text
+        assert err.pending_events == ["arrival j1 @ 50.0"]
+        assert err.blocking_dependency == {"j0:t1": "j0:t0"}

@@ -1,0 +1,156 @@
+"""Unit tests for the dynamic multi-tenant workload model."""
+
+import pytest
+
+from repro.benchgen import zedboard_architecture
+from repro.model import Implementation, ResourceVector, Task, TaskGraph
+from repro.online import ArrivalTrace, Job, feasible_trace, generate_trace
+
+
+def _graph(name="g"):
+    g = TaskGraph(name=name)
+    g.add_task(
+        Task.of(
+            "a",
+            [
+                Implementation.hw(
+                    f"{name}-hw", 10.0, ResourceVector({"CLB": 100})
+                ),
+                Implementation.sw(f"{name}-sw", 20.0),
+            ],
+        )
+    )
+    return g
+
+
+class TestJob:
+    def test_requires_nonempty_id(self):
+        with pytest.raises(ValueError, match="job_id"):
+            Job(job_id="", tenant="t0", taskgraph=_graph(), arrival=0.0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError, match="arrival"):
+            Job(job_id="j", tenant="t0", taskgraph=_graph(), arrival=-1.0)
+
+    def test_deadline_must_follow_arrival(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Job(
+                job_id="j",
+                tenant="t0",
+                taskgraph=_graph(),
+                arrival=10.0,
+                deadline=10.0,
+            )
+
+    def test_departure_must_follow_arrival(self):
+        with pytest.raises(ValueError, match="departure"):
+            Job(
+                job_id="j",
+                tenant="t0",
+                taskgraph=_graph(),
+                arrival=10.0,
+                departure=5.0,
+            )
+
+    def test_rejects_empty_task_graph(self):
+        with pytest.raises(ValueError, match="empty task graph"):
+            Job(
+                job_id="j",
+                tenant="t0",
+                taskgraph=TaskGraph(name="empty"),
+                arrival=0.0,
+            )
+
+    def test_serial_fastest_time_sums_fastest_impls(self):
+        job = Job(job_id="j", tenant="t0", taskgraph=_graph(), arrival=0.0)
+        assert job.serial_fastest_time() == pytest.approx(10.0)
+
+    def test_dict_round_trip(self):
+        job = Job(
+            job_id="j",
+            tenant="t0",
+            taskgraph=_graph(),
+            arrival=1.0,
+            deadline=50.0,
+            priority=1,
+            departure=60.0,
+        )
+        again = Job.from_dict(job.to_dict())
+        assert again.to_dict() == job.to_dict()
+
+
+class TestArrivalTrace:
+    def test_rejects_duplicate_job_ids(self):
+        jobs = [
+            Job(job_id="j", tenant="t0", taskgraph=_graph("a"), arrival=0.0),
+            Job(job_id="j", tenant="t1", taskgraph=_graph("b"), arrival=5.0),
+        ]
+        with pytest.raises(ValueError, match="duplicate job id"):
+            ArrivalTrace(
+                name="t", architecture=zedboard_architecture(), jobs=jobs
+            )
+
+    def test_jobs_sorted_by_arrival(self):
+        jobs = [
+            Job(job_id="b", tenant="t0", taskgraph=_graph("a"), arrival=9.0),
+            Job(job_id="a", tenant="t0", taskgraph=_graph("b"), arrival=2.0),
+        ]
+        trace = ArrivalTrace(
+            name="t", architecture=zedboard_architecture(), jobs=jobs
+        )
+        assert [j.job_id for j in trace.jobs] == ["a", "b"]
+        assert trace.horizon == 9.0
+
+    def test_json_round_trip_preserves_hash(self):
+        trace = generate_trace(seed=4, jobs=4, departure_fraction=0.25)
+        again = ArrivalTrace.from_json(trace.to_json())
+        assert again.content_hash() == trace.content_hash()
+        assert [j.job_id for j in again.jobs] == [j.job_id for j in trace.jobs]
+
+    def test_tenants_sorted_unique(self):
+        trace = generate_trace(seed=1, jobs=6, tenants=3)
+        ts = trace.tenants()
+        assert ts == sorted(set(ts))
+        assert all(t.startswith("tenant") for t in ts)
+
+
+class TestGenerateTrace:
+    def test_same_seed_bit_identical(self):
+        a = generate_trace(seed=11, jobs=5, departure_fraction=0.3)
+        b = generate_trace(seed=11, jobs=5, departure_fraction=0.3)
+        assert a.to_json() == b.to_json()
+
+    def test_different_seed_differs(self):
+        a = generate_trace(seed=11, jobs=5)
+        b = generate_trace(seed=12, jobs=5)
+        assert a.content_hash() != b.content_hash()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            generate_trace(seed=0, jobs=0)
+        with pytest.raises(ValueError, match="min_tasks"):
+            generate_trace(seed=0, min_tasks=5, max_tasks=3)
+        with pytest.raises(ValueError, match="mean_interarrival"):
+            generate_trace(seed=0, mean_interarrival=0.0)
+        with pytest.raises(ValueError, match="slack"):
+            generate_trace(seed=0, slack=1.0)
+
+    def test_deadlines_scale_with_slack(self):
+        tight = generate_trace(seed=2, jobs=3, slack=1.5)
+        loose = generate_trace(seed=2, jobs=3, slack=6.0)
+        for t_job, l_job in zip(tight.jobs, loose.jobs):
+            assert t_job.deadline < l_job.deadline
+
+    def test_departures_land_after_deadline(self):
+        trace = generate_trace(seed=6, jobs=10, departure_fraction=1.0)
+        for job in trace.jobs:
+            assert job.departure is not None
+            assert job.departure > job.deadline
+
+
+class TestFeasibleTrace:
+    def test_has_requested_jobs_and_deadlines(self):
+        trace = feasible_trace(seed=0, jobs=5)
+        assert len(trace.jobs) == 5
+        assert all(j.deadline is not None for j in trace.jobs)
+        assert all(j.departure is None for j in trace.jobs)

@@ -75,3 +75,65 @@ class TestPoolPath:
     def test_worker_exception_propagates_from_pool(self):
         with pytest.raises(RuntimeError, match="boom"):
             parallel_map(_boom, [1, 2], jobs=2)
+
+
+def _slow_in_pool(parent_pid):
+    # In a pool worker (different pid) this hangs past any test timeout;
+    # in the caller's process (the serial rescue) it raises instead —
+    # driving the full timeout -> retry -> rescue -> failure ladder.
+    import os
+    import time
+
+    if os.getpid() == parent_pid:
+        raise RuntimeError("rescue also failed")
+    time.sleep(5.0)
+    return "never"
+
+
+class TestTimedPoolPath:
+    def test_timeout_results_match_serial_when_fast(self):
+        items = [1, 2, 3, 4]
+        assert parallel_map(
+            _square, items, jobs=2, timeout=30.0
+        ) == parallel_map(_square, items, jobs=1)
+
+    def test_timeout_failure_record_fields(self):
+        import os
+
+        from repro.analysis.parallel import ParallelItemFailure
+
+        parent = os.getpid()
+        results = parallel_map(
+            _slow_in_pool,
+            [parent, parent],
+            jobs=2,
+            timeout=0.3,
+            retries=1,
+        )
+        assert len(results) == 2
+        for index, failure in enumerate(results):
+            assert isinstance(failure, ParallelItemFailure)
+            assert failure.index == index
+            assert failure.phase == "serial-error"
+            assert "timed out" in failure.error
+            assert "rescue also failed" in failure.error
+            # retries+1 pool attempts plus the serial rescue
+            assert failure.attempts == 3
+            assert "failed after 3 attempt(s)" in str(failure)
+
+    def test_sweep_continues_past_failures(self):
+        import os
+
+        parent = os.getpid()
+        seen = []
+        results = parallel_map(
+            _slow_in_pool,
+            [parent, parent],
+            jobs=2,
+            timeout=0.2,
+            retries=0,
+            progress=seen.append,
+        )
+        # progress fired for every slot, failures included
+        assert len(seen) == 2
+        assert results == seen

@@ -153,3 +153,22 @@ class TestRepairSchedule:
         repair = repair_schedule(instance, completed=[], dead_regions=dead)
         fresh = do_schedule(repair.residual_instance)
         assert repair.schedule.makespan == pytest.approx(fresh.makespan)
+
+
+class TestBackoffCap:
+    def test_max_backoff_caps_exponential_growth(self):
+        policy = RecoveryPolicy(
+            backoff=2.0, backoff_factor=3.0, max_backoff=5.0
+        )
+        assert policy.retry_delay(1) == pytest.approx(2.0)
+        assert policy.retry_delay(2) == pytest.approx(5.0)  # 6 capped
+        assert policy.retry_delay(3) == pytest.approx(5.0)  # 18 capped
+
+    def test_uncapped_by_default(self):
+        policy = RecoveryPolicy(backoff=2.0, backoff_factor=3.0)
+        assert policy.max_backoff is None
+        assert policy.retry_delay(4) == pytest.approx(54.0)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_backoff"):
+            RecoveryPolicy(max_backoff=-1.0)
