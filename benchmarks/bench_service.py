@@ -1,0 +1,217 @@
+"""Scheduling-service benchmark: coalescing, warm-hit identity, drain overhead.
+
+Three gates behind the `repro serve` daemon (DESIGN.md §12):
+
+* **coalesce** — N identical requests posted concurrently against a
+  cold store produce exactly **one** backend invocation; the other
+  N-1 ride the same in-flight future (``/metrics`` ``computed == 1``).
+* **identity** — a warm hit through the HTTP layer returns byte-wise
+  the same outcome payload ``ResultStore.get`` returns for that key
+  (the PR-4 bit-identical contract survives the service front-end).
+* **drain overhead** — draining a cold mixed workload through the
+  service (HTTP + queue + store round-trips) costs at most **2x** the
+  direct in-process ``run_batch`` wall time on the same worker count.
+
+Runs standalone (JSON out) or under pytest::
+
+    python benchmarks/bench_service.py --quick --out bench.json
+    pytest benchmarks/bench_service.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchgen import paper_instance
+from repro.engine import (
+    ResultStore,
+    ScheduleRequest,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+    run_batch,
+    run_batch_remote,
+)
+
+MAX_DRAIN_RATIO = 2.0
+DRAIN_SLACK_S = 1.0  # absolute slack so tiny workloads don't gate on noise
+
+_PROFILES = {
+    "quick": dict(sizes=(10, 14), seeds=(3, 7, 11, 13), pa_r_iterations=16,
+                  duplicates=8, workers=4),
+    "full": dict(sizes=(10, 20, 30), seeds=(3, 7, 11, 13), pa_r_iterations=24,
+                 duplicates=16, workers=4),
+}
+
+
+def _build_requests(params) -> list[ScheduleRequest]:
+    """Distinct pa-r requests sized so backend work dominates HTTP cost."""
+    return [
+        ScheduleRequest(
+            paper_instance(size, seed=seed),
+            "pa-r",
+            options={"iterations": params["pa_r_iterations"]},
+            seed=seed,
+        )
+        for size in params["sizes"]
+        for seed in params["seeds"]
+    ]
+
+
+def _coalesce_gate(root: Path, params) -> dict:
+    """Gate 1+2: duplicate fan-in coalesces; warm hits stay identical."""
+    store = ResultStore(root / "coalesce-cache")
+    config = ServiceConfig(
+        port=0, executor="process", workers=params["workers"]
+    )
+    request = _build_requests(params)[0]
+    n = params["duplicates"]
+    with ServiceThread(config, store=store) as handle:
+        client = ServiceClient(handle.url)
+        client.wait_ready()
+
+        results: list = [None] * n
+        barrier = threading.Barrier(n)
+
+        def fire(slot: int) -> None:
+            barrier.wait()
+            results[slot] = client.schedule(request)
+
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        burst_s = time.perf_counter() - t0
+
+        metrics = client.metrics()
+        assert metrics["computed"] == 1, (
+            f"{n} identical concurrent requests caused "
+            f"{metrics['computed']} backend invocations (want exactly 1)"
+        )
+        assert metrics["coalesced"] == n - 1
+        payloads = {json.dumps(r["outcome"], sort_keys=True) for r in results}
+        assert len(payloads) == 1, "coalesced waiters saw different outcomes"
+
+        # Gate 2: warm hit through HTTP == ResultStore.get, bit-identical.
+        warm = client.schedule(request)
+        assert warm["source"] == "store"
+        direct = ResultStore(root / "coalesce-cache").get(request)
+        assert warm["outcome"] == direct.to_dict(), (
+            "service warm hit diverged from ResultStore.get"
+        )
+    return {
+        "duplicates": n,
+        "computed": metrics["computed"],
+        "coalesced": metrics["coalesced"],
+        "burst_s": burst_s,
+    }
+
+
+def _drain_gate(root: Path, params) -> dict:
+    """Gate 3: cold drain through the service vs direct run_batch."""
+    requests = _build_requests(params)
+    workers = params["workers"]
+
+    t0 = time.perf_counter()
+    direct = run_batch(
+        requests, store=ResultStore(root / "direct-cache"), jobs=workers
+    )
+    direct_s = time.perf_counter() - t0
+    assert direct.executed == len(requests)
+
+    config = ServiceConfig(port=0, executor="process", workers=workers)
+    store = ResultStore(root / "serve-cache")
+    with ServiceThread(config, store=store) as handle:
+        client = ServiceClient(handle.url)
+        client.wait_ready()
+        t0 = time.perf_counter()
+        remote = run_batch_remote(
+            requests, handle.url, jobs=2 * workers
+        )
+        remote_s = time.perf_counter() - t0
+    assert remote.failed == 0
+    assert remote.executed + remote.coalesced == len(requests)
+
+    ratio = remote_s / direct_s if direct_s else float("inf")
+    assert remote_s <= MAX_DRAIN_RATIO * direct_s + DRAIN_SLACK_S, (
+        f"service drain took {remote_s:.2f}s vs {direct_s:.2f}s direct "
+        f"(x{ratio:.2f}, budget x{MAX_DRAIN_RATIO:g} + {DRAIN_SLACK_S:g}s)"
+    )
+    return {
+        "requests": len(requests),
+        "workers": workers,
+        "timings_s": {"direct": direct_s, "service": remote_s},
+        "ratio": ratio,
+    }
+
+
+def run_service_benchmark(profile: str = "quick") -> dict:
+    params = _PROFILES[profile]
+    root = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    try:
+        coalesce = _coalesce_gate(root, params)
+        drain = _drain_gate(root, params)
+        return {"profile": profile, "coalesce": coalesce, "drain": drain}
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# -- pytest entry point ------------------------------------------------------
+
+
+def test_service_gates():
+    report = run_service_benchmark("quick")
+    print(
+        f"\nservice [{report['drain']['requests']} requests]: "
+        f"{report['coalesce']['duplicates']} duplicates -> "
+        f"{report['coalesce']['computed']} invocation, "
+        f"drain x{report['drain']['ratio']:.2f} of direct"
+    )
+    # The gates themselves assert inside run_service_benchmark; reaching
+    # here means coalescing, identity, and drain overhead all passed.
+    assert report["coalesce"]["computed"] == 1
+    assert report["drain"]["ratio"] <= MAX_DRAIN_RATIO or (
+        report["drain"]["timings_s"]["service"]
+        <= MAX_DRAIN_RATIO * report["drain"]["timings_s"]["direct"]
+        + DRAIN_SLACK_S
+    )
+
+
+# -- script mode ------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI profile (small workload)")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+    profile = "quick" if args.quick else "full"
+
+    report = run_service_benchmark(profile)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

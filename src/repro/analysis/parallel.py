@@ -129,11 +129,23 @@ def _timed_pool_map(worker, work, jobs, progress, timeout, retries):
     The pool is shut down without waiting (``cancel_futures``) so hung
     workers cannot block the caller's exit; timed-out items get one
     serial in-process chance and then degrade to structured failures.
+    ``cancel_futures`` only reaches futures still *queued* — a future
+    that already started keeps its worker process alive arbitrarily
+    long (it can outlive the caller) — so any future abandoned after a
+    timeout forces the leftover worker processes to be terminated and
+    reaped on the way out.
     """
     pool = ProcessPoolExecutor(max_workers=min(jobs, len(work)))
     results: list = []
+    submitted: list = []
+
+    def _submit(item):
+        future = pool.submit(worker, item)
+        submitted.append(future)
+        return future
+
     try:
-        futures = {i: pool.submit(worker, item) for i, item in enumerate(work)}
+        futures = {i: _submit(item) for i, item in enumerate(work)}
         for index, item in enumerate(work):
             result = None
             cause: str | None = None  # None = pool attempt succeeded
@@ -147,7 +159,7 @@ def _timed_pool_map(worker, work, jobs, progress, timeout, retries):
                     cause = f"timed out after {timeout:g}s"
                     if attempt < retries:
                         cause = None
-                        futures[index] = pool.submit(worker, item)
+                        futures[index] = _submit(item)
                 except (BrokenProcessPool, OSError, PermissionError) as exc:
                     cause = f"pool failure: {exc or exc.__class__.__name__}"
                     break
@@ -158,7 +170,31 @@ def _timed_pool_map(worker, work, jobs, progress, timeout, retries):
             results.append(result)
         return results
     finally:
+        # Snapshot before shutdown: it clears the pool's process table.
+        processes = list((getattr(pool, "_processes", None) or {}).values())
         pool.shutdown(wait=False, cancel_futures=True)
+        if any(not future.done() for future in submitted):
+            _terminate_workers(processes)
+
+
+def _terminate_workers(processes) -> None:
+    """Kill and reap the worker processes of an already-shut-down pool.
+
+    Only called when at least one submitted future never completed —
+    i.e. a worker is hung past its deadline.  The pool is unusable
+    either way, so taking down its (possibly idle) siblings is safe;
+    joining afterwards prevents zombies.
+    """
+    for process in processes:
+        try:
+            process.kill()
+        except Exception:
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=5.0)
+        except Exception:
+            pass
 
 
 def _serial_rescue(worker, item, index, attempts, cause):

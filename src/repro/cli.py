@@ -12,6 +12,8 @@
     repro simulate instance.json schedule.json --sweep 0,0.05,0.1 --jobs 2
     repro experiments table1 fig3 --profile tiny
     repro experiments all --profile small -o results/ --jobs 4
+    repro serve --port 8177 --workers 4 --store-budget-mb 256
+    repro batch manifest.json --server http://127.0.0.1:8177
 
 (Installed as ``repro``; also runnable as ``python -m repro``.)
 """
@@ -165,18 +167,29 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except (EngineError, json.JSONDecodeError, KeyError, ValueError) as exc:
         print(f"error: bad manifest: {exc}", file=sys.stderr)
         return 2
-    store = (
-        None
-        if args.no_store
-        else ResultStore(args.store if args.store else DEFAULT_STORE_ROOT)
-    )
     try:
-        report = run_batch(
-            requests,
-            store=store,
-            jobs=resolve_jobs(args.jobs),
-            progress=print if args.verbose else None,
-        )
+        if args.server:
+            from .engine import run_batch_remote
+
+            report = run_batch_remote(
+                requests,
+                args.server,
+                jobs=resolve_jobs(args.jobs),
+                progress=print if args.verbose else None,
+            )
+        else:
+            store = (
+                None
+                if args.no_store
+                else ResultStore(args.store if args.store else DEFAULT_STORE_ROOT)
+            )
+            report = run_batch(
+                requests,
+                store=store,
+                jobs=resolve_jobs(args.jobs),
+                progress=print if args.verbose else None,
+                timeout=args.timeout,
+            )
     except EngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -184,6 +197,69 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.report:
         Path(args.report).write_text(json.dumps(report.to_dict(), indent=2))
         print(f"wrote {args.report}")
+    if report.failed:
+        print(
+            f"error: {report.failed} request(s) failed", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .analysis.parallel import resolve_jobs
+    from .engine import SchedulerService, ServiceConfig
+
+    store = None
+    if not args.no_store:
+        budget = (
+            int(args.store_budget_mb * 1024 * 1024)
+            if args.store_budget_mb
+            else None
+        )
+        store = ResultStore(
+            args.store if args.store else DEFAULT_STORE_ROOT, max_bytes=budget
+        )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=resolve_jobs(args.workers),
+        queue_limit=args.queue_limit,
+        request_timeout=args.timeout if args.timeout > 0 else None,
+        executor=args.executor,
+        log_interval=args.log_interval,
+    )
+    service = SchedulerService(config, store=store)
+
+    import asyncio
+
+    def _on_ready() -> None:
+        where = "off" if store is None else str(store.root)
+        budget = (
+            "unbounded"
+            if store is None or store.max_bytes is None
+            else f"{store.max_bytes / (1024 * 1024):.0f}MB LRU"
+        )
+        print(
+            f"serving on {service.url} — workers={config.workers} "
+            f"queue_limit={config.queue_limit} store={where} ({budget})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, service.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # No signal support here (non-main thread, exotic loop):
+                # POST /shutdown still stops the daemon cleanly.
+                pass
+
+    try:
+        asyncio.run(service.run(on_ready=_on_ready))
+    except KeyboardInterrupt:
+        pass
+    print(service.render_metrics_line())
     return 0
 
 
@@ -528,13 +604,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for the misses (1 = serial, -1 = all cores)",
+        help="worker processes for the misses (1 = serial, -1 = all "
+        "cores); with --server: concurrent HTTP requests",
+    )
+    p.add_argument(
+        "--server", default=None, metavar="URL",
+        help="drain through a running `repro serve` daemon instead of "
+        "a private pool (e.g. http://127.0.0.1:8177)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request wall-clock limit in seconds (pool mode, "
+        "--jobs >= 2); timed-out requests become failed records",
     )
     p.add_argument(
         "--report", default=None, help="write the batch report as JSON here"
     )
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the scheduling service: an async HTTP daemon with "
+        "store-first answers, in-flight coalescing and backpressure",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8177,
+        help="listen port (0 = pick a free one; printed on startup)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="backend worker processes (-1 = all cores)",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="in-flight executions before new misses get HTTP 429",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="per-request execution deadline in seconds (0 = none)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory (default results/.cache)",
+    )
+    p.add_argument(
+        "--no-store",
+        action="store_true",
+        help="serve without a result store (every request computes)",
+    )
+    p.add_argument(
+        "--store-budget-mb", type=float, default=None,
+        help="LRU size budget for the store in MiB (default: unbounded)",
+    )
+    p.add_argument(
+        "--executor", default="process", choices=["process", "thread"],
+        help="backend executor kind (thread = in-process, for "
+        "debugging/embedding)",
+    )
+    p.add_argument(
+        "--log-interval", type=float, default=60.0,
+        help="seconds between periodic metrics log lines (0 = off)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("validate", help="check a schedule's invariants")
     p.add_argument("instance")

@@ -34,7 +34,15 @@ from .backends import (  # noqa: F401  (import registers the backends)
     pa_options_dict,
 )
 from .batch import BatchRecord, BatchReport, load_manifest, run_batch
-from .store import DEFAULT_STORE_ROOT, ResultStore
+from .service import (
+    SchedulerService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceThread,
+    run_batch_remote,
+)
+from .store import DEFAULT_STORE_ROOT, STALE_TMP_AGE, ResultStore
 
 __all__ = [
     "EngineError",
@@ -58,4 +66,11 @@ __all__ = [
     "run_batch",
     "ResultStore",
     "DEFAULT_STORE_ROOT",
+    "STALE_TMP_AGE",
+    "SchedulerService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "run_batch_remote",
 ]

@@ -40,6 +40,8 @@ __all__ = [
     "register_backend",
     "get_backend",
     "list_backends",
+    "request_to_payload",
+    "request_from_payload",
 ]
 
 
@@ -104,6 +106,53 @@ class ScheduleRequest:
     def cache_key(self) -> str:
         """Content address of this request (SHA-256 hex digest)."""
         return content_hash(self.key_payload())
+
+
+def request_to_payload(request: ScheduleRequest) -> dict:
+    """JSON-safe wire form of a request (the service's ``/schedule``
+    body).  Inverse of :func:`request_from_payload`."""
+    return {
+        "instance": request.instance.to_dict(),
+        "algorithm": request.algorithm,
+        "options": dict(request.options),
+        "seed": request.seed,
+        "budget": request.budget,
+    }
+
+
+def request_from_payload(payload: Mapping) -> ScheduleRequest:
+    """Parse a ``/schedule`` body into a request.
+
+    The instance must be inline (a dict) — the service never reads
+    caller-named paths off its own filesystem.  Unknown fields are
+    rejected so client typos surface as 400s instead of silently
+    changing the cache key semantics.
+    """
+    if not isinstance(payload, Mapping):
+        raise EngineError("request body must be a JSON object")
+    unknown = set(payload) - {"instance", "algorithm", "options", "seed", "budget"}
+    if unknown:
+        raise EngineError(f"unknown request field(s) {sorted(unknown)}")
+    source = payload.get("instance")
+    if not isinstance(source, Mapping):
+        raise EngineError("request 'instance' must be an inline instance object")
+    instance = Instance.from_dict(source)
+    options = payload.get("options") or {}
+    if not isinstance(options, Mapping):
+        raise EngineError("request 'options' must be an object")
+    seed = payload.get("seed")
+    if seed is not None and not isinstance(seed, int):
+        raise EngineError("request 'seed' must be an integer or null")
+    budget = payload.get("budget")
+    if budget is not None and not isinstance(budget, (int, float)):
+        raise EngineError("request 'budget' must be a number or null")
+    return ScheduleRequest(
+        instance=instance,
+        algorithm=payload.get("algorithm", "pa"),
+        options=dict(options),
+        seed=seed,
+        budget=float(budget) if budget is not None else None,
+    )
 
 
 @dataclass

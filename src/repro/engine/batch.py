@@ -50,10 +50,11 @@ class BatchRecord:
     key: str
     algorithm: str
     instance: str
-    source: str  # "store" | "computed"
+    source: str  # "store" | "computed" | "coalesced" | "failed"
     feasible: bool
     makespan: float
     elapsed: float
+    error: str | None = None  # set only when source == "failed"
 
     def to_dict(self) -> dict:
         return {
@@ -65,6 +66,7 @@ class BatchRecord:
             "feasible": self.feasible,
             "makespan": self.makespan,
             "elapsed": self.elapsed,
+            "error": self.error,
         }
 
 
@@ -88,6 +90,14 @@ class BatchReport:
         return sum(1 for r in self.records if r.source == "computed")
 
     @property
+    def coalesced(self) -> int:
+        return sum(1 for r in self.records if r.source == "coalesced")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.records if r.source == "failed")
+
+    @property
     def hit_rate(self) -> float:
         return self.store_hits / self.total if self.total else 0.0
 
@@ -96,23 +106,36 @@ class BatchReport:
             "total": self.total,
             "store_hits": self.store_hits,
             "executed": self.executed,
+            "coalesced": self.coalesced,
+            "failed": self.failed,
             "hit_rate": self.hit_rate,
             "elapsed": self.elapsed,
             "records": [r.to_dict() for r in self.records],
         }
 
     def render(self) -> str:
-        lines = [
+        summary = (
             f"batch: {self.total} requests — {self.store_hits} store hits, "
             f"{self.executed} executed ({self.hit_rate * 100:.0f}% hit rate) "
             f"in {self.elapsed:.2f}s"
-        ]
+        )
+        if self.coalesced:
+            summary += f"; {self.coalesced} coalesced"
+        if self.failed:
+            summary += f"; {self.failed} FAILED"
+        lines = [summary]
         for r in self.records:
-            lines.append(
-                f"  [{r.index}] {r.algorithm:<10} {r.instance:<24} "
-                f"{r.source:<8} makespan={r.makespan:.1f} "
-                f"feasible={r.feasible} ({r.elapsed:.3f}s)"
-            )
+            if r.source == "failed":
+                lines.append(
+                    f"  [{r.index}] {r.algorithm:<10} {r.instance:<24} "
+                    f"failed: {r.error}"
+                )
+            else:
+                lines.append(
+                    f"  [{r.index}] {r.algorithm:<10} {r.instance:<24} "
+                    f"{r.source:<8} makespan={r.makespan:.1f} "
+                    f"feasible={r.feasible} ({r.elapsed:.3f}s)"
+                )
         return "\n".join(lines)
 
 
@@ -185,6 +208,8 @@ def run_batch(
     store: ResultStore | None = None,
     jobs: int = 1,
     progress: Callable[[str], None] | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
 ) -> BatchReport:
     """Drain ``requests``: store lookups first, pool for the misses.
 
@@ -193,8 +218,15 @@ def run_batch(
     a warm hit.  Requests are validated against their backends up
     front: an unknown algorithm fails the whole batch before any work
     is spent.
+
+    ``timeout`` bounds each miss's wall time on the pool path
+    (``jobs >= 2``): an item that exhausts its pool ``retries`` and the
+    serial rescue becomes a ``source="failed"`` record carrying the
+    error — the rest of the batch still completes.
     """
-    from ..analysis.parallel import parallel_map
+    # Imported lazily: repro.analysis pulls in the experiment runner,
+    # which imports repro.engine right back.
+    from ..analysis.parallel import ParallelItemFailure, parallel_map
 
     t_start = _time.perf_counter()
     # Resolve backends eagerly — fail fast on unknown algorithms.
@@ -226,15 +258,41 @@ def run_batch(
     reporter = None
     if progress:
 
-        def reporter(result: tuple[int, float, dict]) -> None:
+        def reporter(result) -> None:
+            if isinstance(result, ParallelItemFailure):
+                progress(
+                    f"[{misses[result.index].index}] FAILED: {result.error}"
+                )
+                return
             index, elapsed, outcome = result
             progress(
                 f"[{index}] computed makespan={outcome['makespan']:.1f} "
                 f"({elapsed:.3f}s)"
             )
 
-    outcomes = parallel_map(_execute_item, misses, jobs=jobs, progress=reporter)
-    for item, (index, elapsed, payload) in zip(misses, outcomes):
+    outcomes = parallel_map(
+        _execute_item,
+        misses,
+        jobs=jobs,
+        progress=reporter,
+        timeout=timeout,
+        retries=retries,
+    )
+    for item, result in zip(misses, outcomes):
+        if isinstance(result, ParallelItemFailure):
+            records[item.index] = BatchRecord(
+                index=item.index,
+                key=item.request.cache_key(),
+                algorithm=item.request.algorithm,
+                instance=item.request.instance.name,
+                source="failed",
+                feasible=False,
+                makespan=0.0,
+                elapsed=0.0,
+                error=str(result),
+            )
+            continue
+        index, elapsed, payload = result
         outcome = ScheduleOutcome.from_dict(payload)
         if store is not None:
             store.put(item.request, outcome)

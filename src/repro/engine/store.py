@@ -2,14 +2,18 @@
 
 Layout (rooted at ``results/.cache`` by default)::
 
-    <root>/<request-hash>/outcome.json   the stored ScheduleOutcome
-    <root>/<request-hash>/request.json   human-readable provenance
+    <root>/<kk>/<request-hash>/outcome.json   the stored ScheduleOutcome
+    <root>/<kk>/<request-hash>/request.json   human-readable provenance
 
 ``<request-hash>`` is :meth:`ScheduleRequest.cache_key` — SHA-256 over
 the canonical serialization of ``(instance, algorithm, options, seed,
-budget)``.  Because the canonical form is byte-stable across processes
+budget)`` — and ``<kk>`` is its first two hex characters (256-way
+sharding, so maintenance scans touch one small directory at a time
+instead of one directory with every entry in it).  Because the
+canonical form is byte-stable across processes
 (``repro.model.canonical``), a request computed on one machine hits an
-outcome stored by another.
+outcome stored by another.  Entries written by the pre-sharding layout
+(``<root>/<request-hash>/``) are still found and served.
 
 Warm-hit contract: :meth:`ResultStore.get` parses exactly the bytes
 :meth:`ResultStore.put` wrote, so a repeated request returns the stored
@@ -17,41 +21,84 @@ outcome **bit-identically** (``outcome.to_dict()`` equality, and equal
 raw bytes on disk) without invoking any backend.  Writes are atomic
 (temp file + ``os.replace``) so a crashed run never leaves a torn
 outcome behind; a corrupt or truncated entry reads as a miss and is
-re-computed rather than propagated.
+re-computed rather than propagated.  A process killed *mid-write* can
+orphan ``*.tmp`` files (the in-process cleanup never ran); those are
+swept on store init and by :meth:`clear`, so they cannot accumulate.
 
-The store is deliberately dumb: no TTLs, no locking, no eviction.
-Entries are immutable values addressed by what produced them — delete
-the directory to reclaim space (see EXPERIMENTS.md, cache hygiene).
+Capacity: by default the store grows without bound and entries are
+immutable values addressed by what produced them — delete the
+directory (or call :meth:`clear`) to reclaim space.  Passing
+``max_bytes`` opts into an LRU size budget: every hit refreshes the
+entry's access time (``outcome.json`` mtime — the bytes never change,
+so the warm-hit contract holds for unevicted entries), and a ``put``
+that pushes the store over budget evicts least-recently-used entries
+until it fits again.  An evicted request simply misses and is
+re-computed and re-stored — eviction is a capacity decision, never a
+correctness one.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
+import time
 from pathlib import Path
+from typing import Iterator
 
 from .backend import ScheduleOutcome, ScheduleRequest
 
-__all__ = ["ResultStore", "DEFAULT_STORE_ROOT"]
+__all__ = ["ResultStore", "DEFAULT_STORE_ROOT", "STALE_TMP_AGE"]
 
 DEFAULT_STORE_ROOT = Path("results") / ".cache"
 
+# A ``*.tmp`` file this much older than "now" cannot belong to a live
+# in-flight write; init-time sweeps reclaim it (clear() sweeps them all).
+STALE_TMP_AGE = 3600.0
+
+_KEY_LEN = 64  # SHA-256 hex digest
+_SHARD_LEN = 2
+
 
 class ResultStore:
-    """See module docstring.  ``hits`` / ``misses`` / ``writes`` count
-    this process's traffic (observability for the batch report)."""
+    """See module docstring.  ``hits`` / ``misses`` / ``writes`` /
+    ``evictions`` count this process's traffic (observability for the
+    batch report and the service's ``/metrics``)."""
 
-    def __init__(self, root: str | Path = DEFAULT_STORE_ROOT) -> None:
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_STORE_ROOT,
+        max_bytes: int | None = None,
+    ) -> None:
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.evictions = 0
+        # Running size estimate while a budget is active; None = not yet
+        # scanned.  Eviction re-scans, so drift self-corrects.
+        self._total_bytes: int | None = None
+        if self.root.is_dir():
+            self.sweep_stale_tmp()
 
     # -- addressing ---------------------------------------------------------
 
+    def _sharded_dir(self, key: str) -> Path:
+        return self.root / key[:_SHARD_LEN] / key
+
     def entry_dir(self, request: ScheduleRequest) -> Path:
-        return self.root / request.cache_key()
+        """Where this request's entry lives (existing legacy flat-layout
+        entries are honored in place; everything else is sharded)."""
+        key = request.cache_key()
+        sharded = self._sharded_dir(key)
+        if sharded.is_dir():
+            return sharded
+        legacy = self.root / key
+        if legacy.is_dir():
+            return legacy
+        return sharded
 
     def outcome_path(self, request: ScheduleRequest) -> Path:
         return self.entry_dir(request) / "outcome.json"
@@ -66,6 +113,7 @@ class ResultStore:
 
         A corrupt entry (torn write from a killed process, manual
         tampering) counts as a miss — callers recompute and overwrite.
+        A hit refreshes the entry's LRU access time.
         """
         path = self.outcome_path(request)
         try:
@@ -78,6 +126,7 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(path)
         return outcome
 
     def put(
@@ -99,7 +148,21 @@ class ResultStore:
             },
         )
         self.writes += 1
+        if self.max_bytes is not None:
+            if self._total_bytes is None:
+                self._total_bytes = self._scan_total_bytes()
+            else:
+                self._total_bytes += self._entry_bytes(entry)
+            if self._total_bytes > self.max_bytes:
+                self._evict_lru(protect=entry)
         return entry / "outcome.json"
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     @staticmethod
     def _write_atomic(path: Path, payload: dict) -> None:
@@ -118,27 +181,123 @@ class ResultStore:
                 pass
             raise
 
+    # -- eviction -----------------------------------------------------------
+
+    def _iter_entries(self) -> Iterator[Path]:
+        """Every entry directory, sharded and legacy layouts alike."""
+        if not self.root.is_dir():
+            return
+        for child in sorted(self.root.iterdir()):
+            if not child.is_dir():
+                continue
+            if len(child.name) == _SHARD_LEN:
+                for sub in sorted(child.iterdir()):
+                    if sub.is_dir():
+                        yield sub
+            elif len(child.name) == _KEY_LEN:
+                yield child
+
+    @staticmethod
+    def _entry_bytes(entry: Path) -> int:
+        total = 0
+        try:
+            for item in entry.iterdir():
+                try:
+                    total += item.stat().st_size
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        return total
+
+    def _scan_total_bytes(self) -> int:
+        return sum(self._entry_bytes(entry) for entry in self._iter_entries())
+
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of every entry (full scan)."""
+        return self._scan_total_bytes()
+
+    def _evict_lru(self, protect: Path | None = None) -> None:
+        """Shrink to ``max_bytes`` by deleting least-recently-used
+        entries (access time = ``outcome.json`` mtime, refreshed on
+        every hit).  ``protect`` — typically the entry just written —
+        is never evicted."""
+        survey: list[tuple[float, int, Path]] = []
+        total = 0
+        for entry in self._iter_entries():
+            size = self._entry_bytes(entry)
+            try:
+                mtime = (entry / "outcome.json").stat().st_mtime
+            except OSError:
+                mtime = 0.0  # torn/orphaned entry: first out
+            total += size
+            survey.append((mtime, size, entry))
+        if total > (self.max_bytes or 0):
+            for mtime, size, entry in sorted(survey, key=lambda e: e[:2]):
+                if protect is not None and entry == protect:
+                    continue
+                shutil.rmtree(entry, ignore_errors=True)
+                self._prune_shard(entry.parent)
+                self.evictions += 1
+                total -= size
+                if total <= (self.max_bytes or 0):
+                    break
+        self._total_bytes = total
+
+    def _prune_shard(self, shard: Path) -> None:
+        if shard != self.root and len(shard.name) == _SHARD_LEN:
+            try:
+                shard.rmdir()  # only succeeds when empty
+            except OSError:
+                pass
+
     # -- maintenance --------------------------------------------------------
 
-    def __len__(self) -> int:
+    def sweep_stale_tmp(self, max_age: float = STALE_TMP_AGE) -> int:
+        """Unlink orphaned ``*.tmp`` files at least ``max_age`` seconds
+        old (a killed ``_write_atomic`` leaves them; the in-process
+        cleanup only runs for in-process exceptions).  Returns how many
+        were reclaimed."""
+        removed = 0
+        now = time.time()
         if not self.root.is_dir():
             return 0
+        for tmp in self.root.rglob("*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime >= max_age:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
         return sum(
-            1 for entry in self.root.iterdir() if (entry / "outcome.json").exists()
+            1
+            for entry in self._iter_entries()
+            if (entry / "outcome.json").exists()
         )
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
-        import shutil
-
+        """Delete every entry (and any orphaned temp files); returns
+        how many entries were removed."""
         removed = 0
         if self.root.is_dir():
-            for entry in list(self.root.iterdir()):
-                if entry.is_dir():
-                    shutil.rmtree(entry, ignore_errors=True)
-                    removed += 1
+            for entry in list(self._iter_entries()):
+                shutil.rmtree(entry, ignore_errors=True)
+                removed += 1
+            self.sweep_stale_tmp(max_age=0.0)
+            for child in list(self.root.iterdir()):
+                if child.is_dir() and len(child.name) == _SHARD_LEN:
+                    self._prune_shard(child)
+        self._total_bytes = None
         return removed
 
     @property
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+        }

@@ -152,3 +152,99 @@ class TestRunBatch:
         assert payload["hit_rate"] == 0.0
         assert len(payload["records"]) == 3
         assert "store hits" in report.render()
+
+
+def _failing_parallel_map(
+    worker, items, jobs=1, progress=None, timeout=None, retries=1
+):
+    """Stand-in pool: every item comes back as a structured failure,
+    exactly as parallel_map does when an item exhausts timeout retries
+    and the serial rescue also raises."""
+    from repro.analysis.parallel import ParallelItemFailure
+
+    results = []
+    for i, item in enumerate(list(items)):
+        failure = ParallelItemFailure(
+            index=i,
+            item=repr(item)[:200],
+            phase="serial-error",
+            error="timed out after 0.1s; serial fallback raised: boom",
+            attempts=2,
+        )
+        if progress is not None:
+            progress(failure)
+        results.append(failure)
+    return results
+
+
+class TestFailedItems:
+    """Regression (ISSUE 7 satellite 1): before the fix, run_batch
+    unpacked every pool result as ``(index, elapsed, payload)`` and a
+    ``ParallelItemFailure`` slot raised ``TypeError`` — crashing the
+    whole batch instead of reporting the one bad item."""
+
+    def test_pool_failures_become_failed_records(
+        self, manifest_path, tmp_path, monkeypatch
+    ):
+        import repro.analysis.parallel as parallel_mod
+
+        monkeypatch.setattr(
+            parallel_mod, "parallel_map", _failing_parallel_map
+        )
+        seen = []
+        report = run_batch(
+            load_manifest(manifest_path),
+            store=ResultStore(tmp_path / "cache"),
+            jobs=2,
+            progress=seen.append,
+            timeout=0.1,
+            retries=0,
+        )
+        assert report.total == 3
+        assert report.failed == 3
+        assert report.executed == 0
+        for record in report.records:
+            assert record.source == "failed"
+            assert not record.feasible
+            assert "timed out" in record.error
+        assert all("FAILED" in line for line in seen)
+
+    def test_failures_coexist_with_store_hits(
+        self, manifest_path, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path / "cache")
+        requests = load_manifest(manifest_path)
+        # Warm exactly one request, then fail the pool for the rest.
+        from repro.engine import get_backend
+
+        store.put(requests[2], get_backend("list").run(requests[2]))
+
+        import repro.analysis.parallel as parallel_mod
+
+        monkeypatch.setattr(
+            parallel_mod, "parallel_map", _failing_parallel_map
+        )
+        report = run_batch(requests, store=store, jobs=2, timeout=0.1)
+        assert report.store_hits == 1
+        assert report.failed == 2
+        assert [r.source for r in report.records] == [
+            "failed",
+            "failed",
+            "store",
+        ]
+
+    def test_failed_records_in_payload_and_render(
+        self, manifest_path, tmp_path, monkeypatch
+    ):
+        import repro.analysis.parallel as parallel_mod
+
+        monkeypatch.setattr(
+            parallel_mod, "parallel_map", _failing_parallel_map
+        )
+        report = run_batch(load_manifest(manifest_path), jobs=2, timeout=0.1)
+        payload = report.to_dict()
+        assert payload["failed"] == 3
+        assert all(r["error"] for r in payload["records"])
+        rendered = report.render()
+        assert "3 FAILED" in rendered
+        assert "failed: item #0" in rendered

@@ -138,6 +138,98 @@ class TestBatch:
         assert main(["batch", str(bad)]) == 2
         assert "bad manifest" in capsys.readouterr().err
 
+    def test_failed_items_exit_nonzero(
+        self, manifest_file, tmp_path, capsys, monkeypatch
+    ):
+        # Regression: a pool failure used to crash the batch with a
+        # TypeError; now it must finish, render the failure, and exit 1.
+        import repro.analysis.parallel as parallel_mod
+        from repro.analysis.parallel import ParallelItemFailure
+
+        def _all_fail(worker, items, jobs=1, progress=None, timeout=None, retries=1):
+            return [
+                ParallelItemFailure(
+                    index=i,
+                    item=repr(item)[:200],
+                    phase="serial-error",
+                    error="timed out after 0.1s; serial fallback raised: boom",
+                    attempts=2,
+                )
+                for i, item in enumerate(list(items))
+            ]
+
+        monkeypatch.setattr(parallel_mod, "parallel_map", _all_fail)
+        code = main(
+            [
+                "batch", str(manifest_file),
+                "--store", str(tmp_path / "cache"),
+                "--jobs", "2", "--timeout", "0.1",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "2 FAILED" in captured.out
+        assert "failed" in captured.err
+
+
+class TestServe:
+    def test_serve_and_remote_batch_roundtrip(self, tmp_path, instance_file):
+        import socket
+        import threading
+
+        from repro.engine import ServiceClient
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        exit_code = []
+        server = threading.Thread(
+            target=lambda: exit_code.append(
+                main(
+                    [
+                        "serve",
+                        "--port", str(port),
+                        "--store", str(tmp_path / "cache"),
+                        "--executor", "thread",
+                        "--workers", "2",
+                    ]
+                )
+            )
+        )
+        server.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            assert client.wait_ready(deadline=30.0)
+
+            manifest = tmp_path / "manifest.json"
+            manifest.write_text(
+                json.dumps(
+                    [
+                        {"instance": instance_file.name, "algorithm": "list"},
+                        {"instance": instance_file.name, "algorithm": "is-1"},
+                    ]
+                )
+            )
+            code = main(
+                ["batch", str(manifest), "--server", f"http://127.0.0.1:{port}"]
+            )
+            assert code == 0
+            code = main(
+                ["batch", str(manifest), "--server", f"http://127.0.0.1:{port}"]
+            )
+            assert code == 0
+            metrics = client.metrics()
+            assert metrics["computed"] == 2
+            assert metrics["store_hits"] == 2
+        finally:
+            try:
+                client.shutdown()
+            except Exception:
+                pass
+            server.join(timeout=30.0)
+        assert not server.is_alive()
+        assert exit_code == [0]
+
 
 class TestValidateGanttFloorplan:
     def test_validate_ok(self, instance_file, schedule_file, capsys):

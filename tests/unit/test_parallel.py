@@ -137,3 +137,58 @@ class TestTimedPoolPath:
         # progress fired for every slot, failures included
         assert len(seen) == 2
         assert results == seen
+
+
+def _hang_recording_pid(args):
+    # In a pool worker: record own pid, then hang far past the test
+    # timeout.  In the caller's process (serial rescue): succeed, so
+    # the map itself completes and the test can focus on worker reaping.
+    import os
+    import time
+
+    pidfile, parent_pid = args
+    if os.getpid() == parent_pid:
+        return "rescued"
+    with open(pidfile, "w") as handle:
+        handle.write(str(os.getpid()))
+    time.sleep(60.0)
+    return "never"
+
+
+class TestHungWorkerTermination:
+    """Regression (ISSUE 7 satellite 2): ``cancel_futures`` cannot stop
+    a future that already *started*, so before the fix timed-out worker
+    processes outlived ``parallel_map`` — sleeping 60s here — and
+    accumulated across a sweep."""
+
+    def test_timed_out_workers_are_killed_and_reaped(self, tmp_path):
+        import os
+        import time
+
+        parent = os.getpid()
+        pidfiles = [tmp_path / f"worker{i}.pid" for i in range(2)]
+        results = parallel_map(
+            _hang_recording_pid,
+            [(str(path), parent) for path in pidfiles],
+            jobs=2,
+            timeout=0.5,
+            retries=0,
+        )
+        assert results == ["rescued", "rescued"]
+
+        alive = set()
+        for path in pidfiles:
+            assert path.exists(), "worker never started — test is moot"
+            alive.add(int(path.read_text()))
+        deadline = time.time() + 10.0
+        while alive and time.time() < deadline:
+            for pid in list(alive):
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    alive.discard(pid)
+                except PermissionError:
+                    pass  # exists but not ours — keep polling
+            if alive:
+                time.sleep(0.05)
+        assert not alive, f"hung worker processes leaked: {sorted(alive)}"

@@ -38,7 +38,12 @@ def test_miss_then_hit(store, instance):
     assert len(store) == 1
     cached = store.get(request)
     assert cached is not None
-    assert store.stats == {"hits": 1, "misses": 1, "writes": 1}
+    assert store.stats == {
+        "hits": 1,
+        "misses": 1,
+        "writes": 1,
+        "evictions": 0,
+    }
 
 
 def test_warm_hit_is_bit_identical_without_backend_invocation(
@@ -109,3 +114,169 @@ def test_clear(store, instance):
     assert store.clear() == 1
     assert len(store) == 0
     assert store.get(request) is None
+
+
+class TestShardedLayout:
+    def test_entries_live_under_two_char_shards(self, store, instance):
+        request = ScheduleRequest(instance, "list")
+        store.put(request, get_backend("list").run(request))
+        key = request.cache_key()
+        entry = store.entry_dir(request)
+        assert entry == store.root / key[:2] / key
+        assert entry.is_dir()
+
+    def test_legacy_flat_entries_are_still_served(self, store, instance):
+        request = ScheduleRequest(instance, "list")
+        outcome = get_backend("list").run(request)
+        store.put(request, outcome)
+        key = request.cache_key()
+        # Rewrite history: move the sharded entry to the pre-sharding
+        # flat layout a PR-4-era run would have left behind.
+        sharded = store.root / key[:2] / key
+        legacy = store.root / key
+        sharded.rename(legacy)
+        sharded.parent.rmdir()
+
+        fresh = ResultStore(store.root)
+        assert fresh.entry_dir(request) == legacy
+        cached = fresh.get(request)
+        assert cached is not None
+        assert cached.to_dict() == outcome.to_dict()
+        assert len(fresh) == 1
+        assert fresh.clear() == 1
+
+
+class TestStaleTmpSweep:
+    """ISSUE 7 satellite 3: a process killed mid-write orphans
+    ``outcome.json*.tmp`` files; they must read as a miss and be
+    garbage-collected rather than accumulate forever."""
+
+    def _orphan_tmp(self, store, request, age=0.0):
+        entry = store.entry_dir(request)
+        entry.mkdir(parents=True, exist_ok=True)
+        tmp = entry / "outcome.jsonabc123.tmp"
+        tmp.write_text('{"torn": ')  # half a write, as a kill would leave
+        if age:
+            import os as _os
+            import time as _time
+
+            past = _time.time() - age
+            _os.utime(tmp, (past, past))
+        return tmp
+
+    def test_torn_write_reads_as_miss(self, store, instance):
+        request = ScheduleRequest(instance, "list")
+        self._orphan_tmp(store, request)
+        assert store.get(request) is None
+        assert store.misses == 1
+
+    def test_init_sweeps_stale_tmp_only(self, tmp_path, instance):
+        store = ResultStore(tmp_path / "cache")
+        request = ScheduleRequest(instance, "list")
+        store.put(request, get_backend("list").run(request))
+        stale = self._orphan_tmp(store, request, age=2 * 3600.0)
+        fresh_tmp = self._orphan_tmp(store, ScheduleRequest(instance, "is-1"))
+        reopened = ResultStore(tmp_path / "cache")
+        assert not stale.exists(), "hour-old orphan must be swept on init"
+        assert fresh_tmp.exists(), "a possibly-live write must survive"
+        # The real entry is untouched.
+        assert reopened.get(request) is not None
+
+    def test_clear_sweeps_all_tmp(self, store, instance):
+        request = ScheduleRequest(instance, "list")
+        store.put(request, get_backend("list").run(request))
+        tmp = self._orphan_tmp(store, ScheduleRequest(instance, "is-1"))
+        store.clear()
+        assert not tmp.exists()
+        assert store.sweep_stale_tmp(max_age=0.0) == 0
+
+    def test_sweep_returns_reclaimed_count(self, store, instance):
+        self._orphan_tmp(store, ScheduleRequest(instance, "list"))
+        self._orphan_tmp(store, ScheduleRequest(instance, "is-1"))
+        assert store.sweep_stale_tmp(max_age=0.0) == 2
+
+
+class TestLRUEviction:
+    def _fill(self, store, count=4, tasks=6):
+        requests = [
+            ScheduleRequest(paper_instance(tasks=tasks, seed=seed), "list")
+            for seed in range(count)
+        ]
+        outcomes = []
+        for request in requests:
+            outcome = get_backend("list").run(request)
+            store.put(request, outcome)
+            outcomes.append(outcome)
+        return requests, outcomes
+
+    def _entry_budget(self, tmp_path, factor):
+        probe = ResultStore(tmp_path / "probe")
+        request = ScheduleRequest(paper_instance(tasks=6, seed=0), "list")
+        probe.put(request, get_backend("list").run(request))
+        return int(probe.total_bytes() * factor)
+
+    def test_no_budget_never_evicts(self, store, instance):
+        self._fill(store, count=4)
+        assert store.evictions == 0
+        assert len(store) == 4
+
+    def test_put_over_budget_evicts_down_to_budget(self, tmp_path):
+        budget = self._entry_budget(tmp_path, 2.5)
+        store = ResultStore(tmp_path / "cache", max_bytes=budget)
+        self._fill(store, count=4)
+        assert store.evictions >= 1
+        assert store.total_bytes() <= budget
+        assert 1 <= len(store) < 4
+
+    def test_hit_refreshes_lru_order(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        budget = self._entry_budget(tmp_path, 2.5)
+        store = ResultStore(tmp_path / "cache", max_bytes=budget)
+        requests = [
+            ScheduleRequest(paper_instance(tasks=6, seed=seed), "list")
+            for seed in range(2)
+        ]
+        for request in requests:
+            store.put(request, get_backend("list").run(request))
+        # Backdate both, then *hit* entry 0 — the hit must refresh its
+        # access time so entry 1 becomes the LRU victim.
+        past = _time.time() - 1000.0
+        for request in requests:
+            _os.utime(store.outcome_path(request), (past, past))
+        assert store.get(requests[0]) is not None
+
+        victim_trigger = ScheduleRequest(
+            paper_instance(tasks=6, seed=99), "list"
+        )
+        store.put(victim_trigger, get_backend("list").run(victim_trigger))
+        assert store.evictions >= 1
+        assert store.contains(requests[0]), "recently-hit entry evicted"
+        assert not store.contains(requests[1]), "LRU entry must go first"
+        assert store.contains(victim_trigger), "just-written entry evicted"
+
+    def test_survivors_stay_bit_identical(self, tmp_path):
+        budget = self._entry_budget(tmp_path, 2.5)
+        store = ResultStore(tmp_path / "cache", max_bytes=budget)
+        requests, outcomes = self._fill(store, count=4)
+        for request, outcome in zip(requests, outcomes):
+            cached = store.get(request)
+            if cached is not None:  # survivor: PR-4 contract intact
+                assert cached.to_dict() == outcome.to_dict()
+
+    def test_evicted_entry_recomputes_and_restores(self, tmp_path):
+        budget = self._entry_budget(tmp_path, 1.5)
+        store = ResultStore(tmp_path / "cache", max_bytes=budget)
+        requests, outcomes = self._fill(store, count=2)
+        evicted = [r for r in requests if not store.contains(r)]
+        assert evicted, "budget for ~1 entry must evict one of two"
+        request = evicted[0]
+        assert store.get(request) is None
+        replacement = get_backend("list").run(request)
+        store.put(request, replacement)
+        cached = store.get(request)
+        assert cached is not None
+        assert (
+            cached.schedule.to_dict() == replacement.schedule.to_dict()
+        )
