@@ -3,7 +3,11 @@ conftest)."""
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 _TIMING_SIZES = {
     "tiny": (10, 30),
@@ -18,3 +22,16 @@ def profile() -> str:
 
 def timing_sizes() -> tuple[int, ...]:
     return _TIMING_SIZES[profile()]
+
+
+def write_trajectory(name: str, report: dict) -> Path:
+    """Refresh the repo-root perf-trajectory record ``BENCH_<name>.json``.
+
+    The perf-gated benchmarks write their latest report here so the
+    measured speedups live in the tree next to the code they describe:
+    a reviewer diffs the JSON to see the trajectory move, and CI
+    re-generates it on every run (uploading it as an artifact).
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

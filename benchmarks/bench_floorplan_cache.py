@@ -37,10 +37,13 @@ import sys
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 try:
     import repro  # noqa: F401
 except ImportError:  # standalone invocation without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _suite import write_trajectory
 
 from repro.benchgen import paper_instance
 from repro.core import PAOptions, TaskOrdering, do_schedule, pa_r_schedule_parallel
@@ -237,6 +240,10 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI profile (small workload)")
     parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--no-trajectory", action="store_true",
+        help="skip refreshing BENCH_floorplan_cache.json at the repo root",
+    )
     args = parser.parse_args(argv)
     profile = "quick" if args.quick else "full"
 
@@ -249,6 +256,9 @@ def main(argv=None) -> int:
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}", file=sys.stderr)
+    if not args.no_trajectory:
+        path = write_trajectory("floorplan_cache", report)
+        print(f"wrote {path}", file=sys.stderr)
     speedup = report["cache"]["speedup"]["dominance_vs_exact_key"]
     return 0 if speedup >= MIN_DOMINANCE_SPEEDUP else 1
 

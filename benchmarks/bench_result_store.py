@@ -33,10 +33,13 @@ import tempfile
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 try:
     import repro  # noqa: F401
 except ImportError:  # standalone invocation without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _suite import write_trajectory
 
 from repro.benchgen import paper_instance
 from repro.engine import ResultStore, ScheduleRequest, get_backend, run_batch
@@ -153,6 +156,10 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI profile (small workload)")
     parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--no-trajectory", action="store_true",
+        help="skip refreshing BENCH_result_store.json at the repo root",
+    )
     args = parser.parse_args(argv)
     profile = "quick" if args.quick else "full"
 
@@ -162,6 +169,9 @@ def main(argv=None) -> int:
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}", file=sys.stderr)
+    if not args.no_trajectory:
+        path = write_trajectory("result_store", report)
+        print(f"wrote {path}", file=sys.stderr)
     return 0 if report["speedup"]["warm_vs_cold"] >= MIN_WARM_SPEEDUP else 1
 
 

@@ -25,6 +25,7 @@ import json
 import sys
 from pathlib import Path
 
+from . import perf
 from .analysis import render_gantt
 from .analysis.runner import ExperimentConfig, run_convergence, run_quality
 from .benchgen import paper_instance
@@ -120,10 +121,15 @@ def _schedule_request(args: argparse.Namespace, instance: Instance) -> ScheduleR
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     instance = _load_instance(args.instance)
+    profiling = bool(getattr(args, "profile", False) or getattr(args, "profile_out", None))
     try:
         backend = get_backend(args.algorithm)
         request = _schedule_request(args, instance)
-        outcome = backend.run(request)
+        if profiling:
+            with perf.profile(cprofile=bool(args.profile_hotspots)) as prof:
+                outcome = backend.run(request)
+        else:
+            outcome = backend.run(request)
     except EngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -150,6 +156,13 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         if search_stats:
             info += "\n" + _search_stats_line(search_stats)
     print(info)
+    if profiling:
+        report = prof.report()
+        if args.profile_out:
+            Path(args.profile_out).write_text(json.dumps(report, indent=2) + "\n")
+            print(f"wrote {args.profile_out}")
+        else:
+            print(json.dumps(report, indent=2))
     if args.output:
         Path(args.output).write_text(json.dumps(schedule.to_dict(), indent=2))
         print(f"wrote {args.output}")
@@ -285,22 +298,35 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
 
 def _cmd_floorplan(args: argparse.Namespace) -> int:
     instance = _load_instance(args.instance)
-    schedule = Schedule.from_dict(json.loads(Path(args.schedule).read_text()))
+    schedules = [
+        Schedule.from_dict(json.loads(Path(path).read_text()))
+        for path in args.schedule
+    ]
     planner = Floorplanner.for_architecture(instance.architecture, engine=args.engine)
-    result = planner.check(list(schedule.regions.values()))
-    print(
-        f"feasible={result.feasible} engine={result.engine} "
-        f"proven={result.proven} elapsed={result.elapsed:.3f}s"
-    )
-    if result.placements:
-        for region_id, placement in sorted(result.placements.items()):
-            print(
-                f"  {region_id}: cols [{placement.col}, {placement.col + placement.width}) "
-                f"rows [{placement.row}, {placement.row + placement.height})"
-            )
-        print()
-        print(render_floorplan(planner.device, result.placements))
-    return 0 if result.feasible else 1
+    region_sets = [list(s.regions.values()) for s in schedules]
+    if len(region_sets) == 1:
+        results = [planner.check(region_sets[0])]
+    else:
+        # One batched call: the dominance prefilter answers all
+        # queries against a single snapshot of the entry store.
+        results = planner.check_batch(region_sets)
+    all_feasible = True
+    for path, result in zip(args.schedule, results):
+        prefix = f"{path}: " if len(results) > 1 else ""
+        print(
+            f"{prefix}feasible={result.feasible} engine={result.engine} "
+            f"proven={result.proven} elapsed={result.elapsed:.3f}s"
+        )
+        all_feasible &= bool(result.feasible)
+        if result.placements and (len(results) == 1 or args.render):
+            for region_id, placement in sorted(result.placements.items()):
+                print(
+                    f"  {region_id}: cols [{placement.col}, {placement.col + placement.width}) "
+                    f"rows [{placement.row}, {placement.row + placement.height})"
+                )
+            print()
+            print(render_floorplan(planner.device, result.placements))
+    return 0 if all_feasible else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -583,6 +609,18 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default {DEFAULT_EXHAUSTIVE_TASK_LIMIT}; the search is "
         "exponential in the task count)",
     )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="profile the run: per-phase wall/CPU breakdown as JSON",
+    )
+    p.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write the profile JSON to PATH instead of stdout",
+    )
+    p.add_argument(
+        "--profile-hotspots", action="store_true",
+        help="with --profile: include cProfile top functions",
+    )
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=_cmd_schedule)
 
@@ -682,10 +720,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=100)
     p.set_defaults(func=_cmd_gantt)
 
-    p = sub.add_parser("floorplan", help="floorplan a schedule's regions")
+    p = sub.add_parser("floorplan", help="floorplan one or more schedules' regions")
     p.add_argument("instance")
-    p.add_argument("schedule")
+    p.add_argument(
+        "schedule", nargs="+",
+        help="schedule JSON file(s); several are answered in one "
+        "batched floorplanner call",
+    )
     p.add_argument("--engine", default="backtrack", choices=["backtrack", "milp", "both"])
+    p.add_argument(
+        "--render", action="store_true",
+        help="with multiple schedules: render each feasible floorplan too",
+    )
     p.set_defaults(func=_cmd_floorplan)
 
     p = sub.add_parser("stats", help="aggregate statistics of a schedule")

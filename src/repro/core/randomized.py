@@ -19,9 +19,9 @@ candidate minimizing ``(makespan, restart_index)``, so a capped run is
 bit-identical for any ``jobs`` value: the serial loop and every block
 partition agree on which candidate wins (the earliest one achieving the
 minimum feasible makespan; a worker's fresh incumbent always accepts
-it).  Workers ship their winning region signature (demands + floorplan
-verdict) back to the parent, which absorbs them into its floorplanner
-caches — the shared-cache warm start of Section VI's amortization
+it).  Workers ship every region signature they checked (demands +
+floorplan verdict, feasible or not) back to the parent, which absorbs
+them into its floorplanner caches — the shared-cache warm start of Section VI's amortization
 argument, stretched across processes.
 """
 
@@ -226,20 +226,26 @@ def _run_restart_batch(batch: _RestartBatch) -> _BatchOutcome:
             feasible = True
             floorplan = None
             if floorplanner is not None:
+                regions = list(schedule.regions.values())
                 t0 = _time.perf_counter()
-                result = floorplanner.check(list(schedule.regions.values()))
+                result = floorplanner.check(regions)
                 out.floorplanning_time += _time.perf_counter() - t0
                 feasible = bool(result.feasible)
                 floorplan = result
+                # Ship *every* checked signature home, not just the
+                # winner's: infeasible verdicts prune the parent's later
+                # queries exactly as feasible ones warm them, and the
+                # stream stays short (checks fire only on improving
+                # candidates, so it grows ~logarithmically).
+                out.warm_entries.append(
+                    ([r.resources for r in regions], result)
+                )
             if feasible:
                 out.best_schedule = schedule
                 out.best_makespan = makespan
                 out.best_index = index
                 out.best_floorplan = floorplan
                 out.history.append((_time.perf_counter() - start_clock, makespan))
-    if out.best_schedule is not None and out.best_floorplan is not None:
-        demands = [r.resources for r in out.best_schedule.regions.values()]
-        out.warm_entries.append((demands, out.best_floorplan))
     return out
 
 
@@ -281,9 +287,10 @@ def pa_r_schedule_parallel(
     sequence.
 
     ``jobs`` defaults to ``options.jobs``; workers receive a pickled
-    copy of ``floorplanner`` and ship their winning region signatures
-    back, which the parent absorbs into its own caches
-    (``Floorplanner.absorb``) as a warm start for later queries.
+    copy of ``floorplanner`` and ship every region signature they
+    checked (feasible and infeasible verdicts alike) back, which the
+    parent absorbs into its own caches (``Floorplanner.absorb``) as a
+    warm start for later queries.
     """
     from ..analysis.parallel import parallel_map, resolve_jobs
 

@@ -136,12 +136,14 @@ def schedule_reconfigurations(
     chains: list[list[str]] = [[] for _ in range(n_controllers)]
     controller_of: dict[str, int] = {}
 
+    backend = options.timing
+
     if incremental:
-        live = graph.begin_incremental(exe)
+        live = graph.begin_incremental(exe, backend=backend)
 
         def starts() -> dict[str, float]:
             if verify:
-                full = graph.earliest_starts(exe)
+                full = graph.earliest_starts(exe, backend=backend)
                 drift = max(
                     (abs(live.est[n] - full[n]) for n in full), default=0.0
                 )
@@ -154,7 +156,7 @@ def schedule_reconfigurations(
     else:
 
         def starts() -> dict[str, float]:
-            return graph.earliest_starts(exe)
+            return graph.earliest_starts(exe, backend=backend)
 
     # -- critical reconfigurations: chain in T_MIN order -----------------
     current = starts()

@@ -25,6 +25,7 @@ from ..model import (
     Schedule,
     ScheduledTask,
 )
+from .. import perf
 from .balancing import balance_software_tasks
 from .mapping import map_software_tasks
 from .options import PAOptions
@@ -89,11 +90,16 @@ def do_schedule(
     state = PAState(instance, options, architecture=architecture)
     state.trace = trace
 
-    select_implementations(state)  # V-A (V-B windows are implicit)
-    region_stats = define_regions(state, rng=rng)  # V-C
-    balance_stats = balance_software_tasks(state)  # V-D
-    mapping_stats = map_software_tasks(state)  # V-E + V-F
-    plan = schedule_reconfigurations(state)  # V-G
+    with perf.phase("selection"):
+        select_implementations(state)  # V-A (V-B windows are implicit)
+    with perf.phase("regions"):
+        region_stats = define_regions(state, rng=rng)  # V-C
+    with perf.phase("balancing"):
+        balance_stats = balance_software_tasks(state)  # V-D
+    with perf.phase("mapping"):
+        mapping_stats = map_software_tasks(state)  # V-E + V-F
+    with perf.phase("reconfigurations"):
+        plan = schedule_reconfigurations(state)  # V-G
 
     state.drop_empty_regions()
     tasks: dict[str, ScheduledTask] = {}
@@ -164,7 +170,8 @@ def pa_schedule(
         if floorplanner is None:
             break
         t0 = _time.perf_counter()
-        result = floorplanner.check(list(schedule.regions.values()))
+        with perf.phase("floorplan"):
+            result = floorplanner.check(list(schedule.regions.values()))
         floorplanning_time += _time.perf_counter() - t0
         if result.feasible:
             feasible = True

@@ -115,7 +115,9 @@ class PAState:
                 raise RuntimeError(
                     f"tasks without an implementation: {missing[:5]}"
                 )
-            self._timing = self.graph.compute_windows(self.exe)
+            self._timing = self.graph.compute_windows(
+                self.exe, backend=self.options.timing
+            )
         return self._timing
 
     def invalidate_timing(self) -> None:

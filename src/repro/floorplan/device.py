@@ -20,6 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+try:  # numpy backs the packed column geometry; the model works without
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is part of the toolchain
+    _np = None
+
 from ..model import Architecture, ResourceVector
 
 __all__ = ["ColumnSpec", "FabricDevice", "zynq_7z020", "small_device"]
@@ -92,19 +97,48 @@ class FabricDevice:
         self._candidate_cache: dict = {}
         self._mask_cache: dict = {}
         self._rect_cache: dict = {}
+        self._packed_geometry: dict | None = None
         self.candidate_cache_hits = 0
         self.candidate_cache_misses = 0
 
     def __getstate__(self) -> dict:
         # Keep pickles lean: workers rebuild their memos locally instead
         # of shipping (potentially large) warm caches across processes.
+        # The packed geometry arrays are derived data too — dropping
+        # them keeps the PR-2 pool handshake at a few hundred bytes.
         state = dict(self.__dict__)
         state["_candidate_cache"] = {}
         state["_mask_cache"] = {}
         state["_rect_cache"] = {}
+        state["_packed_geometry"] = None
         state["candidate_cache_hits"] = 0
         state["candidate_cache_misses"] = 0
         return state
+
+    def packed_geometry(self) -> dict | None:
+        """Per-kind column prefix sums as contiguous arrays (lazy).
+
+        ``{kind: prefix}`` where ``prefix`` has ``width + 1`` entries
+        and ``prefix[j]`` is the per-cell resource total of columns
+        ``[0, j)`` of that kind — the form the vectorized
+        candidate-window enumeration consumes (one ``searchsorted`` per
+        resource kind instead of a Python sliding window).  ``None``
+        when numpy is unavailable.
+        """
+        if _np is None:
+            return None
+        geometry = self._packed_geometry
+        if geometry is None:
+            width = self.width
+            geometry = {}
+            for kind, spec in self.specs.items():
+                counts = _np.zeros(width + 1, dtype=_np.int64)
+                for j, column in enumerate(self.columns):
+                    if column == kind:
+                        counts[j + 1] = spec.resources
+                geometry[kind] = _np.cumsum(counts)
+            self._packed_geometry = geometry
+        return geometry
 
     @property
     def width(self) -> int:

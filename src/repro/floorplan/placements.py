@@ -14,6 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+try:  # numpy speeds enumeration/pruning; the scalar sweeps work without
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is part of the toolchain
+    _np = None
+
 from ..model import ResourceVector
 from .device import FabricDevice
 
@@ -103,6 +108,100 @@ def _prune_contained(candidates: list[Placement]) -> list[Placement]:
     return kept
 
 
+def _prune_contained_vector(candidates: list[Placement]) -> list[Placement]:
+    """Vectorized :func:`_prune_contained` — one pairwise containment
+    matrix instead of the quadratic Python scan.
+
+    The scalar sweep only tests against already-*kept* rectangles;
+    testing against every earlier candidate is equivalent: containment
+    is transitive, so if ``p`` contains a dropped earlier ``q``, ``q``
+    contains some kept earlier ``q'`` (induction on position) and ``p``
+    contains ``q'`` too — ``p`` is dropped either way.
+    """
+    n = len(candidates)
+    if n == 0:
+        return []
+    rect = _np.array(
+        [(p.col, p.row, p.col + p.width, p.row + p.height) for p in candidates],
+        dtype=_np.int64,
+    )
+    col, row, right, top = rect.T
+    # contains[c, e]: candidate e's rectangle lies inside candidate c's.
+    contains = (
+        (col[None, :] >= col[:, None])
+        & (row[None, :] >= row[:, None])
+        & (right[None, :] <= right[:, None])
+        & (top[None, :] <= top[:, None])
+    )
+    earlier = _np.tri(n, k=-1, dtype=bool)  # [c, e] true iff e < c
+    drop = (contains & earlier).any(axis=1)
+    return [p for p, d in zip(candidates, drop.tolist()) if not d]
+
+
+def _minimal_windows_scalar(
+    device: FabricDevice, needed: dict[str, int], height: int
+) -> list[tuple[int, int]]:
+    """Minimal-width windows ``(left, width)`` for one height — the
+    reference sliding-window sweep."""
+    have: dict[str, int] = {r: 0 for r in needed}
+
+    def satisfied() -> bool:
+        return all(have[r] >= needed[r] for r in needed)
+
+    width = device.width
+    windows: list[tuple[int, int]] = []
+    left = device.reserved_columns
+    right = device.reserved_columns
+    while left < width:
+        while right < width and not satisfied():
+            spec = device.specs[device.columns[right]]
+            if spec.kind in have:
+                have[spec.kind] += spec.resources * height
+            right += 1
+        if not satisfied():
+            break  # no window starting at `left` (or beyond) works
+        windows.append((left, right - left))
+        # Slide: drop the leftmost column.
+        spec = device.specs[device.columns[left]]
+        if spec.kind in have:
+            have[spec.kind] -= spec.resources * height
+        left += 1
+    return windows
+
+
+def _minimal_windows_vector(
+    device: FabricDevice, needed: dict[str, int], height: int
+) -> list[tuple[int, int]]:
+    """Vectorized :func:`_minimal_windows_scalar`.
+
+    The window ``[left, right)`` satisfies kind ``r`` iff the per-kind
+    column prefix sum grows by ``ceil(needed_r / height)`` cells across
+    it, so the minimal right edge per kind is one ``searchsorted`` over
+    all lefts at once, and the overall minimal right is their maximum.
+    Minimal right edges are non-decreasing in ``left`` (prefix sums are
+    monotone), which reproduces the scalar sweep's early ``break``: the
+    first unsatisfiable left ends the enumeration.
+    """
+    geometry = device.packed_geometry()
+    width = device.width
+    first = device.reserved_columns
+    lefts = _np.arange(first, width, dtype=_np.int64)
+    right = lefts.copy()  # a window never ends before it starts
+    for kind, req in needed.items():
+        prefix = geometry.get(kind)
+        if prefix is None:
+            return []  # no columns of this kind anywhere
+        cells = -(-req // height)  # ceil: per-cell supply scales with height
+        edges = _np.searchsorted(prefix, prefix[lefts] + cells, side="left")
+        _np.maximum(right, edges, out=right)
+    windows: list[tuple[int, int]] = []
+    for left, edge in zip(lefts.tolist(), right.tolist()):
+        if edge > width:
+            break
+        windows.append((left, edge - left))
+    return windows
+
+
 def candidate_placements(
     device: FabricDevice,
     demand: ResourceVector,
@@ -128,45 +227,29 @@ def candidate_placements(
         device.candidate_cache_hits += 1
         return cached
     device.candidate_cache_misses += 1
-    first_col = device.reserved_columns
-    width = device.width
+    needed = {r: demand[r] for r in demand}
+    if not needed:
+        raise ValueError("placement demand must be non-empty")
+    windows = (
+        _minimal_windows_vector if _np is not None else _minimal_windows_scalar
+    )
     candidates: list[Placement] = []
     for height in range(1, device.rows + 1):
-        # Sliding window over columns: resources scale linearly with
-        # height, so compute per-column vectors once.
-        needed = {r: demand[r] for r in demand}
-        if not needed:
-            raise ValueError("placement demand must be non-empty")
-        have: dict[str, int] = {r: 0 for r in needed}
-
-        def satisfied() -> bool:
-            return all(have[r] >= needed[r] for r in needed)
-
-        left = first_col
-        right = first_col
-        while left < width:
-            while right < width and not satisfied():
-                spec = device.specs[device.columns[right]]
-                if spec.kind in have:
-                    have[spec.kind] += spec.resources * height
-                right += 1
-            if not satisfied():
-                break  # no window starting at `left` (or beyond) works
-            w = right - left
+        # Minimal window per anchor column: per-column supply scales
+        # linearly with height, so each height is an independent sweep.
+        for left, w in windows(device, needed, height):
             for row in range(0, device.rows - height + 1):
                 candidates.append(
                     Placement(col=left, row=row, width=w, height=height)
                 )
-            # Slide: drop the leftmost column.
-            spec = device.specs[device.columns[left]]
-            if spec.kind in have:
-                have[spec.kind] -= spec.resources * height
-            left += 1
 
     candidates.sort(
         key=lambda p: (p.width * p.height, p.width, p.col, p.row)
     )
-    candidates = _prune_contained(candidates)
+    if _np is not None and len(candidates) >= 24:
+        candidates = _prune_contained_vector(candidates)
+    else:
+        candidates = _prune_contained(candidates)
     if max_candidates is not None:
         candidates = candidates[:max_candidates]
     cache[cache_key] = candidates
