@@ -30,7 +30,9 @@ def quality_records_csv(results: QualityResults, path: str | Path | None = None)
     floorplanner cache counters (queries / exact / dominance /
     candidate-memo hits and engine vs query wall-clock) and the IS-k
     search-engine counters (nodes, bound/memo prunes, incumbent seeds,
-    fallback completions, undo-trail high-water mark, fan-out).
+    fallback completions, undo-trail high-water mark, fan-out), and the
+    PA energy breakdown under the reference ZedBoard power model
+    (static / dynamic / reconfiguration / total, microjoules).
     """
     buffer = io.StringIO()
     writer = csv.writer(buffer)
@@ -47,6 +49,8 @@ def quality_records_csv(results: QualityResults, path: str | Path | None = None)
             "is5_memo_hits", "is5_memo_entries", "is5_incumbent_seeds",
             "is5_fallback_completions", "is5_max_undo_depth",
             "is5_fanout_windows", "is5_jobs",
+            "pa_energy_static_j", "pa_energy_dynamic_j",
+            "pa_energy_reconf_j", "pa_energy_total_j", "devices_used",
         ]
     )
     for r in sorted(results.records, key=lambda r: (r.group, r.name)):
@@ -63,6 +67,8 @@ def quality_records_csv(results: QualityResults, path: str | Path | None = None)
                 r.is5_memo_hits, r.is5_memo_entries, r.is5_incumbent_seeds,
                 r.is5_fallback_completions, r.is5_max_undo_depth,
                 r.is5_fanout_windows, r.is5_jobs,
+                r.pa_energy_static_j, r.pa_energy_dynamic_j,
+                r.pa_energy_reconf_j, r.pa_energy_total_j, r.devices_used,
             ]
         )
     text = buffer.getvalue()

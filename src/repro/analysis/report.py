@@ -268,6 +268,7 @@ def render_html_report(
         )
     body = "\n".join(f"<div class='chart'>{svg}</div>" for svg in sections)
     table = html.escape(quality.render_table1())
+    energy = html.escape(quality.render_energy())
     cache_stats = html.escape(quality.render_cache_stats())
     search_stats = html.escape(quality.render_search_stats())
     return f"""<!DOCTYPE html>
@@ -283,6 +284,8 @@ def render_html_report(
 <h2>Table I — runtimes</h2>
 <pre>{table}</pre>
 {body}
+<h2>Energy — PA schedule, ZedBoard power model</h2>
+<pre>{energy}</pre>
 <h2>Floorplanner cache statistics</h2>
 <pre>{cache_stats}</pre>
 <h2>IS-k search statistics</h2>

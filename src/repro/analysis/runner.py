@@ -145,6 +145,14 @@ class InstanceRecord:
     is5_max_undo_depth: int = 0
     is5_fanout_windows: int = 0
     is5_jobs: int = 1
+    # Energy accounting (ROADMAP item 3): the PA schedule costed under
+    # the reference ZedBoard power model.  Defaults keep pre-energy
+    # quality.json files loadable via from_json.
+    pa_energy_static_j: float = 0.0
+    pa_energy_dynamic_j: float = 0.0
+    pa_energy_reconf_j: float = 0.0
+    pa_energy_total_j: float = 0.0
+    devices_used: int = 1
 
 
 @dataclass
@@ -344,6 +352,31 @@ class QualityResults:
             title="IS-k search statistics (summed per group)",
         )
 
+    def render_energy(self) -> str:
+        """PA schedule energy under the reference ZedBoard power model,
+        averaged per group (static / dynamic / reconfiguration split)."""
+        rows = []
+        for size in self.groups():
+            group = self._group(size)
+            n = len(group)
+            if not n:
+                continue
+            rows.append(
+                (
+                    size,
+                    sum(r.pa_energy_static_j for r in group) / n,
+                    sum(r.pa_energy_dynamic_j for r in group) / n,
+                    sum(r.pa_energy_reconf_j for r in group) / n,
+                    sum(r.pa_energy_total_j for r in group) / n,
+                )
+            )
+        return render_table(
+            ["# Tasks", "static [uJ]", "dynamic [uJ]", "reconf [uJ]",
+             "total [uJ]"],
+            rows,
+            title="Energy — PA schedule, ZedBoard power model (averaged per group)",
+        )
+
     def render_all(self) -> str:
         return "\n\n".join(
             [
@@ -352,6 +385,7 @@ class QualityResults:
                 self.render_fig3(),
                 self.render_fig4(),
                 self.render_fig5(),
+                self.render_energy(),
                 self.render_cache_stats(),
                 self.render_search_stats(),
             ]
@@ -457,6 +491,11 @@ def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
     fp_stats = floorplanner.stats if floorplanner is not None else {}
     s1 = r1.metadata.get("stats", {})
     s5 = r5.metadata.get("stats", {})
+    from ..model.power import energy_breakdown, zedboard_power
+
+    pa_energy = energy_breakdown(
+        pa.schedule, instance.architecture, zedboard_power()
+    )
     return InstanceRecord(
         group=size,
         name=instance.name,
@@ -487,6 +526,10 @@ def _evaluate_quality_item(item: _QualityItem) -> InstanceRecord:
         is5_max_undo_depth=s5.get("max_undo_depth", 0),
         is5_fanout_windows=s5.get("fanout_windows", 0),
         is5_jobs=s5.get("jobs", 1),
+        pa_energy_static_j=pa_energy.static_j,
+        pa_energy_dynamic_j=pa_energy.dynamic_j,
+        pa_energy_reconf_j=pa_energy.reconfiguration_j,
+        pa_energy_total_j=pa_energy.total_j,
     )
 
 

@@ -1,5 +1,6 @@
 """Synthetic benchmark generation (Section VII-A)."""
 
+from .fleets import DEFAULT_FLEET_PRESETS, fleet_scenario
 from .implementations import ModuleLibrary, ModuleLibraryConfig
 from .kernels import KERNEL_CATALOG, KernelSpec, kernel_task, realistic_instance
 from .store import load_suite, save_suite
@@ -18,6 +19,8 @@ from .taskgraphs import (
 )
 
 __all__ = [
+    "DEFAULT_FLEET_PRESETS",
+    "fleet_scenario",
     "ModuleLibrary",
     "ModuleLibraryConfig",
     "figure1_instance",

@@ -1,0 +1,46 @@
+"""Deterministic fleet scenario generation (ROADMAP item 3).
+
+A fleet scenario pairs a synthetic application (the same generators the
+paper suite uses) with a heterogeneous device fleet built from the
+:mod:`repro.fleet` presets.  Everything is derived from explicit seeds,
+so tests and the CI fleet-smoke job replay byte-identical scenarios.
+"""
+
+from __future__ import annotations
+
+from ..model.fleet import Fleet
+from ..model.instance import Instance
+from .suite import paper_instance
+
+__all__ = ["DEFAULT_FLEET_PRESETS", "fleet_scenario"]
+
+# Heterogeneous in every modelled axis: fabric size (0.5x / 1x), ICAP
+# throughput (1600 / 3200 / 12800 bits/us) and power envelope.
+DEFAULT_FLEET_PRESETS = ("zedboard", "artix-small", "kintex-fast")
+
+
+def fleet_scenario(
+    tasks: int = 24,
+    seed: int = 0,
+    devices: tuple[str, ...] | list[str] = DEFAULT_FLEET_PRESETS,
+    comm_penalty: float = 25.0,
+    graph_kind: str = "layered",
+) -> tuple[Instance, Fleet]:
+    """One reproducible (instance, fleet) pair.
+
+    The instance is a standard :func:`paper_instance`; the fleet comes
+    from the named presets with positional device ids.  The default
+    3-device fleet is the committed scenario the objective-knob and CI
+    smoke tests run against.
+    """
+    # Imported here: repro.fleet imports nothing from benchgen, but the
+    # package split keeps generator code free of scheduling imports.
+    from ..fleet import build_fleet
+
+    instance = paper_instance(tasks=tasks, seed=seed, graph_kind=graph_kind)
+    fleet = build_fleet(
+        list(devices),
+        comm_penalty=comm_penalty,
+        name=f"fleet-{'-'.join(devices)}-p{comm_penalty:g}",
+    )
+    return instance, fleet

@@ -14,6 +14,8 @@
     repro experiments all --profile small -o results/ --jobs 4
     repro serve --port 8177 --workers 4 --store-budget-mb 256
     repro batch manifest.json --server http://127.0.0.1:8177
+    repro devices --json
+    repro fleet instance.json --devices zedboard,artix-small --objective energy
 
 (Installed as ``repro``; also runnable as ``python -m repro``.)
 """
@@ -180,6 +182,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except (EngineError, json.JSONDecodeError, KeyError, ValueError) as exc:
         print(f"error: bad manifest: {exc}", file=sys.stderr)
         return 2
+    if args.server and args.profile:
+        print(
+            "error: --profile needs a local pool (the daemon does not "
+            "ship per-request profiles); drop --server",
+            file=sys.stderr,
+        )
+        return 2
     try:
         if args.server:
             from .engine import run_batch_remote
@@ -202,6 +211,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 jobs=resolve_jobs(args.jobs),
                 progress=print if args.verbose else None,
                 timeout=args.timeout,
+                profile_dir=args.profile,
             )
     except EngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -216,6 +226,158 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from .fleet import DEVICE_PRESETS, preset_architecture
+
+    if args.json:
+        payload = {
+            name: preset_architecture(name).to_dict() for name in DEVICE_PRESETS
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    header = (
+        f"{'preset':<12} {'architecture':<20} {'cores':>5} {'CLB':>6} "
+        f"{'BRAM':>5} {'DSP':>5} {'rec_freq':>9} {'ICAPs':>5} "
+        f"{'static_W':>9} {'icap_W':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in DEVICE_PRESETS:
+        arch = preset_architecture(name)
+        power = arch.power
+        print(
+            f"{name:<12} {arch.name:<20} {arch.processors:>5} "
+            f"{arch.max_res['CLB']:>6} {arch.max_res['BRAM']:>5} "
+            f"{arch.max_res['DSP']:>5} {arch.rec_freq:>9.0f} "
+            f"{arch.reconfigurators:>5} "
+            f"{power.static_w:>9.2f} {power.icap_w:>7.2f}"
+        )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .analysis.parallel import resolve_jobs
+    from .fleet import FleetSchedule, build_fleet
+    from .model import Fleet
+    from .validate import check_fleet_schedule
+
+    instance = _load_instance(args.instance)
+    if args.fleet:
+        fleet = Fleet.from_dict(json.loads(Path(args.fleet).read_text()))
+        if args.comm_penalty is not None:
+            fleet = Fleet(
+                devices=fleet.devices,
+                comm_penalty=args.comm_penalty,
+                name=fleet.name,
+            )
+    elif args.devices:
+        fleet = build_fleet(
+            [name.strip() for name in args.devices.split(",") if name.strip()],
+            comm_penalty=args.comm_penalty or 0.0,
+        )
+    else:
+        print("error: give --devices presets or a --fleet JSON file", file=sys.stderr)
+        return 2
+
+    inner_options: dict = {}
+    budget = None
+    if args.algorithm in ("pa", "pa-r"):
+        inner_options["floorplan"] = not args.no_floorplan
+    if args.algorithm == "pa-r":
+        if args.iterations is not None:
+            inner_options["iterations"] = args.iterations
+        else:
+            budget = args.budget
+    options: dict = {
+        "fleet": fleet.to_dict(),
+        "objective": args.objective,
+        "restarts": args.restarts,
+        "options": inner_options,
+    }
+    if args.objective == "weighted":
+        options["alpha"] = args.alpha
+    # Like IS-k's jobs flag: candidate evaluation is deterministic for
+    # any fan-out, so only a real fan-out enters the options/cache key.
+    jobs = resolve_jobs(args.jobs)
+    if jobs > 1:
+        options["jobs"] = jobs
+    request = ScheduleRequest(
+        instance=instance,
+        algorithm=f"fleet-{args.algorithm}",
+        options=options,
+        seed=args.seed,
+        budget=budget,
+    )
+
+    source = "computed"
+    try:
+        store = ResultStore(args.store) if args.store else None
+        outcome = store.get(request) if store is not None else None
+        if outcome is not None:
+            source = "store"
+        else:
+            outcome = get_backend(request.algorithm).run(request)
+            if store is not None:
+                store.put(request, outcome)
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    fs = FleetSchedule.from_dict(outcome.metadata["fleet"])
+    energy = fs.energy
+    print(
+        f"FLEET-{args.algorithm.upper()} [{args.objective}] ({source}): "
+        f"makespan={fs.makespan:.1f} feasible={fs.feasible} "
+        f"devices={fs.devices_used}/{len(fleet)} "
+        f"energy={energy.total_j:.1f}uJ "
+        f"(static={energy.static_j:.1f} dynamic={energy.dynamic_j:.1f} "
+        f"reconf={energy.reconfiguration_j:.1f}) "
+        f"candidates={outcome.iterations}"
+    )
+    for device in fleet.devices:
+        schedule = fs.device_schedules.get(device.id)
+        if schedule is None:
+            print(f"  {device.id} [{device.architecture.name}]: idle")
+            continue
+        breakdown = fs.device_energy[device.id]
+        print(
+            f"  {device.id} [{device.architecture.name}]: "
+            f"{len(schedule.tasks)} tasks, offset={fs.offsets[device.id]:.1f}, "
+            f"makespan={schedule.makespan:.1f}, "
+            f"energy={breakdown.total_j:.1f}uJ"
+        )
+
+    code = 0
+    if not args.no_validate:
+        report = check_fleet_schedule(
+            instance, fs, allow_module_reuse=args.algorithm.startswith("is-")
+        )
+        if report.ok:
+            print("validator: OK")
+        else:
+            for violation in report.violations:
+                print(violation)
+            code = 1
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(fs.to_dict(), indent=2))
+        print(f"wrote {args.output}")
+    if args.energy_out:
+        payload = {
+            "objective": args.objective,
+            "makespan": fs.makespan,
+            "devices_used": fs.devices_used,
+            "energy": energy.to_dict(),
+            "per_device": {
+                device_id: breakdown.to_dict()
+                for device_id, breakdown in sorted(fs.device_energy.items())
+            },
+        }
+        Path(args.energy_out).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.energy_out}")
+    return code
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -658,8 +820,90 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--report", default=None, help="write the batch report as JSON here"
     )
+    p.add_argument(
+        "--profile", default=None, metavar="DIR",
+        help="profile every executed request with the repro.perf phase "
+        "profiler and write one item-<index>.json per request into DIR "
+        "(store hits execute nothing, so they emit no profile)",
+    )
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "devices",
+        help="list the built-in fleet device presets (resources, ICAP "
+        "throughput, power figures)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the presets as JSON architecture payloads",
+    )
+    p.set_defaults(func=_cmd_devices)
+
+    p = sub.add_parser(
+        "fleet",
+        help="schedule an instance across a fleet of heterogeneous "
+        "devices (partition + per-device backend + energy accounting)",
+    )
+    p.add_argument("instance")
+    p.add_argument(
+        "--devices", default=None, metavar="P1,P2,...",
+        help="comma-separated device presets (see `repro devices`)",
+    )
+    p.add_argument(
+        "--fleet", default=None, metavar="PATH",
+        help="JSON fleet description (Fleet.to_dict payload) instead of "
+        "--devices",
+    )
+    p.add_argument(
+        "--algorithm", default="pa",
+        help="inner per-device backend: pa | pa-r | is-<k> | list",
+    )
+    p.add_argument(
+        "--objective", default="makespan",
+        choices=["makespan", "energy", "weighted"],
+    )
+    p.add_argument(
+        "--alpha", type=float, default=0.5,
+        help="weighted objective: alpha*makespan + (1-alpha)*energy "
+        "(both normalized to the first candidate)",
+    )
+    p.add_argument(
+        "--comm-penalty", type=float, default=None, metavar="US",
+        help="microseconds charged per cross-device edge (default 0; "
+        "with --fleet: override the file's value)",
+    )
+    p.add_argument(
+        "--restarts", type=int, default=4,
+        help="randomized partition restarts on top of the greedy + "
+        "pack candidates",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=float, default=5.0, help="PA-R seconds per device")
+    p.add_argument(
+        "--iterations", type=int, default=None,
+        help="PA-R: exactly N restarts per device instead of --budget",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for candidate evaluation (1 = serial, "
+        "-1 = all cores; the chosen schedule is identical for any value)",
+    )
+    p.add_argument("--no-floorplan", action="store_true")
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="serve store-first from / write back to this result store",
+    )
+    p.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the independent fleet validator",
+    )
+    p.add_argument("-o", "--output", default=None, help="write the FleetSchedule JSON")
+    p.add_argument(
+        "--energy-out", default=None, metavar="PATH",
+        help="write the energy breakdown JSON here",
+    )
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "serve",

@@ -34,6 +34,7 @@ from .backends import (  # noqa: F401  (import registers the backends)
     pa_options_dict,
 )
 from .batch import BatchRecord, BatchReport, load_manifest, run_batch
+from .fleet_backend import FleetBackend  # noqa: F401  (import registers fleet-*)
 from .service import (
     SchedulerService,
     ServiceClient,

@@ -194,13 +194,22 @@ class _BatchItem:
 
     index: int
     request: ScheduleRequest
+    profile: bool = False
 
 
-def _execute_item(item: _BatchItem) -> tuple[int, float, dict]:
+def _execute_item(item: _BatchItem) -> tuple[int, float, dict, dict | None]:
     """Run one request on its backend (pool worker)."""
     t0 = _time.perf_counter()
-    outcome = get_backend(item.request.algorithm).run(item.request)
-    return (item.index, _time.perf_counter() - t0, outcome.to_dict())
+    if item.profile:
+        from .. import perf
+
+        with perf.profile() as prof:
+            outcome = get_backend(item.request.algorithm).run(item.request)
+        report = prof.report()
+    else:
+        outcome = get_backend(item.request.algorithm).run(item.request)
+        report = None
+    return (item.index, _time.perf_counter() - t0, outcome.to_dict(), report)
 
 
 def run_batch(
@@ -210,6 +219,7 @@ def run_batch(
     progress: Callable[[str], None] | None = None,
     timeout: float | None = None,
     retries: int = 1,
+    profile_dir: str | Path | None = None,
 ) -> BatchReport:
     """Drain ``requests``: store lookups first, pool for the misses.
 
@@ -223,6 +233,11 @@ def run_batch(
     (``jobs >= 2``): an item that exhausts its pool ``retries`` and the
     serial rescue becomes a ``source="failed"`` record carrying the
     error — the rest of the batch still completes.
+
+    ``profile_dir`` enables the :mod:`repro.perf` phase profiler around
+    every *executed* request (store hits run no backend code, so they
+    produce no profile) and writes one ``item-<index>.json`` report per
+    request into the directory.
     """
     # Imported lazily: repro.analysis pulls in the experiment runner,
     # which imports repro.engine right back.
@@ -253,7 +268,11 @@ def run_batch(
             if progress:
                 progress(f"[{index}] {request.algorithm} {request.instance.name}: store hit")
         else:
-            misses.append(_BatchItem(index=index, request=request))
+            misses.append(
+                _BatchItem(
+                    index=index, request=request, profile=profile_dir is not None
+                )
+            )
 
     reporter = None
     if progress:
@@ -264,7 +283,7 @@ def run_batch(
                     f"[{misses[result.index].index}] FAILED: {result.error}"
                 )
                 return
-            index, elapsed, outcome = result
+            index, elapsed, outcome, _ = result
             progress(
                 f"[{index}] computed makespan={outcome['makespan']:.1f} "
                 f"({elapsed:.3f}s)"
@@ -292,8 +311,14 @@ def run_batch(
                 error=str(result),
             )
             continue
-        index, elapsed, payload = result
+        index, elapsed, payload, profile_report = result
         outcome = ScheduleOutcome.from_dict(payload)
+        if profile_dir is not None and profile_report is not None:
+            directory = Path(profile_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"item-{index}.json").write_text(
+                json.dumps(profile_report, indent=2, sort_keys=True)
+            )
         if store is not None:
             store.put(item.request, outcome)
         records[index] = BatchRecord(

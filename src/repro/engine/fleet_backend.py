@@ -1,0 +1,145 @@
+"""The ``fleet-<backend>`` family: fleet scheduling behind the engine contract.
+
+``fleet-pa``, ``fleet-pa-r``, ``fleet-is-3`` ... wrap any registered
+single-device backend with the :mod:`repro.fleet` placement layer.  The
+fleet description rides inside ``options["fleet"]`` (a JSON-safe
+:class:`~repro.model.fleet.Fleet` dict), so requests flow through the
+result store, ``repro batch`` and ``repro serve`` completely unchanged —
+the fleet is simply part of the request content, and therefore of the
+cache key.
+
+Options::
+
+    {
+      "fleet": {...},              # required — Fleet.to_dict() payload
+      "objective": "makespan",     # makespan | energy | weighted
+      "alpha": 0.5,                # weighted objective mix
+      "restarts": 4,               # randomized partition restarts
+      "jobs": 1,                   # candidate-evaluation parallelism
+      "options": {...}             # inner backend options, passed through
+    }
+
+``seed`` seeds both the partition perturbations and the inner backend;
+``budget`` is passed to each per-device inner run (a fleet run may
+therefore spend up to ``devices x budget`` seconds of scheduling time).
+
+The outcome's ``schedule`` is the merged fleet view (identical to the
+inner backend's schedule when one device is used); the full
+:class:`~repro.fleet.FleetSchedule` rides in ``metadata["fleet"]``.
+"""
+
+from __future__ import annotations
+
+from ..fleet import OBJECTIVES, fleet_schedule, merged_schedule
+from ..model.fleet import Fleet
+from .backend import (
+    EngineError,
+    ScheduleOutcome,
+    ScheduleRequest,
+    SchedulerBackend,
+    get_backend,
+    register_backend,
+)
+
+__all__ = ["FleetBackend"]
+
+_PREFIX = "fleet-"
+_OPTION_KEYS = frozenset(
+    {"fleet", "objective", "alpha", "restarts", "jobs", "options"}
+)
+
+
+@register_backend
+class FleetBackend(SchedulerBackend):
+    """Fleet placement over any registered inner backend."""
+
+    name = "fleet-<backend>"
+
+    def __init__(self, algorithm: str) -> None:
+        self.algorithm = algorithm
+        self.inner = algorithm[len(_PREFIX) :]
+        # Thread the inner backend's provenance into the cache key: a
+        # fleet outcome embeds the inner outcomes' provenance, so a
+        # provenance bump of the inner family must retire fleet entries
+        # too.  (See ScheduleRequest.key_payload: version 1 emits no
+        # marker, so fleet-pa keys carry no engine_version field.)
+        self.provenance_version = get_backend(self.inner).provenance_version
+
+    @classmethod
+    def matches(cls, algorithm: str) -> bool:
+        if not algorithm.startswith(_PREFIX):
+            return False
+        inner = algorithm[len(_PREFIX) :]
+        if not inner or inner.startswith(_PREFIX):
+            return False
+        try:
+            get_backend(inner)
+        except EngineError:
+            return False
+        return True
+
+    @classmethod
+    def create(cls, algorithm: str) -> "FleetBackend":
+        return cls(algorithm)
+
+    def check_request(self, request: ScheduleRequest) -> None:
+        unknown = set(request.options) - _OPTION_KEYS
+        if unknown:
+            raise EngineError(
+                f"unknown option(s) {sorted(unknown)}; valid: {sorted(_OPTION_KEYS)}"
+            )
+        fleet_payload = request.options.get("fleet")
+        if not isinstance(fleet_payload, dict):
+            raise EngineError(
+                "fleet-* requests need options['fleet'] (a Fleet.to_dict payload)"
+            )
+        objective = request.options.get("objective", "makespan")
+        if objective not in OBJECTIVES:
+            raise EngineError(
+                f"unknown objective {objective!r}; valid: {list(OBJECTIVES)}"
+            )
+        inner_options = request.options.get("options") or {}
+        if not isinstance(inner_options, dict):
+            raise EngineError("fleet options['options'] must be an object")
+        inner_backend = get_backend(self.inner)
+        inner_backend.check_request(
+            ScheduleRequest(
+                request.instance,
+                self.inner,
+                options=dict(inner_options),
+                seed=request.seed,
+                budget=request.budget,
+            )
+        )
+
+    def run(self, request: ScheduleRequest, floorplanner=None) -> ScheduleOutcome:
+        self.check_request(request)
+        fleet = Fleet.from_dict(request.options["fleet"])
+        result = fleet_schedule(
+            request.instance,
+            fleet,
+            self.inner,
+            objective=request.options.get("objective", "makespan"),
+            alpha=float(request.options.get("alpha", 0.5)),
+            options=request.options.get("options") or {},
+            seed=request.seed,
+            budget=request.budget,
+            restarts=int(request.options.get("restarts", 4)),
+            jobs=int(request.options.get("jobs", 1)),
+        )
+        fs = result.schedule
+        return ScheduleOutcome(
+            schedule=merged_schedule(fs),
+            feasible=fs.feasible,
+            makespan=fs.makespan,
+            scheduling_time=result.scheduling_time,
+            floorplanning_time=result.floorplanning_time,
+            backend=self.algorithm,
+            iterations=len(result.candidates),
+            metadata={
+                "fleet": fs.to_dict(),
+                "objective": result.objective,
+                "objective_value": result.objective_value,
+                "candidates": result.candidates,
+            },
+        )

@@ -1,0 +1,40 @@
+"""Fleet-level placement and scheduling across heterogeneous devices."""
+
+from .partition import (
+    FleetError,
+    candidate_assignments,
+    greedy_partition,
+    quotient_edges,
+    quotient_topo_order,
+)
+from .presets import DEVICE_PRESETS, build_fleet, preset_architecture, preset_names
+from .scheduler import (
+    OBJECTIVES,
+    FleetResult,
+    FleetSchedule,
+    compose_fleet_schedule,
+    device_subinstance,
+    evaluate_assignment,
+    fleet_schedule,
+    merged_schedule,
+)
+
+__all__ = [
+    "FleetError",
+    "candidate_assignments",
+    "greedy_partition",
+    "quotient_edges",
+    "quotient_topo_order",
+    "DEVICE_PRESETS",
+    "build_fleet",
+    "preset_architecture",
+    "preset_names",
+    "OBJECTIVES",
+    "FleetResult",
+    "FleetSchedule",
+    "compose_fleet_schedule",
+    "device_subinstance",
+    "evaluate_assignment",
+    "fleet_schedule",
+    "merged_schedule",
+]

@@ -1,0 +1,214 @@
+"""Partitioning a task graph across a fleet of devices.
+
+The fleet scheduler decomposes the problem: first assign every task to a
+device, then let the existing single-device backends (PA / PA-R / IS-k)
+schedule each device's induced subgraph unchanged.  The partitioner
+produces a *set of candidate assignments* — a deterministic min-cut
+flavoured greedy pass, one "pack everything on device i" candidate per
+device, and seeded randomized perturbations of the greedy pass (the same
+SplitMix64 restart-seed derivation the PA-R pool uses) — which the
+scheduler then evaluates in parallel and reduces by objective.
+
+Every candidate keeps the *device quotient graph* acyclic: collapsing
+each device's tasks to one node must yield a DAG, otherwise no global
+ordering of the per-device schedules exists.  The greedy pass enforces
+this with a reachability guard; a legal device always exists (any
+topologically-last device among a task's predecessors' devices is safe).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping
+
+from ..core.randomized import derive_restart_seed
+from ..model.fleet import Fleet
+from ..model.instance import Instance
+from ..model.taskgraph import TaskGraph
+
+__all__ = [
+    "FleetError",
+    "greedy_partition",
+    "candidate_assignments",
+    "quotient_edges",
+    "quotient_topo_order",
+]
+
+# Probability that a perturbed greedy pass ignores the score and picks a
+# random legal device for a task — enough to explore distinct cuts while
+# staying close to the greedy shape.
+_PERTURB_PROB = 0.25
+
+
+class FleetError(RuntimeError):
+    """Raised for invalid fleet assignments (cyclic quotient, unknown ids)."""
+
+
+# -- quotient-graph helpers (shared with the scheduler and validator) -------
+
+
+def quotient_edges(
+    graph: TaskGraph, assignment: Mapping[str, str]
+) -> set[tuple[str, str]]:
+    """Cross-device edges, collapsed to (src_device, dst_device) pairs."""
+    edges: set[tuple[str, str]] = set()
+    for src, dst in graph.edges():
+        a, b = assignment[src], assignment[dst]
+        if a != b:
+            edges.add((a, b))
+    return edges
+
+
+def quotient_topo_order(
+    fleet: Fleet, edges: Iterable[tuple[str, str]]
+) -> list[str]:
+    """Topological order of devices under the quotient edges.
+
+    Deterministic: ties broken by fleet device order.  Raises
+    :class:`FleetError` when the quotient graph has a cycle.
+    """
+    order = list(fleet.device_ids())
+    indegree = {d: 0 for d in order}
+    out: dict[str, list[str]] = {d: [] for d in order}
+    for a, b in sorted(edges):
+        if a not in indegree or b not in indegree:
+            raise FleetError(f"quotient edge {a!r}->{b!r} names unknown devices")
+        out[a].append(b)
+        indegree[b] += 1
+    ready = [d for d in order if indegree[d] == 0]
+    result: list[str] = []
+    while ready:
+        device = ready.pop(0)
+        result.append(device)
+        for succ in out[device]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+        ready.sort(key=order.index)
+    if len(result) != len(order):
+        raise FleetError("device quotient graph is cyclic")
+    return result
+
+
+def _reaches(adj: Mapping[str, set[str]], src: str, dst: str) -> bool:
+    if src == dst:
+        return True
+    seen = {src}
+    stack = [src]
+    while stack:
+        node = stack.pop()
+        for succ in adj.get(node, ()):
+            if succ == dst:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return False
+
+
+# -- greedy assignment -------------------------------------------------------
+
+
+def greedy_partition(
+    instance: Instance,
+    fleet: Fleet,
+    rng: random.Random | None = None,
+) -> dict[str, str]:
+    """One streaming greedy assignment (deterministic when ``rng`` is None).
+
+    Tasks are visited in topological order; each goes to the legal
+    device minimizing ``cut_cost + normalized_load``, where the cut cost
+    charges every already-assigned predecessor on another device the
+    fleet communication penalty plus the edge's own cost, and the load
+    term balances weighted execution time against each device's share of
+    the fleet's fabric capacity.
+    """
+    graph = instance.taskgraph
+    devices = fleet.device_ids()
+    if len(devices) == 1:
+        return {task_id: devices[0] for task_id in graph.task_ids}
+
+    capacity = {d.id: float(max(d.architecture.max_res.total(), 1)) for d in fleet.devices}
+    total_capacity = sum(capacity.values())
+    share = {device_id: cap / total_capacity for device_id, cap in capacity.items()}
+
+    assignment: dict[str, str] = {}
+    load = {device_id: 0.0 for device_id in devices}
+    quotient: dict[str, set[str]] = {device_id: set() for device_id in devices}
+
+    for task_id in graph.topological_order():
+        task = graph.task(task_id)
+        weight = task.fastest().time
+        pred_devices = {assignment[p] for p in graph.predecessors(task_id)}
+
+        legal = [
+            device_id
+            for device_id in devices
+            # Adding pd -> device edges must not close a cycle: the
+            # device must not already reach any other predecessor device.
+            if not any(
+                pd != device_id and _reaches(quotient, device_id, pd)
+                for pd in pred_devices
+            )
+        ]
+        if not legal:  # pragma: no cover - a sink-most pred device is always legal
+            raise FleetError(f"no legal device for task {task_id!r}")
+
+        if rng is not None and rng.random() < _PERTURB_PROB:
+            choice = rng.choice(legal)
+        else:
+            scored = []
+            for device_id in legal:
+                cut = 0.0
+                for pred in graph.predecessors(task_id):
+                    if assignment[pred] != device_id:
+                        cut += fleet.comm_penalty + graph.comm_cost(pred, task_id)
+                balance = (load[device_id] + weight) / share[device_id]
+                scored.append((cut + balance, devices.index(device_id), device_id))
+            scored.sort()
+            if rng is not None:
+                best = scored[0][0]
+                near = [entry for entry in scored if entry[0] <= best * 1.05 + 1e-9]
+                choice = rng.choice(near)[2]
+            else:
+                choice = scored[0][2]
+
+        assignment[task_id] = choice
+        load[choice] += weight
+        for pd in pred_devices:
+            if pd != choice:
+                quotient[pd].add(choice)
+
+    return assignment
+
+
+def candidate_assignments(
+    instance: Instance,
+    fleet: Fleet,
+    seed: int | None = None,
+    restarts: int = 4,
+) -> list[dict[str, str]]:
+    """Deduplicated candidate assignments, deterministic for a given seed.
+
+    Order: the deterministic greedy pass, one all-on-one-device pack per
+    device, then ``restarts`` seeded perturbations of the greedy pass.
+    The first candidate doubles as the reference point for weighted
+    objectives.
+    """
+    graph = instance.taskgraph
+    candidates: list[dict[str, str]] = [greedy_partition(instance, fleet)]
+    for device_id in fleet.device_ids():
+        candidates.append({task_id: device_id for task_id in graph.task_ids})
+    base_seed = 0 if seed is None else seed
+    for index in range(max(0, restarts)):
+        rng = random.Random(derive_restart_seed(base_seed, index))
+        candidates.append(greedy_partition(instance, fleet, rng=rng))
+
+    unique: list[dict[str, str]] = []
+    seen: set[tuple[tuple[str, str], ...]] = set()
+    for candidate in candidates:
+        key = tuple(sorted(candidate.items()))
+        if key not in seen:
+            seen.add(key)
+            unique.append(candidate)
+    return unique

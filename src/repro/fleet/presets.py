@@ -1,0 +1,104 @@
+"""Built-in device presets for fleet scheduling.
+
+Each preset is a named :class:`~repro.model.architecture.Architecture`
+with a :class:`~repro.model.power.PowerModel` attached.  The figures are
+representative, not measured: fabric sizes scale the ZedBoard XC7Z020
+baseline, ICAP throughputs span the 7-series (1600 bits/us) to
+UltraScale-class (12800 bits/us) range, and power numbers are
+order-of-magnitude values from vendor estimators.  They exist so fleet
+scenarios are heterogeneous in every axis the scheduler cares about:
+fabric capacity, reconfiguration speed, controller count and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..model.architecture import Architecture, zedboard
+from ..model.fleet import Fleet, FleetDevice
+from ..model.power import PowerModel
+
+__all__ = ["DEVICE_PRESETS", "preset_architecture", "build_fleet", "preset_names"]
+
+
+def _scaled_power(scale: float, static_w: float, icap_w: float) -> PowerModel:
+    base = {"CLB": 2.0e-5, "BRAM": 1.5e-3, "DSP": 8.0e-4}
+    return PowerModel(
+        static_w=static_w,
+        dynamic_w={rtype: rate * scale for rtype, rate in base.items()},
+        icap_w=icap_w,
+    )
+
+
+def _zedboard() -> Architecture:
+    return replace(
+        zedboard(),
+        power=_scaled_power(1.0, static_w=0.25, icap_w=0.15),
+    )
+
+
+def _zynq_large() -> Architecture:
+    base = zedboard()
+    return replace(
+        base,
+        name="zynq-large-2x",
+        max_res=base.max_res.scaled(2.0),
+        rec_freq=6400.0,
+        reconfigurators=2,
+        power=_scaled_power(0.8, static_w=0.6, icap_w=0.2),
+    )
+
+
+def _artix_small() -> Architecture:
+    base = zedboard()
+    return replace(
+        base,
+        name="artix-small-0.5x",
+        max_res=base.max_res.scaled(0.5),
+        rec_freq=1600.0,
+        power=_scaled_power(1.2, static_w=0.1, icap_w=0.1),
+    )
+
+
+def _kintex_fast() -> Architecture:
+    base = zedboard()
+    return replace(
+        base,
+        name="kintex-fast-icap",
+        rec_freq=12800.0,
+        power=_scaled_power(0.9, static_w=0.45, icap_w=0.3),
+    )
+
+
+DEVICE_PRESETS = {
+    "zedboard": _zedboard,
+    "zynq-large": _zynq_large,
+    "artix-small": _artix_small,
+    "kintex-fast": _kintex_fast,
+}
+
+
+def preset_names() -> tuple[str, ...]:
+    return tuple(DEVICE_PRESETS)
+
+
+def preset_architecture(name: str) -> Architecture:
+    try:
+        factory = DEVICE_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_PRESETS))
+        raise KeyError(f"unknown device preset {name!r} (known: {known})") from None
+    return factory()
+
+
+def build_fleet(
+    names: list[str] | tuple[str, ...],
+    comm_penalty: float = 0.0,
+    name: str = "fleet",
+) -> Fleet:
+    """A fleet from preset names; device ids are positional (``d0``...)."""
+    devices = tuple(
+        FleetDevice(id=f"d{i}", architecture=preset_architecture(preset))
+        for i, preset in enumerate(names)
+    )
+    return Fleet(devices=devices, comm_penalty=comm_penalty, name=name)

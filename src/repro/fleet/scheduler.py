@@ -1,0 +1,452 @@
+"""Fleet-level scheduling: partition, per-device solve, compose, select.
+
+The decomposition mirrors the paper's single-device pipeline: a
+candidate assignment splits the task graph into per-device induced
+subgraphs, each subgraph is solved *unchanged* by an existing registered
+backend (PA / PA-R / IS-k / ...), and the per-device schedules are
+composed into a :class:`FleetSchedule` by computing one start offset per
+device.  Devices are offset — never re-timed — so every per-device
+schedule stays exactly what its backend produced, and the single-device
+fleet case degenerates to the plain backend bit-for-bit.
+
+Offsets are the least values satisfying every cross-device edge
+``u@A -> v@B``: ``offset_B + start_B(v) >= offset_A + end_A(u) +
+comm_penalty + comm(u, v)``, resolved in quotient topological order
+(candidates guarantee the quotient graph is a DAG).
+
+Objectives: ``makespan`` (fleet makespan, uJ tie-break), ``energy``
+(total uJ, makespan tie-break), ``weighted`` (``alpha`` x normalized
+makespan + ``(1-alpha)`` x normalized energy, both normalized by the
+first candidate's figures).  Selection is deterministic: ties fall back
+to candidate order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..model.fleet import Fleet
+from ..model.instance import Instance
+from ..model.power import EnergyBreakdown, energy_breakdown
+from ..model.schedule import (
+    ProcessorPlacement,
+    Reconfiguration,
+    RegionPlacement,
+    Schedule,
+    ScheduledTask,
+)
+from ..model.taskgraph import TaskGraph
+from .partition import (
+    FleetError,
+    candidate_assignments,
+    quotient_edges,
+    quotient_topo_order,
+)
+
+__all__ = [
+    "FleetSchedule",
+    "FleetResult",
+    "OBJECTIVES",
+    "device_subinstance",
+    "compose_fleet_schedule",
+    "evaluate_assignment",
+    "fleet_schedule",
+    "merged_schedule",
+]
+
+OBJECTIVES = ("makespan", "energy", "weighted")
+
+
+@dataclass
+class FleetSchedule:
+    """A composed multi-device solution (passive record, like Schedule)."""
+
+    fleet: Fleet
+    algorithm: str
+    assignment: dict[str, str]
+    device_schedules: dict[str, Schedule]
+    offsets: dict[str, float]
+    feasible: bool
+    makespan: float
+    device_energy: dict[str, EnergyBreakdown]
+    energy: EnergyBreakdown
+    devices_used: int
+    metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "fleet": self.fleet.to_dict(),
+            "assignment": dict(sorted(self.assignment.items())),
+            "device_schedules": {
+                device_id: schedule.to_dict()
+                for device_id, schedule in sorted(self.device_schedules.items())
+            },
+            "offsets": dict(sorted(self.offsets.items())),
+            "feasible": self.feasible,
+            "makespan": self.makespan,
+            "device_energy": {
+                device_id: breakdown.to_dict()
+                for device_id, breakdown in sorted(self.device_energy.items())
+            },
+            "energy": self.energy.to_dict(),
+            "devices_used": self.devices_used,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FleetSchedule":
+        return cls(
+            fleet=Fleet.from_dict(data["fleet"]),
+            algorithm=data["algorithm"],
+            assignment=dict(data["assignment"]),
+            device_schedules={
+                device_id: Schedule.from_dict(payload)
+                for device_id, payload in data["device_schedules"].items()
+            },
+            offsets=dict(data["offsets"]),
+            feasible=data["feasible"],
+            makespan=data["makespan"],
+            device_energy={
+                device_id: EnergyBreakdown.from_dict(payload)
+                for device_id, payload in data["device_energy"].items()
+            },
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+            devices_used=data["devices_used"],
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+@dataclass
+class FleetResult:
+    """Outcome of a fleet run: the winning schedule plus search telemetry."""
+
+    schedule: FleetSchedule
+    objective: str
+    objective_value: float
+    candidates: list[dict]
+    scheduling_time: float
+    floorplanning_time: float
+
+
+# -- per-device decomposition ------------------------------------------------
+
+
+def device_tasks(assignment: Mapping[str, str], device_id: str) -> list[str]:
+    return sorted(t for t, d in assignment.items() if d == device_id)
+
+
+def device_subinstance(
+    instance: Instance, fleet: Fleet, assignment: Mapping[str, str], device_id: str
+) -> Instance | None:
+    """The induced per-device instance, or None when the device is idle.
+
+    When one device holds every task and its architecture equals the
+    instance's, the original instance is returned unchanged — this is
+    what makes the single-device fleet case produce byte-identical
+    backend requests (and hence bit-identical schedules).
+    """
+    device = fleet.device(device_id)
+    graph = instance.taskgraph
+    mine = [t for t in graph.task_ids if assignment[t] == device_id]
+    if not mine:
+        return None
+    if len(mine) == len(graph) and device.architecture == instance.architecture:
+        return instance
+    sub = TaskGraph(name=f"{graph.name}@{device_id}")
+    for task_id in mine:
+        sub.add_task(graph.task(task_id))
+    members = set(mine)
+    for src, dst in graph.edges():
+        if src in members and dst in members:
+            sub.add_dependency(src, dst, comm=graph.comm_cost(src, dst))
+    return Instance(
+        architecture=device.architecture,
+        taskgraph=sub,
+        name=f"{instance.name}@{device_id}",
+        metadata=dict(instance.metadata),
+    )
+
+
+# -- composition -------------------------------------------------------------
+
+
+def compose_fleet_schedule(
+    instance: Instance,
+    fleet: Fleet,
+    assignment: Mapping[str, str],
+    device_schedules: Mapping[str, Schedule],
+    algorithm: str,
+    feasible: bool,
+    metadata: dict | None = None,
+) -> FleetSchedule:
+    """Offset the per-device schedules into one consistent fleet timeline."""
+    graph = instance.taskgraph
+    edges = quotient_edges(graph, assignment)
+    order = quotient_topo_order(fleet, edges)
+
+    cross = sorted(
+        (src, dst)
+        for src, dst in graph.edges()
+        if assignment[src] != assignment[dst]
+    )
+    offsets: dict[str, float] = {}
+    for device_id in order:
+        if device_id not in device_schedules:
+            continue
+        schedule = device_schedules[device_id]
+        offset = 0.0
+        for src, dst in cross:
+            if assignment[dst] != device_id:
+                continue
+            pred_device = assignment[src]
+            ready = (
+                offsets[pred_device]
+                + device_schedules[pred_device].tasks[src].end
+                + fleet.comm_penalty
+                + graph.comm_cost(src, dst)
+            )
+            offset = max(offset, ready - schedule.tasks[dst].start)
+        offsets[device_id] = offset
+
+    makespan = max(
+        (offsets[d] + device_schedules[d].makespan for d in device_schedules),
+        default=0.0,
+    )
+
+    device_energy: dict[str, EnergyBreakdown] = {}
+    total = EnergyBreakdown()
+    for device in fleet.devices:
+        schedule = device_schedules.get(device.id)
+        if schedule is None:
+            continue
+        breakdown = energy_breakdown(schedule, device.architecture, device.power)
+        device_energy[device.id] = breakdown
+        total = total.combined(breakdown)
+
+    return FleetSchedule(
+        fleet=fleet,
+        algorithm=algorithm,
+        assignment=dict(assignment),
+        device_schedules=dict(device_schedules),
+        offsets=offsets,
+        feasible=feasible,
+        makespan=makespan,
+        device_energy=device_energy,
+        energy=total,
+        devices_used=len(device_schedules),
+        metadata=dict(metadata or {}),
+    )
+
+
+def merged_schedule(fs: FleetSchedule) -> Schedule:
+    """One flat Schedule over the whole fleet, for reporting and Gantt.
+
+    With a single used device the device schedule is returned unchanged
+    (the bit-identity contract).  Otherwise regions are namespaced
+    ``<device>/<region>``, activities are shifted by the device offset,
+    and processor/controller indices are offset by the cumulative core/
+    reconfigurator counts of preceding fleet devices so the merged view
+    has globally unique rows.
+    """
+    if fs.devices_used == 1:
+        (only,) = fs.device_schedules.values()
+        return only
+
+    tasks: dict[str, ScheduledTask] = {}
+    regions = {}
+    reconfigurations: list[Reconfiguration] = []
+    processor_base = 0
+    controller_base = 0
+    for device in fs.fleet.devices:
+        schedule = fs.device_schedules.get(device.id)
+        if schedule is not None:
+            offset = fs.offsets[device.id]
+            for region in schedule.regions.values():
+                renamed = f"{device.id}/{region.id}"
+                regions[renamed] = type(region)(id=renamed, resources=region.resources)
+            for task in schedule.tasks.values():
+                placement = task.placement
+                if isinstance(placement, RegionPlacement):
+                    placement = RegionPlacement(f"{device.id}/{placement.region_id}")
+                else:
+                    placement = ProcessorPlacement(placement.index + processor_base)
+                tasks[task.task_id] = ScheduledTask(
+                    task_id=task.task_id,
+                    implementation=task.implementation,
+                    placement=placement,
+                    start=task.start + offset,
+                    end=task.end + offset,
+                )
+            for reconf in schedule.reconfigurations:
+                reconfigurations.append(
+                    Reconfiguration(
+                        region_id=f"{device.id}/{reconf.region_id}",
+                        ingoing_task=reconf.ingoing_task,
+                        outgoing_task=reconf.outgoing_task,
+                        start=reconf.start + offset,
+                        end=reconf.end + offset,
+                        controller=reconf.controller + controller_base,
+                    )
+                )
+        processor_base += device.architecture.processors
+        controller_base += device.architecture.reconfigurators
+    return Schedule(
+        tasks=tasks,
+        regions=regions,
+        reconfigurations=reconfigurations,
+        scheduler=f"fleet-{fs.algorithm}",
+        metadata={"offsets": dict(sorted(fs.offsets.items()))},
+    )
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+def evaluate_assignment(
+    instance: Instance,
+    fleet: Fleet,
+    assignment: Mapping[str, str],
+    algorithm: str,
+    options: Mapping | None = None,
+    seed: int | None = None,
+    budget: float | None = None,
+) -> tuple[FleetSchedule, float, float]:
+    """Solve every device subgraph and compose; returns (fs, sched_t, fp_t)."""
+    # Imported lazily: repro.engine imports this package to register the
+    # fleet backends, so a module-level import would be circular.
+    from ..engine import ScheduleRequest, get_backend
+
+    backend = get_backend(algorithm)
+    device_schedules: dict[str, Schedule] = {}
+    feasible = True
+    scheduling_time = 0.0
+    floorplanning_time = 0.0
+    for device in fleet.devices:
+        sub = device_subinstance(instance, fleet, assignment, device.id)
+        if sub is None:
+            continue
+        request = ScheduleRequest(
+            sub, algorithm, options=dict(options or {}), seed=seed, budget=budget
+        )
+        outcome = backend.run(request)
+        feasible = feasible and outcome.feasible
+        scheduling_time += outcome.scheduling_time
+        floorplanning_time += outcome.floorplanning_time
+        if outcome.schedule is None:
+            raise FleetError(
+                f"backend {algorithm!r} returned no schedule for device {device.id!r}"
+            )
+        device_schedules[device.id] = outcome.schedule
+    return (
+        compose_fleet_schedule(
+            instance, fleet, assignment, device_schedules, algorithm, feasible
+        ),
+        scheduling_time,
+        floorplanning_time,
+    )
+
+
+def _evaluate_item(item) -> dict:
+    (index, instance, fleet, assignment, algorithm, options, seed, budget) = item
+    fs, scheduling_time, floorplanning_time = evaluate_assignment(
+        instance, fleet, assignment, algorithm, options, seed, budget
+    )
+    return {
+        "index": index,
+        "fleet_schedule": fs.to_dict(),
+        "scheduling_time": scheduling_time,
+        "floorplanning_time": floorplanning_time,
+    }
+
+
+def _objective_value(
+    objective: str,
+    makespan: float,
+    total_j: float,
+    alpha: float,
+    reference: tuple[float, float],
+) -> float:
+    if objective == "makespan":
+        return makespan
+    if objective == "energy":
+        return total_j
+    if objective == "weighted":
+        ref_makespan = reference[0] or 1.0
+        ref_energy = reference[1] or 1.0
+        return alpha * makespan / ref_makespan + (1.0 - alpha) * total_j / ref_energy
+    raise FleetError(f"unknown objective {objective!r} (known: {OBJECTIVES})")
+
+
+def fleet_schedule(
+    instance: Instance,
+    fleet: Fleet,
+    algorithm: str = "pa",
+    *,
+    objective: str = "makespan",
+    alpha: float = 0.5,
+    options: Mapping | None = None,
+    seed: int | None = None,
+    budget: float | None = None,
+    restarts: int = 4,
+    jobs: int = 1,
+) -> FleetResult:
+    """Partition, evaluate all candidates, pick the objective-best one."""
+    if objective not in OBJECTIVES:
+        raise FleetError(f"unknown objective {objective!r} (known: {OBJECTIVES})")
+    candidates = candidate_assignments(instance, fleet, seed=seed, restarts=restarts)
+    items = [
+        (index, instance, fleet, assignment, algorithm, dict(options or {}), seed, budget)
+        for index, assignment in enumerate(candidates)
+    ]
+    if jobs > 1 and len(items) > 1:
+        from ..analysis.parallel import parallel_map
+
+        raw = parallel_map(_evaluate_item, items, jobs=jobs)
+    else:
+        raw = [_evaluate_item(item) for item in items]
+
+    evaluated: list[tuple[int, FleetSchedule]] = []
+    scheduling_time = 0.0
+    floorplanning_time = 0.0
+    for payload in raw:
+        evaluated.append(
+            (payload["index"], FleetSchedule.from_dict(payload["fleet_schedule"]))
+        )
+        scheduling_time += payload["scheduling_time"]
+        floorplanning_time += payload["floorplanning_time"]
+    evaluated.sort(key=lambda pair: pair[0])
+
+    reference = (evaluated[0][1].makespan, evaluated[0][1].energy.total_j)
+    ranked = []
+    summaries = []
+    for index, fs in evaluated:
+        value = _objective_value(
+            objective, fs.makespan, fs.energy.total_j, alpha, reference
+        )
+        ranked.append((not fs.feasible, value, fs.makespan, index, fs))
+        summaries.append(
+            {
+                "candidate": index,
+                "feasible": fs.feasible,
+                "objective_value": value,
+                "makespan": fs.makespan,
+                "energy_total_j": fs.energy.total_j,
+                "devices_used": fs.devices_used,
+            }
+        )
+    ranked.sort(key=lambda entry: entry[:4])
+    best = ranked[0]
+    winner = best[4]
+    winner.metadata.setdefault("objective", objective)
+    winner.metadata.setdefault("objective_value", best[1])
+    winner.metadata.setdefault("candidates_evaluated", len(evaluated))
+    return FleetResult(
+        schedule=winner,
+        objective=objective,
+        objective_value=best[1],
+        candidates=summaries,
+        scheduling_time=scheduling_time,
+        floorplanning_time=floorplanning_time,
+    )

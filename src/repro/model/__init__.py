@@ -2,7 +2,15 @@
 
 from .architecture import Architecture, zedboard
 from .canonical import canonical_dumps, content_hash, instance_hash
+from .fleet import Fleet, FleetDevice
 from .instance import Instance
+from .power import (
+    EnergyBreakdown,
+    PowerModel,
+    energy_breakdown,
+    zedboard_power,
+    zero_power,
+)
 from .resources import ResourceKindError, ResourceVector
 from .schedule import (
     Placement,
@@ -22,6 +30,13 @@ __all__ = [
     "canonical_dumps",
     "content_hash",
     "instance_hash",
+    "Fleet",
+    "FleetDevice",
+    "EnergyBreakdown",
+    "PowerModel",
+    "energy_breakdown",
+    "zedboard_power",
+    "zero_power",
     "Instance",
     "ResourceKindError",
     "ResourceVector",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from .power import PowerModel
 from .resources import ResourceVector
 
 __all__ = ["Architecture", "zedboard"]
@@ -56,6 +57,10 @@ class Architecture:
     # The paper assumes a single reconfiguration controller (ICAP);
     # reference [8] generalizes to several — supported as an extension.
     reconfigurators: int = 1
+    # Optional energy model (ROADMAP item 3).  ``None`` means "no power
+    # accounting" and is omitted from the canonical serialization so
+    # every pre-existing instance hash and cache key keeps its bytes.
+    power: PowerModel | None = None
 
     def __post_init__(self) -> None:
         if self.processors < 1:
@@ -143,6 +148,7 @@ class Architecture:
             rec_freq=self.rec_freq,
             region_quantum=self.region_quantum,
             reconfigurators=self.reconfigurators,
+            power=self.power,
         )
 
     def shrunk(self, factor: float) -> "Architecture":
@@ -152,7 +158,7 @@ class Architecture:
     # -- serialization ------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "processors": self.processors,
             "max_res": self.max_res.to_dict(),
@@ -163,9 +169,16 @@ class Architecture:
             ),
             "reconfigurators": self.reconfigurators,
         }
+        # Omitted when absent: architectures without an energy model keep
+        # the exact serialization (and hence content_hash / cache-key
+        # bytes) they had before the power extension existed.
+        if self.power is not None:
+            payload["power"] = self.power.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "Architecture":
+        power = data.get("power")
         return cls(
             name=data["name"],
             processors=data["processors"],
@@ -174,6 +187,7 @@ class Architecture:
             rec_freq=data["rec_freq"],
             region_quantum=data.get("region_quantum"),
             reconfigurators=data.get("reconfigurators", 1),
+            power=PowerModel.from_dict(power) if power is not None else None,
         )
 
 

@@ -1,0 +1,114 @@
+"""A fleet of heterogeneous reconfigurable devices (ROADMAP item 3).
+
+The paper targets one ZedBoard-class SoC; a data-center deployment runs
+many devices with mixed fabric sizes, ICAP throughputs and power
+envelopes.  A :class:`Fleet` is an ordered collection of named
+:class:`~repro.model.architecture.Architecture` devices plus a single
+inter-device communication penalty: every task-graph edge whose
+endpoints land on different devices pays ``comm_penalty`` microseconds
+on top of the edge's own communication cost (the fabric-internal edge
+cost already modelled by the task graph).
+
+Each device's energy figures ride on ``Architecture.power`` — the
+optional field that is omitted from the canonical serialization when
+absent, so fleets extend the model layer without moving any
+pre-existing instance hash or cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .architecture import Architecture
+from .canonical import canonical_dumps, content_hash
+from .power import PowerModel, zero_power
+
+__all__ = ["FleetDevice", "Fleet"]
+
+
+@dataclass(frozen=True)
+class FleetDevice:
+    """One device slot in a fleet: a stable id plus its architecture."""
+
+    id: str
+    architecture: Architecture
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("fleet device needs a non-empty id")
+
+    @property
+    def power(self) -> PowerModel:
+        return self.architecture.power or zero_power()
+
+    def to_dict(self) -> dict:
+        return {"id": self.id, "architecture": self.architecture.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FleetDevice":
+        return cls(
+            id=data["id"],
+            architecture=Architecture.from_dict(data["architecture"]),
+        )
+
+
+@dataclass(frozen=True)
+class Fleet:
+    """An ordered, heterogeneous collection of devices."""
+
+    devices: tuple[FleetDevice, ...]
+    comm_penalty: float = 0.0
+    name: str = "fleet"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "devices", tuple(self.devices))
+        if not self.devices:
+            raise ValueError("fleet needs at least one device")
+        ids = [device.id for device in self.devices]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate fleet device ids: {ids}")
+        if self.comm_penalty < 0:
+            raise ValueError("comm_penalty must be >= 0")
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def device_ids(self) -> tuple[str, ...]:
+        return tuple(device.id for device in self.devices)
+
+    def device(self, device_id: str) -> FleetDevice:
+        for device in self.devices:
+            if device.id == device_id:
+                return device
+        raise KeyError(f"unknown fleet device: {device_id!r}")
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "comm_penalty": self.comm_penalty,
+            "devices": [device.to_dict() for device in self.devices],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Fleet":
+        return cls(
+            devices=tuple(
+                FleetDevice.from_dict(item) for item in data["devices"]
+            ),
+            comm_penalty=data.get("comm_penalty", 0.0),
+            name=data.get("name", "fleet"),
+        )
+
+    def canonical_json(self) -> str:
+        return canonical_dumps(self.to_dict())
+
+    def content_hash(self) -> str:
+        return content_hash(self.to_dict())
+
+    @classmethod
+    def single(cls, architecture: Architecture, device_id: str = "d0") -> "Fleet":
+        """A one-device fleet wrapping an existing architecture."""
+        return cls(devices=(FleetDevice(device_id, architecture),))

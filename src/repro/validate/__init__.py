@@ -7,12 +7,14 @@ from .checker import (
     check_repaired_schedule,
     check_schedule,
 )
+from .fleet import check_fleet_schedule
 from .online import check_online_trace
 
 __all__ = [
     "ScheduleInvalidError",
     "ValidationReport",
     "Violation",
+    "check_fleet_schedule",
     "check_online_trace",
     "check_repaired_schedule",
     "check_schedule",

@@ -1,0 +1,207 @@
+"""Independent fleet-schedule validator.
+
+Validates a :class:`~repro.fleet.FleetSchedule` without sharing code
+with the fleet scheduler, except for two deliberately shared pure
+functions: :func:`repro.model.power.energy_breakdown` (so the energy
+re-derivation is bit-exact, mirroring how ``Architecture.reconf_time``
+is shared with :func:`~repro.validate.checker.check_schedule`) and the
+quotient-order helper (pure graph bookkeeping).
+
+Checks:
+
+1. the assignment covers every task exactly once and names only fleet
+   devices; every per-device schedule contains exactly its assigned
+   tasks;
+2. each per-device schedule passes the full single-device invariant
+   suite against that device's architecture and induced subgraph;
+3. the device quotient graph is acyclic and the reported offsets are
+   exactly the least-offset solution the composer defines;
+4. cross-device precedence holds in absolute (offset) time, charging
+   the fleet communication penalty plus the edge cost;
+5. the reported makespan, per-device and total energy breakdowns, and
+   device count re-derive exactly (``==``, no tolerance — the shared
+   accounting function makes that achievable).
+"""
+
+from __future__ import annotations
+
+from ..fleet.partition import FleetError, quotient_edges, quotient_topo_order
+from ..fleet.scheduler import FleetSchedule, device_subinstance
+from ..model import Instance
+from ..model.power import EnergyBreakdown, energy_breakdown
+from .checker import TOL, ValidationReport, check_schedule
+
+__all__ = ["check_fleet_schedule"]
+
+
+def check_fleet_schedule(
+    instance: Instance,
+    fs: FleetSchedule,
+    communication_overhead: bool = False,
+    allow_module_reuse: bool = False,
+) -> ValidationReport:
+    """Run the full fleet invariant suite; returns an accumulating report."""
+    report = ValidationReport()
+    graph = instance.taskgraph
+    fleet = fs.fleet
+    device_ids = set(fleet.device_ids())
+
+    # -- 1. assignment coverage ------------------------------------------
+    assigned = set(fs.assignment)
+    expected = set(graph.task_ids)
+    for task_id in sorted(expected - assigned):
+        report.add("fleet-unassigned", f"task {task_id!r} has no device")
+    for task_id in sorted(assigned - expected):
+        report.add("fleet-unknown-task", f"assigned task {task_id!r} not in graph")
+    for task_id, device_id in sorted(fs.assignment.items()):
+        if device_id not in device_ids:
+            report.add(
+                "fleet-unknown-device",
+                f"task {task_id!r} assigned to unknown device {device_id!r}",
+            )
+    if not report.ok:
+        return report
+
+    used = {d for d in fs.device_schedules if fs.device_schedules[d].tasks}
+    for device_id, schedule in sorted(fs.device_schedules.items()):
+        mine = {t for t, d in fs.assignment.items() if d == device_id}
+        got = set(schedule.tasks)
+        for task_id in sorted(mine - got):
+            report.add(
+                "fleet-missing-task",
+                f"device {device_id!r} schedule lacks assigned task {task_id!r}",
+            )
+        for task_id in sorted(got - mine):
+            report.add(
+                "fleet-foreign-task",
+                f"device {device_id!r} schedules unassigned task {task_id!r}",
+            )
+    scheduled_devices = {d for d, s in fs.device_schedules.items() if s.tasks}
+    for device_id in sorted({d for d in fs.assignment.values()} - scheduled_devices):
+        report.add(
+            "fleet-missing-device",
+            f"device {device_id!r} has assigned tasks but no schedule",
+        )
+    if not report.ok:
+        return report
+
+    # -- 2. per-device invariant suite -----------------------------------
+    for device_id in sorted(fs.device_schedules):
+        sub = device_subinstance(instance, fleet, fs.assignment, device_id)
+        if sub is None:
+            continue
+        device_report = check_schedule(
+            sub,
+            fs.device_schedules[device_id],
+            communication_overhead=communication_overhead,
+            allow_module_reuse=allow_module_reuse,
+        )
+        for violation in device_report.violations:
+            report.add(violation.code, f"[{device_id}] {violation.message}")
+
+    # -- 3. quotient acyclicity + exact offsets --------------------------
+    edges = quotient_edges(graph, fs.assignment)
+    try:
+        order = quotient_topo_order(fleet, edges)
+    except FleetError as exc:
+        report.add("fleet-quotient-cycle", str(exc))
+        return report
+
+    cross = sorted(
+        (src, dst)
+        for src, dst in graph.edges()
+        if fs.assignment[src] != fs.assignment[dst]
+    )
+    expected_offsets: dict[str, float] = {}
+    for device_id in order:
+        if device_id not in fs.device_schedules:
+            continue
+        schedule = fs.device_schedules[device_id]
+        offset = 0.0
+        for src, dst in cross:
+            if fs.assignment[dst] != device_id:
+                continue
+            pred_device = fs.assignment[src]
+            ready = (
+                expected_offsets[pred_device]
+                + fs.device_schedules[pred_device].tasks[src].end
+                + fleet.comm_penalty
+                + graph.comm_cost(src, dst)
+            )
+            offset = max(offset, ready - schedule.tasks[dst].start)
+        expected_offsets[device_id] = offset
+        reported = fs.offsets.get(device_id)
+        if reported != offset:
+            report.add(
+                "fleet-offset",
+                f"device {device_id!r} offset {reported!r} != derived {offset!r}",
+            )
+    for device_id in sorted(set(fs.offsets) - set(expected_offsets)):
+        report.add(
+            "fleet-offset", f"offset reported for unscheduled device {device_id!r}"
+        )
+
+    # -- 4. cross-device precedence in absolute time ---------------------
+    for src, dst in cross:
+        src_device, dst_device = fs.assignment[src], fs.assignment[dst]
+        src_end = (
+            expected_offsets[src_device]
+            + fs.device_schedules[src_device].tasks[src].end
+        )
+        dst_start = (
+            expected_offsets[dst_device]
+            + fs.device_schedules[dst_device].tasks[dst].start
+        )
+        required = fleet.comm_penalty + graph.comm_cost(src, dst)
+        if src_end + required > dst_start + TOL:
+            report.add(
+                "fleet-precedence",
+                f"{src!r}@{src_device} ends {src_end:.3f} + comm {required:.3f}"
+                f" > {dst!r}@{dst_device} starts {dst_start:.3f}",
+            )
+
+    # -- 5. exact makespan / energy / device-count re-derivation ---------
+    derived_makespan = max(
+        (
+            expected_offsets[d] + fs.device_schedules[d].makespan
+            for d in fs.device_schedules
+        ),
+        default=0.0,
+    )
+    if fs.makespan != derived_makespan:
+        report.add(
+            "fleet-makespan",
+            f"reported makespan {fs.makespan!r} != derived {derived_makespan!r}",
+        )
+
+    total = EnergyBreakdown()
+    for device in fleet.devices:
+        schedule = fs.device_schedules.get(device.id)
+        if schedule is None:
+            continue
+        derived = energy_breakdown(schedule, device.architecture, device.power)
+        total = total.combined(derived)
+        reported = fs.device_energy.get(device.id)
+        if reported is None:
+            report.add(
+                "fleet-energy", f"device {device.id!r} missing energy breakdown"
+            )
+        elif reported != derived:
+            report.add(
+                "fleet-energy",
+                f"device {device.id!r} energy {reported.to_dict()} != "
+                f"derived {derived.to_dict()}",
+            )
+    if fs.energy != total:
+        report.add(
+            "fleet-energy",
+            f"total energy {fs.energy.to_dict()} != derived {total.to_dict()}",
+        )
+
+    if fs.devices_used != len(used):
+        report.add(
+            "fleet-devices-used",
+            f"reported devices_used {fs.devices_used} != derived {len(used)}",
+        )
+
+    return report

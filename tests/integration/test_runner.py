@@ -83,6 +83,44 @@ class TestQualityRun:
         # The old header fused the two into one mislabeled column.
         assert "PA-R / IS-5 [s]" not in table
 
+    def test_energy_recorded_and_rendered(self, results):
+        for record in results.records:
+            assert record.pa_energy_total_j > 0
+            assert record.pa_energy_total_j == (
+                record.pa_energy_static_j
+                + record.pa_energy_dynamic_j
+                + record.pa_energy_reconf_j
+            )
+            assert record.devices_used == 1
+        assert "Energy" in results.render_energy()
+        assert "Energy" in results.render_all()
+
+    def test_energy_columns_in_csv(self, results):
+        from repro.analysis.export import quality_records_csv
+
+        text = quality_records_csv(results)
+        header = text.splitlines()[0].split(",")
+        assert "pa_energy_total_j" in header
+        assert "devices_used" in header
+        for line in text.splitlines()[1:]:
+            assert len(line.split(",")) == len(header)
+
+    def test_legacy_json_without_energy_fields_loads(self, results, tmp_path):
+        path = tmp_path / "legacy.json"
+        results.to_json(path)
+        data = json.loads(path.read_text())
+        energy_fields = (
+            "pa_energy_static_j", "pa_energy_dynamic_j",
+            "pa_energy_reconf_j", "pa_energy_total_j", "devices_used",
+        )
+        for record in data["records"]:
+            for field in energy_fields:
+                record.pop(field)
+        path.write_text(json.dumps(data))
+        clone = QualityResults.from_json(path)
+        assert clone.records[0].pa_energy_total_j == 0.0
+        assert clone.records[0].devices_used == 1
+
 
 def _deterministic_fields(records):
     return [
@@ -133,6 +171,7 @@ class TestEmptyResults:
         assert "no records" in empty.render_fig3()
         assert "no records" in empty.render_fig4()
         assert "Figure 5" in empty.render_fig5()
+        assert "Energy" in empty.render_energy()
         assert empty.group_means("pa_makespan") == []
         assert empty.improvement("is1_makespan", "pa_makespan") == []
 

@@ -1,0 +1,111 @@
+"""Fleet properties (DESIGN.md §14).
+
+Two contracts the power/fleet extension promises:
+
+1. **Energy conservation** — the validator's independently re-derived
+   energy breakdown equals the scheduler-reported one *exactly* (``==``,
+   no tolerance), for any fleet shape, seed and objective.  The shared
+   :func:`repro.model.power.energy_breakdown` accounting makes this a
+   bit-exactness claim, not an approximation.
+
+2. **Zero-cost degeneracy** — a single-device fleet whose device has no
+   power model reproduces the plain backend's schedule bit-identically
+   (same schedule dict, same makespan) and reports exactly 0 uJ, for PA,
+   PA-R and IS-k across many seeds.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.benchgen import fleet_scenario, paper_instance
+from repro.engine import ScheduleRequest, get_backend
+from repro.fleet import fleet_schedule
+from repro.model import EnergyBreakdown, Fleet, energy_breakdown
+from repro.validate import check_fleet_schedule
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+PRESET_SUBSETS = st.sampled_from(
+    [
+        ("zedboard",),
+        ("zedboard", "artix-small"),
+        ("artix-small", "kintex-fast"),
+        ("zedboard", "zynq-large", "kintex-fast"),
+        ("zedboard", "artix-small", "kintex-fast"),
+    ]
+)
+
+
+@SETTINGS
+@given(
+    tasks=st.integers(min_value=6, max_value=14),
+    seed=st.integers(min_value=0, max_value=10_000),
+    devices=PRESET_SUBSETS,
+    comm_penalty=st.floats(min_value=0.0, max_value=100.0),
+    objective=st.sampled_from(["makespan", "energy", "weighted"]),
+)
+def test_energy_is_conserved_exactly(tasks, seed, devices, comm_penalty, objective):
+    instance, fleet = fleet_scenario(
+        tasks=tasks, seed=seed, devices=devices, comm_penalty=comm_penalty
+    )
+    result = fleet_schedule(
+        instance, fleet, "pa", objective=objective, seed=seed, restarts=2
+    )
+    fs = result.schedule
+
+    # The validator re-derives everything (offsets, makespan, energy)
+    # and demands exact equality.
+    report = check_fleet_schedule(instance, fs)
+    assert report.ok, [str(v) for v in report.violations]
+
+    # Belt and braces: recompute the breakdown here too.
+    total = EnergyBreakdown()
+    for device in fleet.devices:
+        schedule = fs.device_schedules.get(device.id)
+        if schedule is None:
+            continue
+        derived = energy_breakdown(schedule, device.architecture, device.power)
+        assert fs.device_energy[device.id] == derived
+        total = total.combined(derived)
+    assert fs.energy == total
+    assert fs.energy.total_j == total.static_j + total.dynamic_j + total.reconfiguration_j
+
+
+@pytest.mark.parametrize(
+    "algorithm,options",
+    [
+        ("pa", {"floorplan": True}),
+        ("pa-r", {"floorplan": True, "iterations": 3}),
+        ("is-2", {}),
+    ],
+)
+@pytest.mark.parametrize("seed", range(20))
+def test_zero_power_single_device_is_bit_identical(algorithm, options, seed):
+    instance = paper_instance(tasks=8, seed=seed)
+    assert instance.architecture.power is None  # zero-power device
+    fleet = Fleet.single(instance.architecture)
+
+    plain = get_backend(algorithm).run(
+        ScheduleRequest(instance, algorithm, options=dict(options), seed=seed)
+    )
+    result = fleet_schedule(
+        instance, fleet, algorithm, options=dict(options), seed=seed
+    )
+    fs = result.schedule
+
+    assert fs.devices_used == 1
+    assert fs.device_schedules["d0"].to_dict() == plain.schedule.to_dict()
+    assert fs.makespan == plain.makespan
+    assert fs.offsets == {"d0": 0.0}
+    assert fs.energy == EnergyBreakdown()
+    assert fs.energy.total_j == 0.0
+
+    from repro.fleet import merged_schedule
+
+    assert merged_schedule(fs).to_dict() == plain.schedule.to_dict()

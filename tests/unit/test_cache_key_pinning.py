@@ -1,0 +1,86 @@
+"""Pinned content hashes and cache keys (backward-compatibility contract).
+
+Every value below was recorded on the repository state *before* the
+power/fleet extension landed.  The extension adds ``Architecture.power``
+as an optional field that is omitted from the canonical serialization
+when absent — so every pre-existing instance hash and result-store cache
+key must remain byte-identical.  If any assertion here fails, stored
+results on disk silently stop matching their requests; do not "fix" the
+expected values without bumping backend provenance versions.
+"""
+
+from repro.benchgen import paper_instance
+from repro.engine import ScheduleRequest
+
+# (tasks, seed, graph_kind) -> content hash recorded pre-fleet.
+PINNED_INSTANCE_HASHES = {
+    (12, 42, "layered"):
+        "0be28dcc8bb0f43321e3d72f39330212da40ecd46982e1641d60afd4fe123aef",
+    (20, 7, "series-parallel"):
+        "973d4fe3fa86b26a1c148d5e67c7c60f6d0ffb5693cb3e0ed2d0f0fd4a826343",
+}
+
+# (tasks, seed, graph_kind, algorithm, frozen options, seed, budget) ->
+# ScheduleRequest.cache_key() recorded pre-fleet.
+PINNED_CACHE_KEYS = [
+    (
+        (12, 42, "layered"), "pa", {"floorplan": True}, None, None,
+        "c99da7f82deca83c002f4252702599ee7c0d31229c002aa8d59511ac6d00ea25",
+    ),
+    (
+        (12, 42, "layered"), "pa-r",
+        {"floorplan": True, "iterations": 8, "jobs": 1}, 3, None,
+        "f4f5397a8db5116f7fde8e954c8966c185d05ea9b59777cfe314d8beaa555946",
+    ),
+    (
+        (12, 42, "layered"), "is-3", {"node_limit": 4000}, None, None,
+        "66e9c2d67901e0a5f8251e5c0dedad1ce291579526c3cb429276ae631691fc36",
+    ),
+    (
+        (20, 7, "series-parallel"), "pa", {}, None, None,
+        "d8003ccf7c06f7097fe2fc192b87b57f3c359fd3393aeea4b8cf239192f34266",
+    ),
+    (
+        (20, 7, "series-parallel"), "pa-r", {}, 0, 1.5,
+        "e538c414e975a69414fd81aee32cb52304b619218fc956c8836a56bc9ac348a3",
+    ),
+    (
+        (20, 7, "series-parallel"), "is-5", {}, None, None,
+        "de72914fcb255278017070a6e2ffd437360d0cfeabca5ca60c635074e27b1de0",
+    ),
+    (
+        (20, 7, "series-parallel"), "list", {}, None, None,
+        "c099cd9591f76ed5f9a48cd91719684d499750e1643603e34ef29aa53d200856",
+    ),
+    (
+        (20, 7, "series-parallel"), "exhaustive", {"task_limit": 25}, None, None,
+        "d886da552bc59319f82de4cb437753118109222fa0c89d8b6e835c1b1e651a0b",
+    ),
+]
+
+
+def _instance(spec):
+    tasks, seed, graph_kind = spec
+    return paper_instance(tasks=tasks, seed=seed, graph_kind=graph_kind)
+
+
+def test_instance_hashes_unchanged():
+    for spec, expected in PINNED_INSTANCE_HASHES.items():
+        assert _instance(spec).content_hash() == expected, spec
+
+
+def test_cache_keys_unchanged():
+    for spec, algorithm, options, seed, budget, expected in PINNED_CACHE_KEYS:
+        request = ScheduleRequest(
+            _instance(spec), algorithm, options=dict(options),
+            seed=seed, budget=budget,
+        )
+        assert request.cache_key() == expected, (spec, algorithm)
+
+
+def test_architecture_without_power_serializes_without_power_key():
+    # The mechanism behind the pinned hashes: absent power never appears
+    # in the canonical payload.
+    instance = _instance((12, 42, "layered"))
+    assert instance.architecture.power is None
+    assert "power" not in instance.architecture.to_dict()

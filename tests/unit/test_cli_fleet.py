@@ -1,0 +1,146 @@
+"""CLI tests for the fleet surface: ``repro devices``, ``repro fleet``
+and ``repro batch --profile``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.model import Architecture
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "inst.json"
+    assert main(["generate", "--tasks", "10", "--seed", "4", "-o", str(path)]) == 0
+    return path
+
+
+class TestDevices:
+    def test_table(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for preset in ("zedboard", "zynq-large", "artix-small", "kintex-fast"):
+            assert preset in out
+        assert "rec_freq" in out and "static_W" in out
+
+    def test_json(self, capsys):
+        assert main(["devices", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) >= {"zedboard", "artix-small"}
+        for data in payload.values():
+            arch = Architecture.from_dict(data)
+            assert arch.power is not None
+
+
+class TestFleet:
+    def test_devices_presets_run(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "fs.json"
+        energy_out = tmp_path / "energy.json"
+        code = main(
+            [
+                "fleet", str(instance_file),
+                "--devices", "zedboard,artix-small,kintex-fast",
+                "--comm-penalty", "25",
+                "--restarts", "2",
+                "-o", str(out),
+                "--energy-out", str(energy_out),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "FLEET-PA [makespan] (computed)" in captured
+        assert "validator: OK" in captured
+
+        from repro.fleet import FleetSchedule
+
+        fs = FleetSchedule.from_dict(json.loads(out.read_text()))
+        assert fs.feasible
+        energy = json.loads(energy_out.read_text())
+        assert set(energy) == {
+            "objective", "makespan", "devices_used", "energy", "per_device"
+        }
+        assert energy["energy"]["total_j"] == pytest.approx(
+            fs.energy.total_j
+        )
+
+    def test_store_first(self, instance_file, tmp_path, capsys):
+        store = tmp_path / "cache"
+        argv = [
+            "fleet", str(instance_file),
+            "--devices", "zedboard,artix-small",
+            "--restarts", "1",
+            "--store", str(store),
+        ]
+        assert main(argv) == 0
+        assert "(computed)" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "(store)" in capsys.readouterr().out
+
+    def test_fleet_file_with_penalty_override(self, instance_file, tmp_path, capsys):
+        from repro.fleet import build_fleet
+
+        fleet_path = tmp_path / "fleet.json"
+        fleet_path.write_text(
+            json.dumps(build_fleet(["zedboard", "kintex-fast"]).to_dict())
+        )
+        code = main(
+            [
+                "fleet", str(instance_file),
+                "--fleet", str(fleet_path),
+                "--comm-penalty", "10",
+                "--restarts", "1",
+            ]
+        )
+        assert code == 0
+        assert "validator: OK" in capsys.readouterr().out
+
+    def test_needs_devices_or_fleet(self, instance_file, capsys):
+        assert main(["fleet", str(instance_file)]) == 2
+        assert "--devices" in capsys.readouterr().err
+
+
+class TestBatchProfile:
+    @pytest.fixture
+    def manifest(self, tmp_path, instance_file):
+        path = tmp_path / "manifest.json"
+        path.write_text(
+            json.dumps(
+                [
+                    # PA requests: the PA pipeline is the instrumented
+                    # one, so its profiles have non-empty phase tables.
+                    {"instance": str(instance_file), "algorithm": "pa",
+                     "options": {"floorplan": True}},
+                    {"instance": str(instance_file), "algorithm": "pa",
+                     "options": {"floorplan": False}},
+                ]
+            )
+        )
+        return path
+
+    def test_profile_writes_per_item_reports(self, manifest, tmp_path, capsys):
+        profile_dir = tmp_path / "profiles"
+        code = main(
+            [
+                "batch", str(manifest),
+                "--store", str(tmp_path / "cache"),
+                "--profile", str(profile_dir),
+            ]
+        )
+        assert code == 0
+        for index in (0, 1):
+            payload = json.loads(
+                (profile_dir / f"item-{index}.json").read_text()
+            )
+            assert payload["phases"]
+
+    def test_profile_rejected_with_server(self, manifest, tmp_path, capsys):
+        code = main(
+            [
+                "batch", str(manifest),
+                "--server", "http://127.0.0.1:1",
+                "--profile", str(tmp_path / "p"),
+            ]
+        )
+        assert code == 2
+        assert "--profile" in capsys.readouterr().err

@@ -1,0 +1,263 @@
+"""Unit tests for the fleet layer: model, partitioner, scheduler,
+composition and the independent fleet validator (DESIGN.md §14)."""
+
+import pytest
+
+from repro.benchgen import fleet_scenario, paper_instance
+from repro.fleet import (
+    FleetError,
+    build_fleet,
+    candidate_assignments,
+    device_subinstance,
+    fleet_schedule,
+    greedy_partition,
+    merged_schedule,
+    preset_architecture,
+    preset_names,
+    quotient_edges,
+    quotient_topo_order,
+)
+from repro.model import EnergyBreakdown, Fleet, FleetDevice
+from repro.validate import check_fleet_schedule
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return fleet_scenario(tasks=18, seed=4)
+
+
+@pytest.fixture(scope="module")
+def result(scenario):
+    instance, fleet = scenario
+    return fleet_schedule(instance, fleet, "pa", seed=0, restarts=4)
+
+
+class TestFleetModel:
+    def test_validation(self):
+        arch = preset_architecture("zedboard")
+        with pytest.raises(ValueError):
+            Fleet(devices=())
+        with pytest.raises(ValueError):
+            Fleet(devices=(FleetDevice("a", arch), FleetDevice("a", arch)))
+        with pytest.raises(ValueError):
+            Fleet(devices=(FleetDevice("a", arch),), comm_penalty=-1.0)
+        with pytest.raises(ValueError):
+            FleetDevice("", arch)
+
+    def test_lookup_and_single(self):
+        arch = preset_architecture("zedboard")
+        fleet = Fleet.single(arch)
+        assert len(fleet) == 1
+        assert fleet.device_ids() == ("d0",)
+        assert fleet.device("d0").architecture == arch
+        with pytest.raises(KeyError):
+            fleet.device("nope")
+
+    def test_roundtrip_and_hash(self):
+        fleet = build_fleet(["zedboard", "artix-small"], comm_penalty=10.0)
+        again = Fleet.from_dict(fleet.to_dict())
+        assert again == fleet
+        assert again.content_hash() == fleet.content_hash()
+
+    def test_device_power_defaults_to_zero(self):
+        arch = paper_instance(tasks=4, seed=0).architecture
+        assert arch.power is None
+        assert FleetDevice("d0", arch).power.is_zero()
+
+
+class TestPresets:
+    def test_names_and_unknown(self):
+        assert set(preset_names()) >= {
+            "zedboard", "zynq-large", "artix-small", "kintex-fast"
+        }
+        with pytest.raises(KeyError):
+            preset_architecture("xilinx-unobtainium")
+
+    def test_presets_are_heterogeneous(self):
+        archs = {name: preset_architecture(name) for name in preset_names()}
+        assert len({a.rec_freq for a in archs.values()}) >= 3
+        assert len({a.max_res.total() for a in archs.values()}) >= 3
+        assert all(a.power is not None for a in archs.values())
+
+    def test_build_fleet_positional_ids(self):
+        fleet = build_fleet(["zedboard", "kintex-fast", "zedboard"])
+        assert fleet.device_ids() == ("d0", "d1", "d2")
+
+
+class TestPartition:
+    def test_greedy_covers_all_tasks_acyclically(self, scenario):
+        instance, fleet = scenario
+        assignment = greedy_partition(instance, fleet)
+        assert set(assignment) == set(instance.taskgraph.task_ids)
+        assert set(assignment.values()) <= set(fleet.device_ids())
+        # Must not raise: the quotient graph is a DAG.
+        quotient_topo_order(fleet, quotient_edges(instance.taskgraph, assignment))
+
+    def test_single_device_trivial(self):
+        instance = paper_instance(tasks=8, seed=2)
+        fleet = Fleet.single(instance.architecture)
+        assignment = greedy_partition(instance, fleet)
+        assert set(assignment.values()) == {"d0"}
+
+    def test_candidates_deterministic_and_unique(self, scenario):
+        instance, fleet = scenario
+        first = candidate_assignments(instance, fleet, seed=7, restarts=4)
+        second = candidate_assignments(instance, fleet, seed=7, restarts=4)
+        assert first == second
+        keys = [tuple(sorted(a.items())) for a in first]
+        assert len(keys) == len(set(keys))
+        # The per-device pack candidates guarantee >= len(fleet) options.
+        assert len(first) >= len(fleet)
+
+    def test_quotient_cycle_detected(self):
+        fleet = build_fleet(["zedboard", "zedboard"])
+        with pytest.raises(FleetError):
+            quotient_topo_order(fleet, [("d0", "d1"), ("d1", "d0")])
+        with pytest.raises(FleetError):
+            quotient_topo_order(fleet, [("d0", "dX")])
+
+
+class TestDeviceSubinstance:
+    def test_full_assignment_returns_original(self):
+        instance = paper_instance(tasks=8, seed=2)
+        fleet = Fleet.single(instance.architecture)
+        assignment = {t: "d0" for t in instance.taskgraph.task_ids}
+        assert device_subinstance(instance, fleet, assignment, "d0") is instance
+
+    def test_idle_device_is_none(self, scenario):
+        instance, fleet = scenario
+        assignment = {t: "d0" for t in instance.taskgraph.task_ids}
+        assert device_subinstance(instance, fleet, assignment, "d1") is None
+
+    def test_induced_subgraph(self, scenario):
+        instance, fleet = scenario
+        tasks = list(instance.taskgraph.task_ids)
+        split = {t: ("d0" if i < len(tasks) // 2 else "d1")
+                 for i, t in enumerate(tasks)}
+        sub = device_subinstance(instance, fleet, split, "d0")
+        assert sub is not instance
+        assert set(sub.taskgraph.task_ids) == {t for t in tasks if split[t] == "d0"}
+        assert sub.architecture == fleet.device("d0").architecture
+        for src, dst in sub.taskgraph.edges():
+            assert split[src] == split[dst] == "d0"
+
+
+class TestFleetScheduler:
+    def test_winner_is_validator_clean(self, scenario, result):
+        instance, _ = scenario
+        report = check_fleet_schedule(instance, result.schedule)
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_metadata_and_candidates(self, result):
+        fs = result.schedule
+        assert fs.metadata["objective"] == "makespan"
+        assert fs.metadata["candidates_evaluated"] == len(result.candidates)
+        assert all(c["energy_total_j"] >= 0 for c in result.candidates)
+
+    def test_roundtrip(self, result):
+        from repro.fleet import FleetSchedule
+
+        fs = result.schedule
+        again = FleetSchedule.from_dict(fs.to_dict())
+        assert again.to_dict() == fs.to_dict()
+
+    def test_merged_schedule_consistent(self, scenario, result):
+        fs = result.schedule
+        merged = merged_schedule(fs)
+        assert set(merged.tasks) == set(fs.assignment)
+        assert merged.makespan == fs.makespan
+
+    def test_energy_totals_add_up(self, result):
+        fs = result.schedule
+        total = EnergyBreakdown()
+        for breakdown in fs.device_energy.values():
+            total = total.combined(breakdown)
+        assert fs.energy == total
+
+    def test_objective_knob_changes_placement(self, scenario):
+        # The committed acceptance scenario: on the 18-task seed-4 graph
+        # against the default 3-device fleet, optimizing for energy must
+        # pick a different placement than optimizing for makespan, with
+        # the expected dominance on each axis.
+        instance, fleet = scenario
+        by_makespan = fleet_schedule(
+            instance, fleet, "pa", objective="makespan", seed=0
+        )
+        by_energy = fleet_schedule(
+            instance, fleet, "pa", objective="energy", seed=0
+        )
+        assert by_makespan.schedule.assignment != by_energy.schedule.assignment
+        assert by_energy.schedule.energy.total_j < by_makespan.schedule.energy.total_j
+        assert by_makespan.schedule.makespan < by_energy.schedule.makespan
+        for res in (by_makespan, by_energy):
+            assert check_fleet_schedule(instance, res.schedule).ok
+
+    def test_weighted_objective_bounded_by_extremes(self, scenario):
+        instance, fleet = scenario
+        res = fleet_schedule(
+            instance, fleet, "pa", objective="weighted", alpha=0.5, seed=0
+        )
+        assert check_fleet_schedule(instance, res.schedule).ok
+        assert res.objective == "weighted"
+        assert res.objective_value > 0
+
+    def test_unknown_objective_rejected(self, scenario):
+        instance, fleet = scenario
+        with pytest.raises(FleetError):
+            fleet_schedule(instance, fleet, "pa", objective="latency")
+
+    def test_jobs_fanout_identical(self, scenario):
+        instance, fleet = scenario
+        serial = fleet_schedule(instance, fleet, "pa", seed=1, restarts=2)
+        fanned = fleet_schedule(instance, fleet, "pa", seed=1, restarts=2, jobs=2)
+        assert serial.schedule.assignment == fanned.schedule.assignment
+        assert serial.schedule.makespan == fanned.schedule.makespan
+        assert serial.schedule.energy == fanned.schedule.energy
+
+
+class TestFleetValidatorTamperDetection:
+    def _codes(self, instance, fs):
+        return {v.code for v in check_fleet_schedule(instance, fs).violations}
+
+    def test_offset_tamper(self, scenario, result):
+        from repro.fleet import FleetSchedule
+
+        instance, _ = scenario
+        fs = FleetSchedule.from_dict(result.schedule.to_dict())
+        device = next(iter(fs.offsets))
+        fs.offsets[device] += 1.0
+        assert "fleet-offset" in self._codes(instance, fs)
+
+    def test_makespan_tamper(self, scenario, result):
+        from repro.fleet import FleetSchedule
+
+        instance, _ = scenario
+        fs = FleetSchedule.from_dict(result.schedule.to_dict())
+        fs.makespan += 0.5
+        assert "fleet-makespan" in self._codes(instance, fs)
+
+    def test_energy_tamper(self, scenario, result):
+        from repro.fleet import FleetSchedule
+
+        instance, _ = scenario
+        fs = FleetSchedule.from_dict(result.schedule.to_dict())
+        device = next(iter(fs.device_energy))
+        fs.device_energy[device] = EnergyBreakdown(static_j=123.0)
+        assert "fleet-energy" in self._codes(instance, fs)
+
+    def test_missing_assignment(self, scenario, result):
+        from repro.fleet import FleetSchedule
+
+        instance, _ = scenario
+        fs = FleetSchedule.from_dict(result.schedule.to_dict())
+        task = next(iter(fs.assignment))
+        del fs.assignment[task]
+        assert "fleet-unassigned" in self._codes(instance, fs)
+
+    def test_devices_used_tamper(self, scenario, result):
+        from repro.fleet import FleetSchedule
+
+        instance, _ = scenario
+        fs = FleetSchedule.from_dict(result.schedule.to_dict())
+        fs.devices_used += 1
+        assert "fleet-devices-used" in self._codes(instance, fs)

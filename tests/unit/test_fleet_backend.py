@@ -1,0 +1,220 @@
+"""Unit tests for the ``fleet-<backend>`` engine family: registry
+dispatch, request checking, store round-trips, batch draining with the
+phase profiler, and daemon serving (DESIGN.md §14)."""
+
+import json
+
+import pytest
+
+from repro.benchgen import fleet_scenario, paper_instance
+from repro.engine import (
+    EngineError,
+    ResultStore,
+    ScheduleOutcome,
+    ScheduleRequest,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+    get_backend,
+    run_batch,
+)
+from repro.fleet import FleetSchedule, build_fleet
+from repro.validate import check_fleet_schedule
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return fleet_scenario(tasks=12, seed=3)
+
+
+@pytest.fixture(scope="module")
+def request_(scenario):
+    instance, fleet = scenario
+    return ScheduleRequest(
+        instance,
+        "fleet-pa",
+        options={
+            "fleet": fleet.to_dict(),
+            "objective": "makespan",
+            "restarts": 2,
+            "options": {"floorplan": True},
+        },
+        seed=0,
+    )
+
+
+def _strip_timing(payload: dict) -> dict:
+    out = dict(payload)
+    out.pop("scheduling_time", None)
+    out.pop("floorplanning_time", None)
+    return out
+
+
+class TestRegistry:
+    def test_dispatch(self):
+        backend = get_backend("fleet-pa")
+        assert backend.algorithm == "fleet-pa"
+        assert backend.inner == "pa"
+        assert get_backend("fleet-is-3").inner == "is-3"
+
+    def test_unknown_inner_rejected(self):
+        with pytest.raises(EngineError):
+            get_backend("fleet-nope")
+        with pytest.raises(EngineError):
+            get_backend("fleet-")
+        with pytest.raises(EngineError):
+            get_backend("fleet-fleet-pa")
+
+    def test_provenance_tracks_inner_backend(self):
+        # The fleet outcome embeds inner-engine provenance, so its cache
+        # keys must retire whenever the inner family's do.
+        assert (
+            get_backend("fleet-pa").provenance_version
+            == get_backend("pa").provenance_version
+        )
+        assert (
+            get_backend("fleet-is-3").provenance_version
+            == get_backend("is-3").provenance_version
+        )
+
+    def test_versioned_inner_marks_cache_key(self, scenario):
+        instance, fleet = scenario
+        options = {"fleet": fleet.to_dict()}
+        plain = ScheduleRequest(instance, "fleet-pa", options=dict(options))
+        versioned = ScheduleRequest(instance, "fleet-is-3", options=dict(options))
+        assert "engine_version" not in plain.key_payload()
+        if get_backend("is-3").provenance_version > 1:
+            assert "engine_version" in versioned.key_payload()
+
+
+class TestCheckRequest:
+    def _check(self, instance, options):
+        get_backend("fleet-pa").check_request(
+            ScheduleRequest(instance, "fleet-pa", options=options)
+        )
+
+    def test_missing_fleet_rejected(self, scenario):
+        instance, _ = scenario
+        with pytest.raises(EngineError, match="fleet"):
+            self._check(instance, {})
+
+    def test_bad_objective_rejected(self, scenario):
+        instance, fleet = scenario
+        with pytest.raises(EngineError, match="objective"):
+            self._check(
+                instance, {"fleet": fleet.to_dict(), "objective": "latency"}
+            )
+
+    def test_unknown_option_rejected(self, scenario):
+        instance, fleet = scenario
+        with pytest.raises(EngineError, match="unknown option"):
+            self._check(instance, {"fleet": fleet.to_dict(), "turbo": True})
+
+    def test_inner_check_request_delegated(self, scenario):
+        # pa-r's precondition (budget or iterations) must hold through
+        # the fleet wrapper too.
+        instance, fleet = scenario
+        with pytest.raises(EngineError, match="budget"):
+            get_backend("fleet-pa-r").check_request(
+                ScheduleRequest(
+                    instance, "fleet-pa-r", options={"fleet": fleet.to_dict()}
+                )
+            )
+
+    def test_inner_options_must_be_object(self, scenario):
+        instance, fleet = scenario
+        with pytest.raises(EngineError, match="object"):
+            self._check(
+                instance, {"fleet": fleet.to_dict(), "options": [1, 2]}
+            )
+
+
+class TestRunAndStore:
+    def test_outcome_shape(self, scenario, request_):
+        instance, fleet = scenario
+        outcome = get_backend("fleet-pa").run(request_)
+        assert outcome.backend == "fleet-pa"
+        assert outcome.feasible
+        assert outcome.schedule is not None
+        fs = FleetSchedule.from_dict(outcome.metadata["fleet"])
+        assert outcome.makespan == fs.makespan
+        assert outcome.iterations == len(outcome.metadata["candidates"])
+        assert check_fleet_schedule(instance, fs).ok
+
+    def test_outcome_roundtrip(self, request_):
+        outcome = get_backend("fleet-pa").run(request_)
+        again = ScheduleOutcome.from_dict(outcome.to_dict())
+        assert again.to_dict() == outcome.to_dict()
+
+    def test_deterministic_modulo_timing(self, request_):
+        first = get_backend("fleet-pa").run(request_)
+        second = get_backend("fleet-pa").run(request_)
+        assert _strip_timing(first.to_dict()) == _strip_timing(second.to_dict())
+
+    def test_store_roundtrip(self, tmp_path, request_):
+        store = ResultStore(tmp_path / "cache")
+        outcome = get_backend("fleet-pa").run(request_)
+        store.put(request_, outcome)
+        cached = store.get(request_)
+        assert cached is not None
+        assert cached.to_dict() == outcome.to_dict()
+
+
+class TestBatchAndServe:
+    def test_batch_cold_then_warm(self, tmp_path, request_):
+        store = ResultStore(tmp_path / "cache")
+        cold = run_batch([request_], store=store)
+        assert cold.executed == 1 and cold.store_hits == 0
+        warm = run_batch([request_], store=store)
+        assert warm.store_hits == 1 and warm.executed == 0
+        assert warm.hit_rate == 1.0
+
+    def test_batch_profile_dir(self, tmp_path, request_):
+        store = ResultStore(tmp_path / "cache")
+        profile_dir = tmp_path / "profiles"
+        run_batch([request_], store=store, profile_dir=profile_dir)
+        payload = json.loads((profile_dir / "item-0.json").read_text())
+        assert payload["phases"]
+        # A fully-warm batch executes nothing, so it profiles nothing.
+        warm_dir = tmp_path / "profiles-warm"
+        run_batch([request_], store=store, profile_dir=warm_dir)
+        assert not list(warm_dir.glob("item-*.json"))
+
+    def test_served_store_first(self, tmp_path, request_):
+        store = ResultStore(tmp_path / "cache")
+        config = ServiceConfig(
+            port=0, executor="thread", workers=1, log_interval=0.0
+        )
+        with ServiceThread(config, store=store) as handle:
+            client = ServiceClient(handle.url)
+            client.wait_ready()
+            cold = client.schedule(request_)
+            assert cold["source"] == "computed"
+            warm = client.schedule(request_)
+            assert warm["source"] == "store"
+            assert warm["outcome"] == cold["outcome"]
+            fs = FleetSchedule.from_dict(warm["outcome"]["metadata"]["fleet"])
+            assert check_fleet_schedule(request_.instance, fs).ok
+
+
+class TestSingleDeviceEquivalence:
+    def test_zero_power_single_device_matches_plain_pa(self):
+        instance = paper_instance(tasks=10, seed=6)
+        from repro.model import Fleet
+
+        fleet = Fleet.single(instance.architecture)
+        options = {"floorplan": True}
+        plain = get_backend("pa").run(
+            ScheduleRequest(instance, "pa", options=dict(options))
+        )
+        fleet_out = get_backend("fleet-pa").run(
+            ScheduleRequest(
+                instance,
+                "fleet-pa",
+                options={"fleet": fleet.to_dict(), "options": dict(options)},
+            )
+        )
+        assert fleet_out.schedule.to_dict() == plain.schedule.to_dict()
+        assert fleet_out.makespan == plain.makespan
+        fs = FleetSchedule.from_dict(fleet_out.metadata["fleet"])
+        assert fs.energy.total_j == 0.0

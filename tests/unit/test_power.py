@@ -1,0 +1,132 @@
+"""Unit tests for the energy/power cost model (DESIGN.md §14)."""
+
+import pytest
+
+from repro.benchgen import paper_instance
+from repro.engine import ScheduleRequest, get_backend
+from repro.model import (
+    Architecture,
+    EnergyBreakdown,
+    PowerModel,
+    energy_breakdown,
+    zedboard_power,
+    zero_power,
+)
+
+
+@pytest.fixture(scope="module")
+def pa_schedule():
+    instance = paper_instance(tasks=12, seed=5)
+    outcome = get_backend("pa").run(
+        ScheduleRequest(instance, "pa", options={"floorplan": True})
+    )
+    return instance, outcome.schedule
+
+
+class TestPowerModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(static_w=-0.1)
+        with pytest.raises(ValueError):
+            PowerModel(icap_w=-1.0)
+        with pytest.raises(ValueError):
+            PowerModel(dynamic_w={"CLB": -1e-6})
+
+    def test_is_zero(self):
+        assert zero_power().is_zero()
+        assert PowerModel(dynamic_w={"CLB": 0.0}).is_zero()
+        assert not zedboard_power().is_zero()
+        assert not PowerModel(static_w=0.1).is_zero()
+
+    def test_roundtrip(self):
+        power = zedboard_power()
+        again = PowerModel.from_dict(power.to_dict())
+        assert again == power
+        assert PowerModel.from_dict({}) == zero_power()
+
+
+class TestEnergyBreakdown:
+    def test_total_and_combined(self):
+        a = EnergyBreakdown(static_j=1.0, dynamic_j=2.0, reconfiguration_j=3.0)
+        b = EnergyBreakdown(static_j=0.5)
+        assert a.total_j == 6.0
+        combined = a.combined(b)
+        assert combined.static_j == 1.5
+        assert combined.total_j == 6.5
+
+    def test_roundtrip_drops_redundant_total(self):
+        a = EnergyBreakdown(static_j=1.0, dynamic_j=2.0, reconfiguration_j=3.0)
+        payload = a.to_dict()
+        assert payload["total_j"] == 6.0
+        assert EnergyBreakdown.from_dict(payload) == a
+
+
+class TestEnergyAccounting:
+    def test_zero_power_costs_nothing(self, pa_schedule):
+        instance, schedule = pa_schedule
+        breakdown = energy_breakdown(schedule, instance.architecture, zero_power())
+        assert breakdown == EnergyBreakdown()
+        assert breakdown.total_j == 0.0
+
+    def test_static_is_power_times_span(self, pa_schedule):
+        instance, schedule = pa_schedule
+        power = zedboard_power()
+        breakdown = energy_breakdown(schedule, instance.architecture, power)
+        assert breakdown.static_j == power.static_w * schedule.makespan
+        assert breakdown.dynamic_j > 0.0
+
+    def test_reconfiguration_is_icap_power_times_load_time(self, pa_schedule):
+        instance, schedule = pa_schedule
+        power = zedboard_power()
+        breakdown = energy_breakdown(schedule, instance.architecture, power)
+        expected = sum(
+            (r.end - r.start) * power.icap_w for r in schedule.reconfigurations
+        )
+        assert breakdown.reconfiguration_j == expected
+
+    def test_span_override(self, pa_schedule):
+        instance, schedule = pa_schedule
+        power = zedboard_power()
+        wider = energy_breakdown(
+            schedule, instance.architecture, power, span=schedule.makespan * 2
+        )
+        base = energy_breakdown(schedule, instance.architecture, power)
+        assert wider.static_j == base.static_j * 2
+        assert wider.dynamic_j == base.dynamic_j
+        assert wider.reconfiguration_j == base.reconfiguration_j
+
+    def test_repeated_calls_bit_identical(self, pa_schedule):
+        # The validator re-derives energy with `==`; the fixed summation
+        # order makes that sound.
+        instance, schedule = pa_schedule
+        power = zedboard_power()
+        first = energy_breakdown(schedule, instance.architecture, power)
+        second = energy_breakdown(schedule, instance.architecture, power)
+        assert first == second
+
+
+class TestArchitecturePowerField:
+    def test_power_omitted_when_absent(self):
+        arch = paper_instance(tasks=6, seed=1).architecture
+        assert arch.power is None
+        assert "power" not in arch.to_dict()
+        assert Architecture.from_dict(arch.to_dict()).power is None
+
+    def test_power_roundtrips_when_present(self):
+        from dataclasses import replace
+
+        base = paper_instance(tasks=6, seed=1).architecture
+        arch = replace(base, power=zedboard_power())
+        payload = arch.to_dict()
+        assert payload["power"] == zedboard_power().to_dict()
+        again = Architecture.from_dict(payload)
+        assert again.power == zedboard_power()
+        assert again == arch
+
+    def test_with_max_res_preserves_power(self):
+        from dataclasses import replace
+
+        base = paper_instance(tasks=6, seed=1).architecture
+        arch = replace(base, power=zedboard_power())
+        doubled = arch.with_max_res(arch.max_res.scaled(2.0))
+        assert doubled.power == zedboard_power()
