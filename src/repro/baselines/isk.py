@@ -186,6 +186,9 @@ def _init_stats(opts: "ISKOptions", jobs: int) -> dict:
         "fallback_completions": 0,
         "max_undo_depth": 0,
         "fanout_windows": 0,
+        "hint_windows": 0,
+        "hint_pruned": 0,
+        "hint_reruns": 0,
     }
 
 
@@ -226,7 +229,26 @@ class ISKScheduler:
 
     # -- public API --------------------------------------------------------
 
-    def schedule(self, instance: Instance) -> ISKResult:
+    def schedule(
+        self, instance: Instance, incumbent_hint: float | None = None
+    ) -> ISKResult:
+        """Run the iterative window scheduler.
+
+        ``incumbent_hint`` is an optional *external* upper bound on the
+        makespan (e.g. a neighboring design point's result in a sweep).
+        It is used purely as an extra prune threshold in the trail DFS
+        and is **provably result-neutral**: every window solve either
+        proves its hinted search identical to the unhinted one (all
+        hint-pruned subtrees contain only leaves strictly worse in the
+        first score component than a leaf that *was* found under the
+        hint), or — when that proof is unavailable because no leaf beat
+        the incumbent seed or the node budget bound — re-runs the window
+        without the hint (``stats["hint_reruns"]``).  Schedules are
+        therefore bit-identical with or without a hint, for *any* hint
+        value; a good hint only removes provably-losing work.  The hint
+        is ignored by the ``copy`` engine and by the parallel first-level
+        fan-out (``jobs > 1``), both of which simply run unhinted.
+        """
         t0 = _time.perf_counter()
         opts = self.options
         topo = instance.taskgraph.topological_order()
@@ -249,7 +271,9 @@ class ISKScheduler:
             if opts.engine == "copy":
                 state, nodes = self._solve_window_copy(state, window)
             else:
-                state, nodes = self._solve_window_trail(state, window, stats, jobs)
+                state, nodes = self._solve_window_trail(
+                    state, window, stats, jobs, hint=incumbent_hint
+                )
             total_nodes += nodes
             iterations += 1
         stats["nodes_expanded"] = total_nodes
@@ -497,12 +521,24 @@ class ISKScheduler:
         start_depth: int,
         seed_score: tuple[float, float] | None,
         stats: dict,
+        hint: float | None = None,
     ) -> tuple[tuple[float, float], list[_Option] | None, int, tuple[int, list[_Option]]]:
         """Bounded DFS from ``start_depth`` (earlier window tasks are
         already applied).  Returns ``(best_score, best_tail, nodes,
         deepest)`` where ``best_tail`` is ``None`` when no leaf beat
         the seed (the caller then keeps the seed path) and ``deepest``
-        is the deepest partial reached (for the budget fallback)."""
+        is the deepest partial reached (for the budget fallback).
+
+        ``hint`` adds one extra prune (``key[0] > hint``) checked only
+        after the ordinary incumbent bound, so ``stats["hint_pruned"]``
+        counts exactly the subtrees the hint removed *beyond* what the
+        incumbent already pruned.  Soundness is argued in
+        :meth:`schedule` / DESIGN.md: any surviving leaf has makespan
+        <= hint while every hint-pruned subtree only contains leaves
+        with makespan > hint, so a found ``best_tail`` is provably the
+        unhinted winner (ties included — the pruned leaves are strictly
+        worse in the first component and the visit order of surviving
+        branches is unchanged)."""
         opts = self.options
         n = len(window)
         relevant = self._relevant_prefixes(state, window)
@@ -538,6 +574,9 @@ class ISKScheduler:
                 # it is an admissible bound for pruning.
                 if key[0] > best_score[0]:
                     stats["bound_pruned"] += 1
+                    continue
+                if hint is not None and key[0] > hint:
+                    stats["hint_pruned"] += 1
                     continue
                 mark = state.trail_mark()
                 self._apply(state, window[depth], option)
@@ -598,10 +637,22 @@ class ISKScheduler:
         return tail
 
     def _solve_window_trail(
-        self, state: PartialSchedule, window: list[str], stats: dict, jobs: int
+        self,
+        state: PartialSchedule,
+        window: list[str],
+        stats: dict,
+        jobs: int,
+        hint: float | None = None,
     ) -> tuple[PartialSchedule, int]:
         """In-place window solve: seed the incumbent, search (serial or
-        fanned out), then commit the winning path onto ``state``."""
+        fanned out), then commit the winning path onto ``state``.
+
+        When a ``hint`` fires it is only trusted if the hinted search
+        both found a leaf and stayed inside the node budget — exactly
+        the two conditions under which the hinted tree is provably
+        result-identical to the unhinted one.  Otherwise the window is
+        re-searched without the hint (the independent solve, verbatim),
+        so an arbitrarily wrong hint costs time but never a decision."""
         opts = self.options
         seed = (
             self._greedy_completion(state, window, 0)
@@ -613,11 +664,29 @@ class ISKScheduler:
         seed_score = seed[0] if seed is not None else None
 
         if jobs > 1 and len(window) >= 2:
+            # Fan-out workers each own a node budget; the identity proof
+            # above does not compose across budgets, so the hint is
+            # ignored here (documented in :meth:`schedule`).
             best_path, nodes = self._fanout_search(state, window, seed, stats, jobs)
         else:
+            if hint is not None:
+                stats["hint_windows"] += 1
+            pruned_before = stats["hint_pruned"]
             _best, best_tail, nodes, deepest = self._dfs_search(
-                state, window, 0, seed_score, stats
+                state, window, 0, seed_score, stats, hint=hint
             )
+            hint_fired = stats["hint_pruned"] > pruned_before
+            if hint_fired and (best_tail is None or nodes > opts.node_limit):
+                # Ambiguous: the hint cut subtrees and either no leaf
+                # beat the seed (a cut subtree might have) or the node
+                # budget bound (the unhinted run walks other nodes).
+                # Re-run the window unhinted — this *is* the
+                # independent solve, so identity is restored exactly.
+                stats["hint_reruns"] += 1
+                _best, best_tail, rerun_nodes, deepest = self._dfs_search(
+                    state, window, 0, seed_score, stats
+                )
+                nodes += rerun_nodes
             if best_tail is not None:
                 best_path = best_tail
             elif seed is not None:

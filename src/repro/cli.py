@@ -182,13 +182,6 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except (EngineError, json.JSONDecodeError, KeyError, ValueError) as exc:
         print(f"error: bad manifest: {exc}", file=sys.stderr)
         return 2
-    if args.server and args.profile:
-        print(
-            "error: --profile needs a local pool (the daemon does not "
-            "ship per-request profiles); drop --server",
-            file=sys.stderr,
-        )
-        return 2
     try:
         if args.server:
             from .engine import run_batch_remote
@@ -198,6 +191,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 args.server,
                 jobs=resolve_jobs(args.jobs),
                 progress=print if args.verbose else None,
+                profile_dir=args.profile,
             )
         else:
             store = (
@@ -224,6 +218,87 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(
             f"error: {report.failed} request(s) failed", file=sys.stderr
         )
+        return 1
+    return 0
+
+
+def _parse_axis_token(token: str):
+    """One inline axis value: JSON literal when it parses, ``none`` ->
+    null, bare string otherwise (so ``--axis algorithms=pa,is-2`` needs
+    no quoting)."""
+    lowered = token.strip()
+    if lowered.lower() in ("none", "null"):
+        return None
+    try:
+        return json.loads(lowered)
+    except json.JSONDecodeError:
+        return lowered
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .analysis.parallel import resolve_jobs
+    from .explore import ExploreError, GridSpec, run_sweep
+
+    instance = _load_instance(args.instance)
+    grid: dict = {}
+    if args.grid:
+        try:
+            grid = json.loads(Path(args.grid).read_text())
+        except FileNotFoundError:
+            print(f"error: grid file not found: {args.grid}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: bad grid JSON: {exc}", file=sys.stderr)
+            return 2
+    for axis in args.axis or []:
+        name, eq, raw = axis.partition("=")
+        if not eq:
+            print(
+                f"error: --axis wants NAME=V1,V2,... got {axis!r}",
+                file=sys.stderr,
+            )
+            return 2
+        grid[name.strip()] = [
+            _parse_axis_token(token) for token in raw.split(",")
+        ]
+    objectives = [
+        name.strip() for name in args.objectives.split(",") if name.strip()
+    ]
+    try:
+        spec = GridSpec.from_dict(grid)
+        store = (
+            None
+            if args.no_store
+            else ResultStore(args.store if args.store else DEFAULT_STORE_ROOT)
+        )
+        report = run_sweep(
+            instance,
+            spec,
+            store=store,
+            jobs=resolve_jobs(args.jobs),
+            objectives=objectives,
+            warm_starts=not args.no_warm_starts,
+            progress=print if args.verbose else None,
+            timeout=args.timeout,
+        )
+    except (ExploreError, EngineError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.front_out:
+        report.write_csv(args.front_out)
+        print(f"wrote {args.front_out}")
+    if args.report:
+        report.write_html(args.report)
+        print(f"wrote {args.report}")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    failed = sum(1 for r in report.records if r.source == "failed")
+    if failed:
+        print(f"error: {failed} grid cell(s) failed", file=sys.stderr)
         return 1
     return 0
 
@@ -824,10 +899,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", default=None, metavar="DIR",
         help="profile every executed request with the repro.perf phase "
         "profiler and write one item-<index>.json per request into DIR "
-        "(store hits execute nothing, so they emit no profile)",
+        "(local pool: store hits execute nothing, so they emit no "
+        "profile; with --server: every request gets a client-side "
+        "profile of HTTP round-trip + backpressure wait)",
     )
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "explore",
+        help="sweep a constraint grid through the engine and extract "
+        "the Pareto front (store-first dedup + cross-point warm starts)",
+    )
+    p.add_argument("instance")
+    p.add_argument(
+        "--grid", default=None, metavar="PATH",
+        help="grid spec JSON (axes: algorithms, fabric_scales, "
+        "rec_freqs, region_budgets, energy_caps, seeds, fleets)",
+    )
+    p.add_argument(
+        "--axis", action="append", metavar="NAME=V1,V2,...",
+        help="inline axis override, repeatable "
+        "(e.g. --axis algorithms=pa,is-2 --axis fabric_scales=1.0,0.8)",
+    )
+    p.add_argument(
+        "--objectives", default="makespan,area,energy",
+        help="ordered objective subset for the front "
+        "(default makespan,area,energy; all minimized, energy in µJ)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the warm chains (1 = serial, -1 = "
+        "all cores); the report is bit-identical for any value",
+    )
+    p.add_argument(
+        "--store", default=None,
+        help="result-store directory (default results/.cache)",
+    )
+    p.add_argument(
+        "--no-store", action="store_true",
+        help="compute everything; skip store lookups and write-backs",
+    )
+    p.add_argument(
+        "--no-warm-starts", action="store_true",
+        help="disable shared floorplanners and IS-k incumbent hints "
+        "(for A/B-ing the warm-start layers; results are identical)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-chain wall-clock limit in seconds (pool mode)",
+    )
+    p.add_argument(
+        "--front-out", default=None, metavar="CSV",
+        help="write every grid cell (front membership, feasibility, "
+        "objective values) as CSV here",
+    )
+    p.add_argument(
+        "--report", default=None, metavar="HTML",
+        help="write a self-contained HTML scatter/front report here",
+    )
+    p.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the full sweep report as JSON here",
+    )
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
         "devices",

@@ -246,7 +246,18 @@ class ISKBackend(SchedulerBackend):
     def create(cls, algorithm: str) -> "ISKBackend":
         return cls(k=int(_ISK_PATTERN.match(algorithm).group(1)))
 
-    def run(self, request: ScheduleRequest, floorplanner=None) -> ScheduleOutcome:
+    def run(
+        self,
+        request: ScheduleRequest,
+        floorplanner=None,
+        incumbent_hint: float | None = None,
+    ) -> ScheduleOutcome:
+        """Run IS-k.  ``incumbent_hint`` is execution context (like
+        ``floorplanner``): an external makespan upper bound — e.g. a
+        neighboring sweep point's result — that prunes the trail DFS
+        earlier but is provably result-neutral (see
+        :meth:`ISKScheduler.schedule`), so it never enters the cache
+        key."""
         unknown = set(request.options) - self._OPTION_KEYS
         if unknown:
             raise EngineError(
@@ -255,7 +266,7 @@ class ISKBackend(SchedulerBackend):
             )
         result = ISKScheduler(
             ISKOptions(k=self.k, **request.options)
-        ).schedule(request.instance)
+        ).schedule(request.instance, incumbent_hint=incumbent_hint)
         return ScheduleOutcome(
             schedule=result.schedule,
             feasible=result.feasible,

@@ -72,10 +72,16 @@ class BatchRecord:
 
 @dataclass
 class BatchReport:
-    """What a batch run did: per-request records plus store totals."""
+    """What a batch run did: per-request records plus store totals.
+
+    ``store_stats`` is the :class:`ResultStore` counter *delta* this
+    run produced ({hits, misses, writes, evictions}), ``None`` when
+    the batch ran store-less (or remotely, where the server owns the
+    store and its totals aren't attributable to one client)."""
 
     records: list[BatchRecord] = field(default_factory=list)
     elapsed: float = 0.0
+    store_stats: dict | None = None
 
     @property
     def total(self) -> int:
@@ -110,6 +116,7 @@ class BatchReport:
             "failed": self.failed,
             "hit_rate": self.hit_rate,
             "elapsed": self.elapsed,
+            "store_stats": self.store_stats,
             "records": [r.to_dict() for r in self.records],
         }
 
@@ -123,6 +130,13 @@ class BatchReport:
             summary += f"; {self.coalesced} coalesced"
         if self.failed:
             summary += f"; {self.failed} FAILED"
+        if self.store_stats is not None:
+            summary += (
+                f"; store: {self.store_stats.get('hits', 0)} hits / "
+                f"{self.store_stats.get('misses', 0)} misses / "
+                f"{self.store_stats.get('writes', 0)} writes / "
+                f"{self.store_stats.get('evictions', 0)} evictions"
+            )
         lines = [summary]
         for r in self.records:
             if r.source == "failed":
@@ -244,6 +258,7 @@ def run_batch(
     from ..analysis.parallel import ParallelItemFailure, parallel_map
 
     t_start = _time.perf_counter()
+    stats_before = dict(store.stats) if store is not None else None
     # Resolve backends eagerly — fail fast on unknown algorithms.
     for request in requests:
         backend = get_backend(request.algorithm)
@@ -332,7 +347,15 @@ def run_batch(
             elapsed=elapsed,
         )
 
+    store_stats = None
+    if store is not None and stats_before is not None:
+        after = store.stats
+        store_stats = {
+            name: after.get(name, 0) - stats_before.get(name, 0)
+            for name in ("hits", "misses", "writes", "evictions")
+        }
     return BatchReport(
         records=[records[i] for i in sorted(records)],
         elapsed=_time.perf_counter() - t_start,
+        store_stats=store_stats,
     )

@@ -57,6 +57,7 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from .backend import (
@@ -541,28 +542,56 @@ class ServiceClient:
         request: "ScheduleRequest | dict",
         retry_backpressure: bool = True,
         max_attempts: int = 60,
+        timing: dict | None = None,
     ) -> dict:
+        """POST one request.  Pass a dict as ``timing`` to receive the
+        client-side cost breakdown: ``attempts``, ``http_s`` (time in
+        ``urlopen``), ``backpressure_wait_s`` (429 Retry-After sleeps),
+        and ``total_s`` — populated even when the call raises, so
+        remote profiles account for failed requests too."""
         payload = (
             request_to_payload(request)
             if isinstance(request, ScheduleRequest)
             else dict(request)
         )
         attempts = max(1, max_attempts)
-        for attempt in range(attempts):
-            status, body, headers = self.request_raw("POST", "/schedule", payload)
-            if status == 429 and retry_backpressure and attempt < attempts - 1:
+        t_start = time.perf_counter()
+        http_s = 0.0
+        wait_s = 0.0
+        tries = 0
+        try:
+            for attempt in range(attempts):
+                tries += 1
+                t_http = time.perf_counter()
                 try:
-                    delay = float(headers.get("Retry-After", 1.0))
-                except (TypeError, ValueError):
-                    delay = 1.0
-                time.sleep(max(0.05, delay))
-                continue
-            if status != 200:
-                raise ServiceError(
-                    str(body.get("error", f"HTTP {status}")), status=status
+                    status, body, headers = self.request_raw(
+                        "POST", "/schedule", payload
+                    )
+                finally:
+                    http_s += time.perf_counter() - t_http
+                if status == 429 and retry_backpressure and attempt < attempts - 1:
+                    try:
+                        delay = float(headers.get("Retry-After", 1.0))
+                    except (TypeError, ValueError):
+                        delay = 1.0
+                    delay = max(0.05, delay)
+                    wait_s += delay
+                    time.sleep(delay)
+                    continue
+                if status != 200:
+                    raise ServiceError(
+                        str(body.get("error", f"HTTP {status}")), status=status
+                    )
+                return body
+            raise ServiceError("backpressure retries exhausted", status=429)
+        finally:
+            if timing is not None:
+                timing.update(
+                    attempts=tries,
+                    http_s=http_s,
+                    backpressure_wait_s=wait_s,
+                    total_s=time.perf_counter() - t_start,
                 )
-            return body
-        raise ServiceError("backpressure retries exhausted", status=429)
 
     def metrics(self) -> dict:
         status, body, _ = self.request_raw("GET", "/metrics")
@@ -592,12 +621,54 @@ class ServiceClient:
             pass  # already gone
 
 
+def _remote_profile_report(
+    timing: Mapping, body: Mapping | None, error: str | None
+) -> dict:
+    """A client-side profile for one remote request, shaped like a
+    :meth:`repro.perf.PhaseProfiler.report` (``total_wall_s`` +
+    ``phases`` with ``wall_s``/``calls``/``wall_pct``) so the same
+    tooling reads local and remote profiles.  The backend's own phase
+    split lives server-side; what the client can attribute is the HTTP
+    round-trip and any 429 backpressure waits."""
+    total = timing.get("total_s", 0.0)
+
+    def _phase(wall: float, calls: int) -> dict:
+        return {
+            "wall_s": wall,
+            "cpu_s": 0.0,
+            "calls": calls,
+            "wall_pct": (wall / total * 100.0) if total > 0 else 0.0,
+        }
+
+    attempts = int(timing.get("attempts", 1))
+    report = {
+        "remote": True,
+        "total_wall_s": total,
+        "phases": {
+            "http_roundtrip": _phase(timing.get("http_s", 0.0), attempts),
+            "backpressure_wait": _phase(
+                timing.get("backpressure_wait_s", 0.0), max(0, attempts - 1)
+            ),
+        },
+        "counters": {"attempts": attempts},
+    }
+    if body is not None:
+        report["server"] = {
+            "source": body.get("source", "computed"),
+            "elapsed": body.get("elapsed", 0.0),
+        }
+    if error is not None:
+        report["error"] = error
+    return report
+
+
 def run_batch_remote(
     requests: Sequence[ScheduleRequest],
     server: str,
     jobs: int = 8,
     progress: Callable[[str], None] | None = None,
     timeout: float = 600.0,
+    profile_dir: str | Path | None = None,
 ) -> BatchReport:
     """Drain a manifest through a running service (``repro batch
     --server URL``).
@@ -606,16 +677,38 @@ def run_batch_remote(
     (HTTP waits are I/O-bound — the server owns the compute
     concurrency); 429s honor ``Retry-After`` and retry, hard failures
     become ``source="failed"`` records.  Records keep manifest order.
+
+    ``profile_dir`` writes one ``item-<index>.json`` per request with
+    the *client-side* cost breakdown (HTTP round-trip, backpressure
+    queue wait, server-reported elapsed) — the remote counterpart of
+    ``run_batch``'s per-request phase profiles.
     """
     client = ServiceClient(server, timeout=timeout)
     t_start = time.perf_counter()
+    profile_path: Path | None = None
+    if profile_dir is not None:
+        profile_path = Path(profile_dir)
+        profile_path.mkdir(parents=True, exist_ok=True)
 
     def _one(indexed: tuple[int, ScheduleRequest]) -> BatchRecord:
         index, request = indexed
         key = request.cache_key()
+        timing: dict = {}
+        body = None
+        error = None
         try:
-            body = client.schedule(request)
+            body = client.schedule(request, timing=timing)
         except (ServiceError, urllib.error.URLError, ConnectionError, OSError) as exc:
+            error = str(exc)
+        if profile_path is not None:
+            (profile_path / f"item-{index}.json").write_text(
+                json.dumps(
+                    _remote_profile_report(timing, body, error),
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        if error is not None:
             return BatchRecord(
                 index=index,
                 key=key,
@@ -625,7 +718,7 @@ def run_batch_remote(
                 feasible=False,
                 makespan=0.0,
                 elapsed=0.0,
-                error=str(exc),
+                error=error,
             )
         outcome = body["outcome"]
         return BatchRecord(

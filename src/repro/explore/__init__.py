@@ -1,0 +1,29 @@
+"""Design-space exploration: grid sweeps, Pareto fronts, warm starts.
+
+The paper evaluates single design points; a real PR-FPGA flow explores
+a constraint space — fabric size vs. makespan vs. energy.  This
+package expands a :class:`GridSpec` into canonical
+:class:`~repro.engine.ScheduleRequest`\\ s and drives them through the
+engine with three stacked perf layers (pre-dispatch dedup + store-first
+resolution, cross-point warm starts, deterministic parallel drain),
+then extracts an exact Pareto front.  See DESIGN.md § 15.
+"""
+
+from .grid import ExploreError, GridPoint, GridSpec, expand_grid, transform_instance
+from .pareto import dominates, pareto_front
+from .perturb import perturb_wcets
+from .sweep import SweepRecord, SweepReport, run_sweep
+
+__all__ = [
+    "ExploreError",
+    "GridPoint",
+    "GridSpec",
+    "expand_grid",
+    "transform_instance",
+    "dominates",
+    "pareto_front",
+    "perturb_wcets",
+    "SweepRecord",
+    "SweepReport",
+    "run_sweep",
+]

@@ -1,0 +1,322 @@
+"""Grid specs: the constraint space a sweep explores.
+
+A :class:`GridSpec` is the cartesian product of up to seven axes —
+algorithms, fabric scales, reconfiguration frequencies, region
+budgets, energy caps, seeds, and fleet presets.  :func:`expand_grid`
+enumerates it in a *fixed* order (itertools.product over the axes in
+declaration order) and turns every cell into a canonical
+:class:`~repro.engine.ScheduleRequest`, so a grid index identifies the
+same design point on every run — the foundation of the sweep engine's
+deterministic reduction.
+
+Two hygiene rules keep the dedup layer honest:
+
+* :func:`transform_instance` returns the input instance *unchanged*
+  (same object, same bytes, same ``content_hash``) when the transform
+  is the identity, so sweep cells at scale 1.0 share store entries
+  with ordinary ``repro schedule`` runs; and scaled instances keep the
+  original name/metadata, so two scales that floor to the same
+  ``max_res`` canonicalize to the same hash and collapse.
+* Axes a backend ignores never enter its request (seeds only reach
+  seeded backends; energy caps are post-filters, never options), so
+  cells differing only in ignored axes dedup to one solve.
+
+A cell whose transformed instance fails :meth:`Instance.validate`
+(e.g. a fabric scaled below the largest hw implementation) becomes an
+*infeasible* :class:`GridPoint`: no request, no dispatch, excluded
+from the Pareto front but kept in the CSV with ``feasible=false``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+from ..engine import ScheduleRequest
+from ..model.architecture import Architecture
+from ..model.instance import Instance
+
+__all__ = [
+    "ExploreError",
+    "GridSpec",
+    "GridPoint",
+    "expand_grid",
+    "transform_instance",
+]
+
+
+class ExploreError(ValueError):
+    """Invalid grid spec or sweep configuration."""
+
+
+_SEEDED_ALGORITHMS = ("pa-r",)  # algorithms whose request carries the seed axis
+
+
+def _as_list(value) -> list:
+    if value is None:
+        return [None]
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+@dataclass
+class GridSpec:
+    """Declarative sweep space.  Every axis defaults to the singleton
+    identity, so ``GridSpec()`` is one plain design point.
+
+    ``fleets`` entries are comma-separated device-preset lists (e.g.
+    ``"zedboard,artix-small"``) handed to
+    :func:`repro.fleet.build_fleet`; ``None`` means single-device.
+    ``energy_caps`` are post-filter bounds in µJ — they never enter a
+    request, so cap-only-differing cells dedup to one solve.
+    ``base_options`` maps an algorithm pattern (exact name, ``is-*``
+    style prefix wildcard, or ``*``) to extra request options.
+    """
+
+    algorithms: list = field(default_factory=lambda: ["pa"])
+    fabric_scales: list = field(default_factory=lambda: [1.0])
+    rec_freqs: list = field(default_factory=lambda: [None])
+    region_budgets: list = field(default_factory=lambda: [None])
+    energy_caps: list = field(default_factory=lambda: [None])
+    seeds: list = field(default_factory=lambda: [None])
+    fleets: list = field(default_factory=lambda: [None])
+    pa_r_iterations: int = 4
+    fleet_comm_penalty: float = 0.0
+    base_options: dict = field(default_factory=dict)
+
+    _FIELDS = (
+        "algorithms",
+        "fabric_scales",
+        "rec_freqs",
+        "region_budgets",
+        "energy_caps",
+        "seeds",
+        "fleets",
+        "pa_r_iterations",
+        "fleet_comm_penalty",
+        "base_options",
+    )
+    _AXES = _FIELDS[:7]
+
+    def __post_init__(self) -> None:
+        for name in self._AXES:
+            setattr(self, name, _as_list(getattr(self, name)))
+        self.validate()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GridSpec":
+        unknown = set(data) - set(cls._FIELDS)
+        if unknown:
+            raise ExploreError(
+                f"unknown grid key(s) {sorted(unknown)}; valid: "
+                f"{sorted(cls._FIELDS)}"
+            )
+        return cls(**data)
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def validate(self) -> None:
+        if not self.algorithms:
+            raise ExploreError("algorithms axis is empty")
+        for axis in self._AXES:
+            if not getattr(self, axis):
+                raise ExploreError(f"{axis} axis is empty")
+        if any(b is not None for b in self.region_budgets):
+            bad = [a for a in self.algorithms if a not in ("pa", "pa-r")]
+            if bad:
+                raise ExploreError(
+                    f"region_budgets (max_shrink_iterations) only apply to "
+                    f"pa/pa-r, not {bad}"
+                )
+        if any(f is not None for f in self.fleets):
+            if list(self.fabric_scales) != [1.0] or list(self.rec_freqs) != [
+                None
+            ]:
+                raise ExploreError(
+                    "fleets combine preset devices with their own fabrics; "
+                    "fabric_scales/rec_freqs must stay at the identity"
+                )
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for axis in self._AXES:
+            n *= len(getattr(self, axis))
+        return n
+
+    def options_for(self, algorithm: str) -> dict:
+        """Merged base options: ``*`` < prefix wildcards < exact name."""
+        merged: dict = dict(self.base_options.get("*", {}))
+        for pattern in sorted(self.base_options):
+            if pattern in ("*", algorithm):
+                continue
+            if pattern.endswith("*") and algorithm.startswith(pattern[:-1]):
+                merged.update(self.base_options[pattern])
+        merged.update(self.base_options.get(algorithm, {}))
+        return merged
+
+
+@dataclass
+class GridPoint:
+    """One cell of the expanded grid.
+
+    ``request`` is ``None`` for infeasible cells (``error`` says why).
+    ``energy_cap_uj`` is carried as annotation — a post-filter, never
+    part of the request.
+    """
+
+    index: int
+    algorithm: str
+    fabric_scale: float
+    rec_freq: float | None
+    region_budget: int | None
+    energy_cap_uj: float | None
+    seed: int | None
+    fleet: str | None
+    request: ScheduleRequest | None = None
+    error: str | None = None
+
+    @property
+    def feasible_cell(self) -> bool:
+        return self.request is not None
+
+    def label(self) -> str:
+        parts = [self.algorithm, f"scale={self.fabric_scale:g}"]
+        if self.rec_freq is not None:
+            parts.append(f"rec_freq={self.rec_freq:g}")
+        if self.region_budget is not None:
+            parts.append(f"budget={self.region_budget}")
+        if self.energy_cap_uj is not None:
+            parts.append(f"cap={self.energy_cap_uj:g}uJ")
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        if self.fleet is not None:
+            parts.append(f"fleet={self.fleet}")
+        return " ".join(parts)
+
+
+def transform_instance(
+    instance: Instance,
+    fabric_scale: float = 1.0,
+    rec_freq: float | None = None,
+) -> Instance:
+    """The instance with its fabric scaled and/or ``rec_freq`` pinned.
+
+    The identity transform returns ``instance`` itself — byte-for-byte
+    the same canonical content, so sweep cells at the identity share
+    store entries with non-sweep runs.  Non-identity transforms keep
+    the architecture name and instance name/metadata unchanged, so
+    distinct parameter values that produce identical fabrics still
+    collapse in the dedup layer.
+    """
+    if fabric_scale <= 0:
+        raise ExploreError(f"fabric_scale must be positive, got {fabric_scale}")
+    arch = instance.architecture
+    if fabric_scale == 1.0 and (rec_freq is None or rec_freq == arch.rec_freq):
+        return instance
+    max_res = (
+        arch.max_res if fabric_scale == 1.0 else arch.max_res.scaled(fabric_scale)
+    )
+    new_arch = Architecture(
+        name=arch.name,
+        processors=arch.processors,
+        max_res=max_res,
+        bit_per_resource=dict(arch.bit_per_resource),
+        rec_freq=arch.rec_freq if rec_freq is None else float(rec_freq),
+        region_quantum=dict(arch.region_quantum)
+        if arch.region_quantum
+        else None,
+        reconfigurators=arch.reconfigurators,
+        power=arch.power,
+    )
+    return replace(instance, architecture=new_arch)
+
+
+def _build_request(
+    instance: Instance,
+    spec: GridSpec,
+    algorithm: str,
+    region_budget: int | None,
+    seed: int | None,
+    fleet_names: str | None,
+) -> ScheduleRequest:
+    inner = spec.options_for(algorithm)
+    if algorithm in ("pa", "pa-r"):
+        options = {"floorplan": True, **inner}
+        if region_budget is not None:
+            options["max_shrink_iterations"] = int(region_budget)
+        if algorithm == "pa-r":
+            options.setdefault("iterations", spec.pa_r_iterations)
+    else:
+        options = dict(inner)
+    request_seed = seed if algorithm in _SEEDED_ALGORITHMS else None
+    if fleet_names is None:
+        return ScheduleRequest(
+            instance=instance,
+            algorithm=algorithm,
+            options=options,
+            seed=request_seed,
+        )
+    from ..fleet import build_fleet
+
+    fleet = build_fleet(
+        [n.strip() for n in fleet_names.split(",") if n.strip()],
+        comm_penalty=spec.fleet_comm_penalty,
+    )
+    return ScheduleRequest(
+        instance=instance,
+        algorithm=f"fleet-{algorithm}",
+        options={
+            "fleet": fleet.to_dict(),
+            "objective": "makespan",
+            "restarts": 2,
+            "options": options,
+        },
+        seed=seed,
+    )
+
+
+def expand_grid(instance: Instance, spec: GridSpec) -> list[GridPoint]:
+    """Every grid cell, in the fixed axis-product order.
+
+    Infeasible cells (transform makes some hw implementation unfit)
+    come back with ``request=None`` and the validation error recorded.
+    """
+    points: list[GridPoint] = []
+    cells = itertools.product(
+        spec.algorithms,
+        spec.fabric_scales,
+        spec.rec_freqs,
+        spec.region_budgets,
+        spec.energy_caps,
+        spec.seeds,
+        spec.fleets,
+    )
+    for index, (alg, scale, freq, budget, cap, seed, fleet) in enumerate(cells):
+        point = GridPoint(
+            index=index,
+            algorithm=alg,
+            fabric_scale=float(scale),
+            rec_freq=freq,
+            region_budget=budget,
+            energy_cap_uj=cap,
+            seed=seed,
+            fleet=fleet,
+        )
+        try:
+            transformed = transform_instance(
+                instance, fabric_scale=float(scale), rec_freq=freq
+            )
+            transformed.validate()
+        except ExploreError:
+            raise  # spec errors (bad scale) are bugs, not infeasible cells
+        except ValueError as exc:
+            point.error = str(exc)
+        else:
+            point.request = _build_request(
+                transformed, spec, alg, budget, seed, fleet
+            )
+        points.append(point)
+    return points

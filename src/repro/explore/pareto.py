@@ -1,0 +1,49 @@
+"""Exact Pareto-front extraction with deterministic tie handling.
+
+All objectives are minimized.  ``a`` dominates ``b`` when ``a`` is no
+worse on every objective and strictly better on at least one — the
+standard strong-dominance relation of multi-objective optimization
+(cf. the partitioning/scheduling/floorplanning trade-off studies in
+arXiv 1803.03748 and the power/latency fronts of arXiv 2311.11015).
+
+Ties are deterministic: points with *identical* objective vectors
+collapse to the lowest input index, so the front never depends on dict
+ordering or thread arrival order.  The extraction is a lex-sort
+skyline — sort by ``(vector, index)``, keep a point iff no current
+front member dominates it.  Checking only front members is sound
+because dominance is transitive: any dominator of a candidate is
+either on the front or itself dominated by a front member that (by
+transitivity) also dominates the candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["dominates", "pareto_front"]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True iff ``a`` dominates ``b`` (minimize all objectives)."""
+    if len(a) != len(b):
+        raise ValueError(f"objective arity mismatch: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated points, sorted ascending.
+
+    Duplicate objective vectors keep only the lowest index — the
+    deterministic tie rule.  Empty input yields an empty front.
+    """
+    order = sorted(range(len(points)), key=lambda i: (tuple(points[i]), i))
+    front: list[int] = []
+    prev: tuple | None = None
+    for i in order:
+        vec = tuple(points[i])
+        if vec == prev:
+            continue  # exact duplicate — lower index already decided
+        prev = vec
+        if not any(dominates(points[j], vec) for j in front):
+            front.append(i)
+    return sorted(front)

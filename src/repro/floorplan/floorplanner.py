@@ -845,16 +845,21 @@ class Floorplanner:
     ) -> int:
         """Warm both cache layers with results computed elsewhere.
 
-        ``entries`` are ``(demands, result)`` pairs — typically the
-        region signatures (feasible and infeasible verdicts alike)
-        shipped back by parallel PA-R workers.  Returns how many
+        ``entries`` are ``(demands, result)`` pairs — the region
+        signatures (feasible and infeasible verdicts alike) shipped
+        back by parallel PA-R workers, or an :meth:`export_entries`
+        snapshot from another planner (whose demands arrive as the
+        cache key's ``(name, value)`` pair tuples).  Returns how many
         entries were new.
         """
         if self._cache is None:
             return 0
         absorbed = 0
         for demands, result in entries:
-            demand_list = [ResourceVector(d) for d in demands]
+            demand_list = [
+                ResourceVector(d if hasattr(d, "items") else dict(d))
+                for d in demands
+            ]
             key = _cache_key(demand_list)
             if key in self._cache:
                 continue

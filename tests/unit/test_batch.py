@@ -153,6 +153,35 @@ class TestRunBatch:
         assert len(payload["records"]) == 3
         assert "store hits" in report.render()
 
+    def test_store_stats_delta_in_payload_and_summary(
+        self, manifest_path, tmp_path
+    ):
+        store = ResultStore(tmp_path / "c")
+        cold = run_batch(load_manifest(manifest_path), store=store)
+        assert cold.store_stats == {
+            "hits": 0,
+            "misses": 3,
+            "writes": 3,
+            "evictions": 0,
+        }
+        warm = run_batch(load_manifest(manifest_path), store=store)
+        # The delta belongs to this run, not the store's lifetime.
+        assert warm.store_stats == {
+            "hits": 3,
+            "misses": 0,
+            "writes": 0,
+            "evictions": 0,
+        }
+        assert warm.to_dict()["store_stats"] == warm.store_stats
+        assert "store: 3 hits / 0 misses / 0 writes / 0 evictions" in (
+            warm.render()
+        )
+
+    def test_store_stats_none_without_store(self, manifest_path):
+        report = run_batch(load_manifest(manifest_path))
+        assert report.store_stats is None
+        assert "store:" not in report.render().splitlines()[0]
+
 
 def _failing_parallel_map(
     worker, items, jobs=1, progress=None, timeout=None, retries=1

@@ -1,0 +1,132 @@
+"""CLI surface of `repro explore`: axis parsing, grid files, outputs,
+store-backed warm re-sweeps, and error paths."""
+
+import json
+
+import pytest
+
+from repro.benchgen import paper_instance
+from repro.cli import main
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "inst.json"
+    paper_instance(tasks=8, seed=3).to_json(path)
+    return path
+
+
+class TestExploreCli:
+    def test_inline_axes_with_outputs(self, tmp_path, instance_file, capsys):
+        front = tmp_path / "front.csv"
+        html = tmp_path / "report.html"
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "explore", str(instance_file),
+                "--axis", "algorithms=pa,is-1",
+                "--axis", "fabric_scales=1.0,0.8",
+                "--no-store",
+                "--front-out", str(front),
+                "--report", str(html),
+                "--json-out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "front" in capsys.readouterr().out
+        assert front.exists() and html.exists()
+        payload = json.loads(out.read_text())
+        assert payload["total_points"] == 4
+        assert payload["front"]
+
+    def test_grid_file_with_axis_override(self, tmp_path, instance_file):
+        grid = tmp_path / "grid.json"
+        grid.write_text(
+            json.dumps({"algorithms": ["pa"], "fabric_scales": [1.0, 0.8]})
+        )
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "explore", str(instance_file),
+                "--grid", str(grid),
+                "--axis", "algorithms=pa,list",
+                "--no-store",
+                "--json-out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["spec"]["algorithms"] == ["pa", "list"]
+        assert payload["total_points"] == 4
+
+    def test_store_makes_resweep_all_hits(self, tmp_path, instance_file):
+        store = tmp_path / "cache"
+        out = tmp_path / "report.json"
+        argv = [
+            "explore", str(instance_file),
+            "--axis", "algorithms=pa,is-1",
+            "--store", str(store),
+            "--json-out", str(out),
+        ]
+        assert main(argv) == 0
+        cold = json.loads(out.read_text())
+        assert main(argv) == 0
+        warm = json.loads(out.read_text())
+        assert cold["executed"] == cold["unique_requests"]
+        assert warm["executed"] == 0
+        assert warm["store_hits"] == warm["unique_requests"]
+        assert warm["front"] == cold["front"]
+
+    def test_unknown_axis_errors(self, instance_file, capsys):
+        code = main(
+            [
+                "explore", str(instance_file),
+                "--axis", "algoritms=pa",
+                "--no-store",
+            ]
+        )
+        assert code == 2
+        assert "unknown grid key" in capsys.readouterr().err
+
+    def test_malformed_axis_errors(self, instance_file, capsys):
+        code = main(["explore", str(instance_file), "--axis", "algorithms"])
+        assert code == 2
+        assert "--axis" in capsys.readouterr().err
+
+    def test_missing_grid_file_errors(self, instance_file, capsys):
+        code = main(
+            ["explore", str(instance_file), "--grid", "/nonexistent.json"]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_axis_none_token(self, tmp_path, instance_file):
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "explore", str(instance_file),
+                "--axis", "algorithms=pa",
+                "--axis", "region_budgets=none,2",
+                "--no-store",
+                "--json-out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["spec"]["region_budgets"] == [None, 2]
+
+    def test_objectives_subset(self, tmp_path, instance_file):
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "explore", str(instance_file),
+                "--axis", "algorithms=pa,list",
+                "--objectives", "makespan",
+                "--no-store",
+                "--json-out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["objectives"] == ["makespan"]
+        assert len(payload["front"]) == 1

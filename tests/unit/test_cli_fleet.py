@@ -134,13 +134,25 @@ class TestBatchProfile:
             )
             assert payload["phases"]
 
-    def test_profile_rejected_with_server(self, manifest, tmp_path, capsys):
+    def test_profile_with_server_writes_client_profiles(
+        self, manifest, tmp_path, capsys
+    ):
+        # Remote draining no longer rejects --profile: every request
+        # (even a failed one — nothing listens on port 1) gets a
+        # client-side profile with the HTTP round-trip accounted.
+        profile_dir = tmp_path / "p"
         code = main(
             [
                 "batch", str(manifest),
                 "--server", "http://127.0.0.1:1",
-                "--profile", str(tmp_path / "p"),
+                "--profile", str(profile_dir),
             ]
         )
-        assert code == 2
-        assert "--profile" in capsys.readouterr().err
+        assert code == 1  # both requests fail: connection refused
+        for index in (0, 1):
+            payload = json.loads(
+                (profile_dir / f"item-{index}.json").read_text()
+            )
+            assert payload["remote"] is True
+            assert "http_roundtrip" in payload["phases"]
+            assert payload["error"]

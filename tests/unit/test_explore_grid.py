@@ -1,0 +1,175 @@
+"""Grid spec expansion: axis products, dedup hygiene, instance
+transforms, infeasible cells, and spec validation."""
+
+import pytest
+
+from repro.benchgen import paper_instance
+from repro.explore import ExploreError, GridSpec, expand_grid, transform_instance
+
+
+@pytest.fixture
+def instance():
+    return paper_instance(tasks=8, seed=3)
+
+
+class TestGridSpec:
+    def test_default_spec_is_one_point(self, instance):
+        spec = GridSpec()
+        assert spec.size == 1
+        points = expand_grid(instance, spec)
+        assert len(points) == 1
+        assert points[0].request.algorithm == "pa"
+
+    def test_scalar_promotion(self):
+        spec = GridSpec.from_dict({"algorithms": "is-2", "fabric_scales": 0.9})
+        assert spec.algorithms == ["is-2"]
+        assert spec.fabric_scales == [0.9]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ExploreError, match="unknown grid key"):
+            GridSpec.from_dict({"algoritms": ["pa"]})
+
+    def test_round_trip(self):
+        spec = GridSpec(algorithms=["pa", "is-1"], fabric_scales=[1.0, 0.8])
+        assert GridSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExploreError, match="empty"):
+            GridSpec(algorithms=[])
+
+    def test_region_budgets_require_pa(self):
+        with pytest.raises(ExploreError, match="region_budgets"):
+            GridSpec(algorithms=["is-2"], region_budgets=[3])
+
+    def test_fleets_exclude_fabric_transforms(self):
+        with pytest.raises(ExploreError, match="fleets"):
+            GridSpec(fleets=["zedboard,artix-small"], fabric_scales=[0.8])
+
+    def test_size_is_axis_product(self):
+        spec = GridSpec(
+            algorithms=["pa", "is-1"],
+            fabric_scales=[1.0, 0.9, 0.8],
+            seeds=[0, 1],
+        )
+        assert spec.size == 12
+
+    def test_base_options_wildcards(self):
+        spec = GridSpec(
+            base_options={
+                "*": {"communication_overhead": True},
+                "is-*": {"branch_cap": 4},
+                "is-2": {"node_limit": 99},
+            }
+        )
+        assert spec.options_for("list") == {"communication_overhead": True}
+        assert spec.options_for("is-1") == {
+            "communication_overhead": True,
+            "branch_cap": 4,
+        }
+        assert spec.options_for("is-2") == {
+            "communication_overhead": True,
+            "branch_cap": 4,
+            "node_limit": 99,
+        }
+
+
+class TestTransformInstance:
+    def test_identity_returns_same_object(self, instance):
+        assert transform_instance(instance) is instance
+        assert transform_instance(instance, 1.0, None) is instance
+
+    def test_identity_rec_freq_returns_same_object(self, instance):
+        same = transform_instance(
+            instance, rec_freq=instance.architecture.rec_freq
+        )
+        assert same is instance
+
+    def test_scale_floors_resources(self, instance):
+        scaled = transform_instance(instance, fabric_scale=0.5)
+        base = instance.architecture.max_res
+        assert scaled.architecture.max_res.to_dict() == {
+            name: int(base[name] * 0.5) for name in base.keys()
+        }
+
+    def test_scaled_keeps_name_and_metadata(self, instance):
+        scaled = transform_instance(instance, fabric_scale=0.5)
+        assert scaled.architecture.name == instance.architecture.name
+        assert scaled.name == instance.name
+        assert scaled.content_hash() != instance.content_hash()
+
+    def test_rec_freq_override(self, instance):
+        pinned = transform_instance(instance, rec_freq=1000.0)
+        assert pinned.architecture.rec_freq == 1000.0
+        assert pinned.architecture.max_res == instance.architecture.max_res
+
+    def test_nonpositive_scale_raises(self, instance):
+        with pytest.raises(ExploreError):
+            transform_instance(instance, fabric_scale=0.0)
+
+
+class TestExpandGrid:
+    def test_fixed_product_order(self, instance):
+        spec = GridSpec(algorithms=["pa", "is-1"], fabric_scales=[1.0, 0.8])
+        points = expand_grid(instance, spec)
+        labels = [(p.algorithm, p.fabric_scale) for p in points]
+        assert labels == [
+            ("pa", 1.0),
+            ("pa", 0.8),
+            ("is-1", 1.0),
+            ("is-1", 0.8),
+        ]
+        assert [p.index for p in points] == [0, 1, 2, 3]
+
+    def test_tiny_fabric_is_infeasible_cell(self, instance):
+        spec = GridSpec(fabric_scales=[1.0, 0.01])
+        points = expand_grid(instance, spec)
+        assert points[0].request is not None
+        assert points[1].request is None
+        assert points[1].error  # validation message preserved
+
+    def test_seed_axis_dedups_for_unseeded_backends(self, instance):
+        spec = GridSpec(algorithms=["is-1"], seeds=[0, 1, 2])
+        points = expand_grid(instance, spec)
+        keys = {p.request.cache_key() for p in points}
+        assert len(keys) == 1  # is-k ignores seeds -> one solve
+
+    def test_seed_axis_distinguishes_pa_r(self, instance):
+        spec = GridSpec(algorithms=["pa-r"], seeds=[0, 1])
+        points = expand_grid(instance, spec)
+        keys = {p.request.cache_key() for p in points}
+        assert len(keys) == 2
+
+    def test_energy_caps_never_enter_the_request(self, instance):
+        spec = GridSpec(energy_caps=[None, 100.0, 200.0])
+        points = expand_grid(instance, spec)
+        keys = {p.request.cache_key() for p in points}
+        assert len(keys) == 1
+
+    def test_identity_cell_matches_plain_request(self, instance):
+        # A scale-1.0 grid cell must hash like a normal `repro
+        # schedule` request, so sweeps share store entries with
+        # ordinary runs.
+        from repro.engine import ScheduleRequest
+
+        spec = GridSpec(algorithms=["pa"])
+        (point,) = expand_grid(instance, spec)
+        plain = ScheduleRequest(
+            instance=instance, algorithm="pa", options={"floorplan": True}
+        )
+        assert point.request.cache_key() == plain.cache_key()
+
+    def test_region_budget_enters_options(self, instance):
+        spec = GridSpec(algorithms=["pa"], region_budgets=[None, 2])
+        points = expand_grid(instance, spec)
+        assert "max_shrink_iterations" not in points[0].request.options
+        assert points[1].request.options["max_shrink_iterations"] == 2
+
+    def test_fleet_cells_build_fleet_requests(self, instance):
+        spec = GridSpec(
+            algorithms=["pa"], fleets=[None, "zedboard,artix-small"]
+        )
+        points = expand_grid(instance, spec)
+        assert points[0].request.algorithm == "pa"
+        assert points[1].request.algorithm == "fleet-pa"
+        devices = points[1].request.options["fleet"]["devices"]
+        assert len(devices) == 2

@@ -1,0 +1,89 @@
+"""Pareto-front extraction edge cases (the satellite checklist:
+duplicates, one-objective ties, collinear 2-D fronts, single points,
+empty input) plus dominance-relation basics."""
+
+import pytest
+
+from repro.explore import dominates, pareto_front
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_better_on_one_equal_on_rest(self):
+        assert dominates((1, 2), (2, 2))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_tradeoff_neither_dominates(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+
+class TestParetoFront:
+    def test_empty_input_gives_empty_front(self):
+        assert pareto_front([]) == []
+
+    def test_single_point_grid(self):
+        assert pareto_front([(5.0, 3.0, 7.0)]) == [0]
+
+    def test_simple_tradeoff_keeps_both(self):
+        assert pareto_front([(1, 3), (3, 1)]) == [0, 1]
+
+    def test_dominated_point_excluded(self):
+        assert pareto_front([(1, 1), (2, 2), (1, 3)]) == [0]
+
+    def test_duplicate_points_collapse_to_lowest_index(self):
+        # Three identical optima: only the first survives.
+        assert pareto_front([(2, 2), (1, 1), (1, 1), (1, 1)]) == [1]
+
+    def test_tie_on_one_objective(self):
+        # Same makespan, different area: the smaller area dominates.
+        assert pareto_front([(5, 10), (5, 8)]) == [1]
+
+    def test_tie_on_one_objective_with_tradeoff_elsewhere(self):
+        # Ties on the first objective but trading off on the other two
+        # keep all points.
+        points = [(5, 1, 3), (5, 2, 2), (5, 3, 1)]
+        assert pareto_front(points) == [0, 1, 2]
+
+    def test_collinear_2d_front(self):
+        # Points on the line x + y = 10 are mutually non-dominating.
+        points = [(i, 10 - i) for i in range(6)]
+        assert pareto_front(points) == list(range(6))
+
+    def test_collinear_dominated_line(self):
+        # A parallel, strictly worse line is fully excluded.
+        front_line = [(i, 10 - i) for i in range(4)]
+        worse_line = [(i + 1, 11 - i) for i in range(4)]
+        points = front_line + worse_line
+        assert pareto_front(points) == [0, 1, 2, 3]
+
+    def test_three_objectives(self):
+        points = [
+            (1, 5, 5),
+            (5, 1, 5),
+            (5, 5, 1),
+            (5, 5, 5),  # dominated by all three
+            (1, 5, 5),  # duplicate of 0
+        ]
+        assert pareto_front(points) == [0, 1, 2]
+
+    def test_front_indices_sorted_ascending(self):
+        points = [(3, 1), (2, 2), (1, 3)]
+        assert pareto_front(points) == sorted(pareto_front(points))
+
+    def test_input_order_invariance_modulo_duplicates(self):
+        # Same point set, different order: the selected *vectors* are
+        # identical (indices shift with the permutation).
+        points = [(1, 4), (2, 3), (3, 2), (4, 1), (2.5, 2.5)]
+        front_a = {tuple(points[i]) for i in pareto_front(points)}
+        reordered = list(reversed(points))
+        front_b = {tuple(reordered[i]) for i in pareto_front(reordered)}
+        assert front_a == front_b

@@ -1,0 +1,96 @@
+"""The IS-k external incumbent hint: result-neutral by construction.
+
+The sweep engine seeds each IS-k point's trail DFS with its
+neighbor's makespan.  The proof-or-rerun protocol (DESIGN.md § 15)
+guarantees the *decisions* never change: a hint either provably prunes
+only strictly-worse leaves, or the window is re-solved unhinted.
+Search provenance (node counts) legitimately differs, so identity here
+means the schedule modulo its ``metadata``."""
+
+import pytest
+
+from repro.baselines.isk import ISKOptions, ISKScheduler
+from repro.benchgen import paper_instance
+from repro.engine import ScheduleRequest, get_backend
+
+
+@pytest.fixture
+def instance():
+    return paper_instance(tasks=10, seed=3)
+
+
+def _decisions(schedule):
+    payload = schedule.to_dict()
+    payload.pop("metadata", None)
+    return payload
+
+
+class TestHintIdentity:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_tight_hint_is_result_neutral(self, instance, k):
+        base = ISKScheduler(ISKOptions(k=k)).schedule(instance)
+        hinted = ISKScheduler(ISKOptions(k=k)).schedule(
+            instance, incumbent_hint=base.schedule.makespan
+        )
+        assert _decisions(hinted.schedule) == _decisions(base.schedule)
+
+    def test_huge_hint_never_fires(self, instance):
+        base = ISKScheduler(ISKOptions(k=2)).schedule(instance)
+        hinted = ISKScheduler(ISKOptions(k=2)).schedule(
+            instance, incumbent_hint=1e18
+        )
+        assert _decisions(hinted.schedule) == _decisions(base.schedule)
+        assert hinted.stats["hint_pruned"] == 0
+        assert hinted.stats["hint_reruns"] == 0
+        assert hinted.stats["hint_windows"] > 0
+
+    def test_absurd_hint_forces_verification_reruns(self, instance):
+        # hint=0 prunes every branch; each window must fall back to the
+        # unhinted solve, which IS the independent solve verbatim.
+        base = ISKScheduler(ISKOptions(k=2)).schedule(instance)
+        hinted = ISKScheduler(ISKOptions(k=2)).schedule(
+            instance, incumbent_hint=0.0
+        )
+        assert _decisions(hinted.schedule) == _decisions(base.schedule)
+        assert hinted.schedule.makespan == base.schedule.makespan
+        assert hinted.stats["hint_reruns"] > 0
+
+    def test_too_good_to_be_true_hint(self, instance):
+        # A hint strictly below the optimum but above zero: prunes the
+        # optimal leaf itself, so every window reruns.
+        base = ISKScheduler(ISKOptions(k=2)).schedule(instance)
+        hinted = ISKScheduler(ISKOptions(k=2)).schedule(
+            instance, incumbent_hint=base.schedule.makespan * 0.5
+        )
+        assert _decisions(hinted.schedule) == _decisions(base.schedule)
+
+    def test_no_hint_has_no_hint_stats(self, instance):
+        result = ISKScheduler(ISKOptions(k=2)).schedule(instance)
+        assert result.stats["hint_windows"] == 0
+        assert result.stats["hint_pruned"] == 0
+        assert result.stats["hint_reruns"] == 0
+
+    def test_fanout_ignores_hint(self, instance):
+        base = ISKScheduler(ISKOptions(k=2, jobs=2)).schedule(instance)
+        hinted = ISKScheduler(ISKOptions(k=2, jobs=2)).schedule(
+            instance, incumbent_hint=0.0
+        )
+        assert _decisions(hinted.schedule) == _decisions(base.schedule)
+        assert hinted.stats["hint_windows"] == 0
+
+
+class TestBackendThreading:
+    def test_backend_passes_hint_through(self, instance):
+        request = ScheduleRequest(instance=instance, algorithm="is-2")
+        backend = get_backend("is-2")
+        plain = backend.run(request)
+        hinted = backend.run(request, incumbent_hint=plain.makespan)
+        assert _decisions(hinted.schedule) == _decisions(plain.schedule)
+        assert hinted.metadata["stats"]["hint_windows"] > 0
+
+    def test_hint_never_enters_cache_key(self, instance):
+        # Execution context must not shift the canonical address.
+        request = ScheduleRequest(instance=instance, algorithm="is-2")
+        key_before = request.cache_key()
+        get_backend("is-2").run(request, incumbent_hint=1.0)
+        assert request.cache_key() == key_before

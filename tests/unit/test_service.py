@@ -7,6 +7,7 @@ The process-executor path is exercised by ``benchmarks/bench_service.py``
 and the CI serve-smoke job.
 """
 
+import json
 import threading
 import time
 
@@ -320,3 +321,67 @@ class TestRemoteBatch:
         assert report.failed == 1
         assert report.records[0].source == "failed"
         assert report.records[0].error
+
+
+class TestRemoteProfiles:
+    def test_client_timing_out_param(self, tmp_path, instance):
+        store = ResultStore(tmp_path / "cache")
+        with ServiceThread(_config(), store=store) as handle:
+            client = ServiceClient(handle.url)
+            timing: dict = {}
+            body = client.schedule(
+                ScheduleRequest(instance, "list"), timing=timing
+            )
+            assert body["outcome"]["feasible"] is not None
+            assert timing["attempts"] == 1
+            assert timing["http_s"] > 0
+            assert timing["backpressure_wait_s"] == 0.0
+            assert timing["total_s"] >= timing["http_s"]
+
+    def test_timing_populated_on_failure(self, instance):
+        client = ServiceClient("http://127.0.0.1:9", timeout=2.0)
+        timing: dict = {}
+        with pytest.raises(OSError):
+            client.schedule(ScheduleRequest(instance, "list"), timing=timing)
+        assert timing["attempts"] == 1
+        assert timing["total_s"] > 0
+
+    def test_remote_batch_profile_dir(self, tmp_path, instance):
+        store = ResultStore(tmp_path / "cache")
+        profile_dir = tmp_path / "profiles"
+        requests = [
+            ScheduleRequest(instance, "list"),
+            ScheduleRequest(instance, "is-1"),
+        ]
+        with ServiceThread(_config(), store=store) as handle:
+            report = run_batch_remote(
+                requests, handle.url, jobs=2, profile_dir=profile_dir
+            )
+            assert report.failed == 0
+        for index in (0, 1):
+            payload = json.loads(
+                (profile_dir / f"item-{index}.json").read_text()
+            )
+            assert payload["remote"] is True
+            phases = payload["phases"]
+            assert phases["http_roundtrip"]["calls"] == 1
+            assert phases["http_roundtrip"]["wall_s"] > 0
+            assert "backpressure_wait" in phases
+            assert payload["server"]["source"] in ("computed", "coalesced", "store")
+            assert payload["total_wall_s"] >= phases["http_roundtrip"]["wall_s"]
+
+    def test_remote_profiles_cover_store_hits(self, tmp_path, instance):
+        # Unlike local profiling (store hits run no backend code), the
+        # client still pays the HTTP round-trip for a warm hit — so the
+        # remote profile exists and attributes it.
+        store = ResultStore(tmp_path / "cache")
+        requests = [ScheduleRequest(instance, "list")]
+        with ServiceThread(_config(), store=store) as handle:
+            run_batch_remote(requests, handle.url)
+            profile_dir = tmp_path / "profiles"
+            warm = run_batch_remote(
+                requests, handle.url, profile_dir=profile_dir
+            )
+            assert warm.store_hits == 1
+        payload = json.loads((profile_dir / "item-0.json").read_text())
+        assert payload["server"]["source"] == "store"
